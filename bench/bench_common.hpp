@@ -1,0 +1,46 @@
+// Shared helpers for the table/figure reproduction binaries: the benchmark
+// suite (the paper's three top-level combinations), dataset assembly and a
+// couple of formatting shorthands. All benches run with fixed seeds so their
+// output is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/digit_spam.hpp"
+#include "apps/face_detection.hpp"
+#include "apps/vision_suite.hpp"
+#include "core/dataset_builder.hpp"
+#include "core/flow.hpp"
+#include "support/table.hpp"
+
+namespace hcp::bench {
+
+inline constexpr std::uint64_t kSeed = 42;
+
+/// The paper's three evaluated combinations (§IV): Face Detection alone,
+/// Digit Recognition + Spam Filtering, and BNN + 3D Rendering + Optical
+/// Flow under one top function.
+inline std::vector<core::FlowResult> runBenchmarkSuite(
+    const fpga::Device& device, std::uint64_t seed = kSeed) {
+  core::FlowConfig cfg;
+  cfg.seed = seed;
+  std::vector<core::FlowResult> flows;
+  std::fprintf(stderr, "[flow] face_detection...\n");
+  flows.push_back(core::runFlow(apps::faceDetection({}), device, cfg));
+  std::fprintf(stderr, "[flow] digit_spam...\n");
+  flows.push_back(core::runFlow(apps::digitSpamCombined(), device, cfg));
+  std::fprintf(stderr, "[flow] vision_combined...\n");
+  flows.push_back(core::runFlow(apps::visionCombined(), device, cfg));
+  return flows;
+}
+
+/// Prints a table and writes its CSV next to the binary.
+inline void emit(const Table& table, const std::string& csvName) {
+  std::printf("%s\n", table.toAscii().c_str());
+  table.writeCsv(csvName);
+  std::printf("(csv written to %s)\n\n", csvName.c_str());
+}
+
+}  // namespace hcp::bench

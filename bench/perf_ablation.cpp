@@ -1,0 +1,183 @@
+// Performance and ablation benchmarks (google-benchmark):
+//  - throughput of each pipeline stage (synthesis, RTL gen, pack, place,
+//    route, STA, feature extraction, model training)
+//  - design-choice ablations called out in DESIGN.md: negotiated router vs
+//    RUDY estimate, placer density spreading on/off, GBRT depth/forest size.
+#include <benchmark/benchmark.h>
+
+#include "apps/digit_spam.hpp"
+#include "apps/face_detection.hpp"
+#include "core/dataset_builder.hpp"
+#include "core/flow.hpp"
+#include "features/extractor.hpp"
+#include "ml/gbrt.hpp"
+#include "ml/linear.hpp"
+#include "rtl/generator.hpp"
+
+namespace {
+
+using namespace hcp;
+
+apps::FaceDetectionConfig benchConfig() {
+  apps::FaceDetectionConfig cfg;
+  cfg.stages = 6;  // mid-size: keeps iterations fast but representative
+  return cfg;
+}
+
+const fpga::Device& device() {
+  static const fpga::Device dev = fpga::Device::xc7z020like();
+  return dev;
+}
+
+// --- pipeline stage throughput --------------------------------------------
+
+void BM_HlsSynthesis(benchmark::State& state) {
+  for (auto _ : state) {
+    auto app = apps::faceDetection(benchConfig());
+    auto design = hls::synthesize(std::move(app.module), app.directives, {});
+    benchmark::DoNotOptimize(design.top().report.latency);
+  }
+}
+BENCHMARK(BM_HlsSynthesis)->Unit(benchmark::kMillisecond);
+
+void BM_RtlGeneration(benchmark::State& state) {
+  auto app = apps::faceDetection(benchConfig());
+  const auto design =
+      hls::synthesize(std::move(app.module), app.directives, {});
+  for (auto _ : state) {
+    auto rtl = rtl::generateRtl(design);
+    benchmark::DoNotOptimize(rtl.netlist.numCells());
+  }
+}
+BENCHMARK(BM_RtlGeneration)->Unit(benchmark::kMillisecond);
+
+struct PhysicalFixture {
+  hls::SynthesizedDesign design;
+  rtl::GeneratedRtl rtl;
+  fpga::Packing packing;
+  fpga::Placement placement;
+
+  PhysicalFixture() {
+    auto app = apps::faceDetection(benchConfig());
+    design = hls::synthesize(std::move(app.module), app.directives, {});
+    rtl = rtl::generateRtl(design);
+    packing = fpga::pack(rtl.netlist, device());
+    placement = fpga::place(packing, device(), {});
+  }
+  static const PhysicalFixture& get() {
+    static const PhysicalFixture f;
+    return f;
+  }
+};
+
+void BM_Packing(benchmark::State& state) {
+  const auto& f = PhysicalFixture::get();
+  for (auto _ : state) {
+    auto packing = fpga::pack(f.rtl.netlist, device());
+    benchmark::DoNotOptimize(packing.clusters.size());
+  }
+}
+BENCHMARK(BM_Packing)->Unit(benchmark::kMillisecond);
+
+void BM_Placement(benchmark::State& state) {
+  const auto& f = PhysicalFixture::get();
+  fpga::PlacerConfig cfg;
+  cfg.effort = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    auto placement = fpga::place(f.packing, device(), cfg);
+    benchmark::DoNotOptimize(placement.cost);
+  }
+  state.counters["hpwl"] =
+      fpga::totalWirelength(f.packing, fpga::place(f.packing, device(), cfg));
+}
+BENCHMARK(BM_Placement)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_RoutingNegotiated(benchmark::State& state) {
+  const auto& f = PhysicalFixture::get();
+  fpga::RouterConfig cfg;
+  cfg.maxIterations = static_cast<int>(state.range(0));
+  std::size_t overflow = 0;
+  for (auto _ : state) {
+    auto result = fpga::route(f.packing, f.placement, device(), cfg);
+    overflow = result.overflowTiles;
+    benchmark::DoNotOptimize(result.totalWirelength);
+  }
+  state.counters["overflow_tiles"] = static_cast<double>(overflow);
+}
+BENCHMARK(BM_RoutingNegotiated)->Arg(1)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_RoutingRudyEstimate(benchmark::State& state) {
+  const auto& f = PhysicalFixture::get();
+  for (auto _ : state) {
+    auto map = fpga::estimateRudy(f.packing, f.placement, device());
+    benchmark::DoNotOptimize(map.maxHUtil());
+  }
+}
+BENCHMARK(BM_RoutingRudyEstimate)->Unit(benchmark::kMillisecond);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const auto& f = PhysicalFixture::get();
+  const auto top = f.design.module->topIndex();
+  const auto& fn = f.design.module->function(top);
+  for (auto _ : state) {
+    features::FeatureExtractor ex(f.design, {});
+    double sum = 0;
+    for (ir::OpId op = 0; op < fn.numOps(); ++op)
+      sum += ex.extract(top, op)[0];
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["ops"] = static_cast<double>(fn.numOps());
+}
+BENCHMARK(BM_FeatureExtraction)->Unit(benchmark::kMillisecond);
+
+// --- ML training ablations -------------------------------------------------
+
+const core::LabeledDataset& dataset() {
+  static const core::LabeledDataset data = [] {
+    core::FlowConfig cfg;
+    auto flow = core::runFlow(apps::faceDetection(benchConfig()), device(),
+                              cfg);
+    return core::buildDataset(flow, {});
+  }();
+  return data;
+}
+
+void BM_TrainLasso(benchmark::State& state) {
+  const auto& data = dataset();
+  for (auto _ : state) {
+    ml::LassoRegression model;
+    model.fit(data.vertical);
+    benchmark::DoNotOptimize(model.nonZeroWeights());
+  }
+}
+BENCHMARK(BM_TrainLasso)->Unit(benchmark::kMillisecond);
+
+void BM_TrainGbrt(benchmark::State& state) {
+  const auto& data = dataset();
+  ml::GbrtConfig cfg;
+  cfg.numEstimators = static_cast<std::size_t>(state.range(0));
+  cfg.maxDepth = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    ml::Gbrt model(cfg);
+    model.fit(data.vertical);
+    benchmark::DoNotOptimize(model.trainLoss());
+  }
+}
+BENCHMARK(BM_TrainGbrt)
+    ->Args({100, 4})
+    ->Args({300, 4})
+    ->Args({300, 6})
+    ->Unit(benchmark::kMillisecond);
+
+// --- end-to-end -----------------------------------------------------------
+
+void BM_FullFlowDigitSpam(benchmark::State& state) {
+  for (auto _ : state) {
+    auto flow =
+        core::runFlow(apps::digitSpamCombined(), device(), {});
+    benchmark::DoNotOptimize(flow.maxHCongestion);
+  }
+}
+BENCHMARK(BM_FullFlowDigitSpam)->Unit(benchmark::kMillisecond);
+
+}  // namespace

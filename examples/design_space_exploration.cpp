@@ -1,0 +1,92 @@
+// Design-space exploration with predicted congestion: the use case the
+// paper's introduction motivates. Sweep unroll factors for the digit
+// recognizer and, for each point, get latency from HLS and congestion from
+// the trained predictor — no place-and-route in the loop. One reference
+// implementation at the end checks the chosen point.
+#include <cstdio>
+#include <vector>
+
+#include "apps/digit_spam.hpp"
+#include "apps/vision_suite.hpp"
+#include "core/dataset_builder.hpp"
+#include "core/flow.hpp"
+#include "core/predictor.hpp"
+
+using namespace hcp;
+
+int main() {
+  const auto device = fpga::Device::xc7z020like();
+
+  // Train once, on a different design (face detection would work too; the
+  // combined suite gives broader coverage).
+  std::printf("training the predictor on the vision suite...\n");
+  auto trainingFlow =
+      core::runFlow(apps::visionCombined(), device, {});
+  const auto dataset = core::buildDataset(trainingFlow, {});
+  core::CongestionPredictor predictor{core::PredictorOptions{}};
+  predictor.train(dataset);
+
+  // Sweep: unroll factor of the KNN distance loop.
+  std::printf("\n%-8s %-12s %-14s %-18s\n", "unroll", "HLS cycles",
+              "pred avg cong", "pred max-op cong");
+  std::vector<std::uint32_t> factors{1, 4, 8, 16, 32, 64};
+  struct Point {
+    std::uint32_t unroll;
+    double latency;
+    double worst;
+  };
+  std::vector<Point> points;
+  for (const std::uint32_t unroll : factors) {
+    apps::DigitRecognitionConfig cfg;
+    cfg.unroll = unroll;
+    auto app = apps::digitRecognition(cfg);
+    const auto design =
+        hls::synthesize(std::move(app.module), app.directives, {});
+    // Predicted congestion over all functional ops.
+    features::FeatureExtractor extractor(design, {});
+    const auto& fn = design.topFunction();
+    double sum = 0.0, worst = 0.0;
+    std::size_t n = 0;
+    for (ir::OpId op = 0; op < fn.numOps(); ++op) {
+      if (!ir::isFunctionalUnit(fn.op(op).opcode)) continue;
+      const auto p = predictor.predictOp(
+          extractor, design.module->topIndex(), op);
+      sum += p.average;
+      worst = std::max(worst, p.average);
+      ++n;
+    }
+    const double latency =
+        static_cast<double>(design.top().report.latency);
+    const double meanCong = n ? sum / static_cast<double>(n) : 0.0;
+    std::printf("%-8u %-12.0f %-14.1f %-18.1f\n", unroll, latency, meanCong,
+                worst);
+    points.push_back({unroll, latency, worst});
+  }
+
+  // Pick the fastest point whose predicted worst-op congestion stays within
+  // a few percent of the sweep's best — i.e. take the free parallelism, stop
+  // where the predictor says routing pressure starts climbing.
+  double bestWorst = points.front().worst;
+  for (const auto& p : points) bestWorst = std::min(bestWorst, p.worst);
+  std::uint32_t chosen = points.front().unroll;
+  double chosenLatency = points.front().latency;
+  for (const auto& p : points) {
+    if (p.worst <= bestWorst + 2.0 && p.latency < chosenLatency) {
+      chosen = p.unroll;
+      chosenLatency = p.latency;
+    }
+  }
+
+  std::printf("\nchosen point: unroll=%u — verifying with a real "
+              "implementation...\n", chosen);
+  apps::DigitRecognitionConfig best;
+  best.unroll = chosen;
+  const auto check =
+      core::runFlow(apps::digitRecognition(best), device, {});
+  std::printf("implemented: latency %llu cycles, Fmax %.1f MHz, max cong "
+              "V/H %.1f/%.1f%%, %zu tiles over 100%%\n",
+              static_cast<unsigned long long>(check.latencyCycles),
+              check.maxFrequencyMhz, check.maxVCongestion,
+              check.maxHCongestion, check.congestedTiles);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: the full train-and-predict loop of the paper in ~60 lines.
+//
+//  1. Run the C-to-FPGA flow on a training design (one expensive PAR run).
+//  2. Back-trace per-CLB congestion onto IR operations and build the dataset.
+//  3. Train the GBRT congestion predictor.
+//  4. For a *new* design, predict per-operation congestion straight from HLS
+//     information — no place-and-route — and print the hottest source lines.
+#include <cstdio>
+
+#include "apps/digit_spam.hpp"
+#include "apps/face_detection.hpp"
+#include "core/dataset_builder.hpp"
+#include "core/flow.hpp"
+#include "core/predictor.hpp"
+
+int main() {
+  using namespace hcp;
+  const auto device = fpga::Device::xc7z020like();
+
+  // 1. One complete flow (HLS -> RTL -> pack/place/route -> back-trace).
+  std::printf("running the training flow (digit recognition + spam)...\n");
+  auto trainingFlow =
+      core::runFlow(apps::digitSpamCombined(), device, {});
+  std::printf("  implemented: Fmax %.1f MHz, max congestion V %.1f%% / "
+              "H %.1f%%, %zu tiles over 100%%\n",
+              trainingFlow.maxFrequencyMhz, trainingFlow.maxVCongestion,
+              trainingFlow.maxHCongestion, trainingFlow.congestedTiles);
+
+  // 2. Dataset: 302 features per op, labels from the congestion map.
+  const auto dataset = core::buildDataset(trainingFlow, {});
+  std::printf("  dataset: %zu samples, %zu features, %.1f%% marginal ops "
+              "filtered\n",
+              dataset.vertical.size(), dataset.vertical.numFeatures(),
+              100.0 * dataset.filterStats.fraction());
+
+  // 3. Train the predictor (GBRT, the paper's best model).
+  core::CongestionPredictor predictor{core::PredictorOptions{}};
+  predictor.train(dataset);
+  std::printf("trained GBRT models for V / H / avg congestion\n\n");
+
+  // 4. Predict on a new design WITHOUT implementing it: synthesize only.
+  std::printf("predicting congestion for face_detection (HLS only, no "
+              "place-and-route)...\n");
+  auto newApp = apps::faceDetection({});
+  const auto newDesign =
+      hls::synthesize(std::move(newApp.module), newApp.directives, {});
+  const auto hotspots = predictor.findHotspots(newDesign, {}, 5);
+  std::printf("  top predicted congestion hotspots:\n");
+  for (const auto& h : hotspots) {
+    std::printf("    %-24s line %-4d  %4zu ops  mean %.1f%%  max %.1f%%\n",
+                h.functionName.c_str(), h.sourceLine, h.numOps,
+                h.meanPredicted, h.maxPredicted);
+  }
+  std::printf("\nresolve these at the source level (see the "
+              "congestion_advisor example) instead of iterating through "
+              "hours of place-and-route.\n");
+  return 0;
+}

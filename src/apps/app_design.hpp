@@ -1,0 +1,20 @@
+// Common shape of a benchmark design: an IR module plus the HLS directive
+// set its authors tuned (the Rosetta suite ships optimized designs; the
+// paper evaluates those directive-laden versions, §IV).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hls/directives.hpp"
+#include "ir/module.hpp"
+
+namespace hcp::apps {
+
+struct AppDesign {
+  std::string name;
+  std::unique_ptr<ir::Module> module;
+  hls::DirectiveSet directives;
+};
+
+}  // namespace hcp::apps

@@ -1,0 +1,215 @@
+#include "apps/digit_spam.hpp"
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+
+namespace hcp::apps {
+
+using ir::Builder;
+using ir::Function;
+using ir::Module;
+using ir::OpId;
+
+namespace {
+
+/// KNN digit recognizer body: per training sample, Hamming distance via
+/// xor + popcount, then a compare/swap chain maintaining the k nearest.
+std::unique_ptr<Function> buildDigitRec(const DigitRecognitionConfig& cfg) {
+  auto fn = std::make_unique<Function>("digitrec");
+  Builder b(*fn);
+  b.atLine(200);
+  const ir::PortId testIn = b.inPort("test_digit", cfg.wordBits);
+  const ir::PortId labelOut = b.outPort("label", 4);
+  const ir::ArrayId training =
+      b.array("training_set", cfg.trainingSize, cfg.wordBits);
+  const ir::ArrayId knnDist = b.array("knn_dist", cfg.knn, 8);
+  const ir::ArrayId knnLabel = b.array("knn_label", cfg.knn, 4);
+
+  const OpId test = b.readPort(testIn);
+
+  b.atLine(210);
+  b.beginLoop("distance", cfg.trainingSize);
+  {
+    const OpId idx = b.constant(1, 16);
+    const OpId sample = b.load(training, idx);
+    b.atLine(211);
+    const OpId diff = b.xor_(test, sample);
+    const OpId dist = b.popcount(diff);
+    // Compare against the current worst of the k nearest and insert.
+    b.atLine(212);
+    const OpId worstIdx = b.constant(static_cast<std::int64_t>(cfg.knn) - 1,
+                                     4);
+    const OpId worst = b.load(knnDist, worstIdx);
+    const OpId closer = b.icmpLt(b.zext(dist, 8), worst);
+    const OpId newDist = b.select(closer, b.zext(dist, 8), worst);
+    b.store(knnDist, worstIdx, newDist);
+    const OpId lbl = b.trunc(sample, 4);
+    const OpId curLbl = b.load(knnLabel, worstIdx);
+    const OpId newLbl = b.select(closer, lbl, curLbl);
+    b.store(knnLabel, worstIdx, newLbl);
+  }
+  b.endLoop();
+
+  // Vote: compare/accumulate over the k nearest labels (small sort network).
+  b.atLine(220);
+  std::vector<OpId> labels;
+  for (std::uint32_t k = 0; k < cfg.knn; ++k) {
+    labels.push_back(b.load(knnLabel, b.constant(k, 4)));
+  }
+  b.atLine(221);
+  OpId vote = labels[0];
+  for (std::uint32_t k = 1; k < cfg.knn; ++k) {
+    const OpId eq = b.icmpEq(labels[k], vote);
+    vote = b.select(eq, labels[k], b.min(vote, labels[k]));
+  }
+  b.writePort(labelOut, vote);
+  b.ret();
+  return fn;
+}
+
+/// SGD spam filter body: dot product over the feature vector, a shift-based
+/// sigmoid approximation, then the weight-update sweep.
+std::unique_ptr<Function> buildSpam(const SpamFilterConfig& cfg) {
+  auto fn = std::make_unique<Function>("spam_filter");
+  Builder b(*fn);
+  b.atLine(300);
+  const ir::PortId featureIn = b.inPort("feature", 16);
+  const ir::PortId labelIn = b.inPort("label", 1);
+  const ir::PortId flagOut = b.outPort("is_spam", 1);
+  const ir::ArrayId weights = b.array("weights", cfg.numFeatures, 16);
+  const ir::ArrayId features = b.array("feature_vec", cfg.numFeatures, 16);
+
+  // Stream features in.
+  b.atLine(310);
+  b.beginLoop("read_features", cfg.numFeatures);
+  {
+    const OpId f = b.readPort(featureIn);
+    b.store(features, b.constant(0, 16), f);
+  }
+  b.endLoop();
+
+  // Dot product.
+  b.atLine(320);
+  b.beginLoop("dot", cfg.numFeatures);
+  OpId partial;
+  {
+    const OpId idx = b.constant(2, 16);
+    const OpId w = b.load(weights, idx);
+    const OpId x = b.load(features, idx);
+    const OpId prod = b.mul(b.trunc(w, 9), b.trunc(x, 9));  // 18-bit: 1 DSP
+    partial = b.trunc(prod, 18);
+  }
+  b.endLoop();
+
+  // Sigmoid approximation + decision.
+  b.atLine(330);
+  const OpId scaled = b.lshr(partial, b.constant(4, 3));
+  const OpId biased = b.add(scaled, b.constant(17, 8));
+  const OpId spam = b.icmpGt(biased, b.constant(128, 16));
+
+  // SGD update sweep: w += lr * err * x.
+  b.atLine(340);
+  const OpId label = b.readPort(labelIn);
+  const OpId err = b.sub(b.zext(label, 8), b.zext(spam, 8));
+  b.beginLoop("update", cfg.numFeatures);
+  {
+    const OpId idx = b.constant(3, 16);
+    const OpId x = b.load(features, idx);
+    const OpId grad = b.mul(b.trunc(x, 8), err);
+    const OpId lr = b.constant(2, 3);
+    const OpId step = b.lshr(grad, lr);
+    const OpId w = b.load(weights, idx);
+    const OpId updated = b.add(w, b.trunc(step, 16));
+    b.store(weights, idx, updated);
+  }
+  b.endLoop();
+
+  b.atLine(350);
+  b.writePort(flagOut, spam);
+  b.ret();
+  return fn;
+}
+
+void addDigitDirectives(AppDesign& design,
+                        const DigitRecognitionConfig& cfg) {
+  if (!cfg.withDirectives) return;
+  design.directives.unroll("digitrec", "distance", cfg.unroll)
+      .pipeline("digitrec", "distance", 1)
+      .partition("digitrec", "training_set", cfg.unroll)
+      .partitionComplete("digitrec", "knn_dist")
+      .partitionComplete("digitrec", "knn_label");
+}
+
+void addSpamDirectives(AppDesign& design, const SpamFilterConfig& cfg) {
+  if (!cfg.withDirectives) return;
+  design.directives.unroll("spam_filter", "dot", cfg.unroll)
+      .pipeline("spam_filter", "dot", 1)
+      .unroll("spam_filter", "update", cfg.unroll)
+      .pipeline("spam_filter", "update", 1)
+      .pipeline("spam_filter", "read_features", 1)
+      .partition("spam_filter", "weights", cfg.partition)
+      .partition("spam_filter", "feature_vec", cfg.partition);
+}
+
+}  // namespace
+
+AppDesign digitRecognition(const DigitRecognitionConfig& cfg) {
+  AppDesign design;
+  design.name = "digit_recognition";
+  design.module = std::make_unique<Module>("digit_recognition");
+  design.module->addFunction(buildDigitRec(cfg));
+  design.module->setTop("digitrec");
+  ir::verifyOrThrow(*design.module);
+  addDigitDirectives(design, cfg);
+  return design;
+}
+
+AppDesign spamFilter(const SpamFilterConfig& cfg) {
+  AppDesign design;
+  design.name = "spam_filter";
+  design.module = std::make_unique<Module>("spam_filter");
+  design.module->addFunction(buildSpam(cfg));
+  design.module->setTop("spam_filter");
+  ir::verifyOrThrow(*design.module);
+  addSpamDirectives(design, cfg);
+  return design;
+}
+
+AppDesign digitSpamCombined(const DigitRecognitionConfig& digit,
+                            const SpamFilterConfig& spam) {
+  AppDesign design;
+  design.name = "digit_spam";
+  design.module = std::make_unique<Module>("digit_spam");
+  design.module->addFunction(buildDigitRec(digit));
+  design.module->addFunction(buildSpam(spam));
+
+  auto top = std::make_unique<Function>("digit_spam_top");
+  {
+    Builder b(*top);
+    b.atLine(400);
+    const ir::PortId digitIn = b.inPort("digit_in", digit.wordBits);
+    const ir::PortId featureIn = b.inPort("feature_in", 16);
+    const ir::PortId labelIn = b.inPort("label_in", 1);
+    const ir::PortId out = b.outPort("combined_out", 8);
+
+    const OpId d = b.readPort(digitIn);
+    const OpId f = b.readPort(featureIn);
+    const OpId l = b.readPort(labelIn);
+    b.atLine(401);
+    const OpId digitLabel = b.call("digitrec", {d}, 4);
+    b.atLine(402);
+    const OpId spamFlag = b.call("spam_filter", {f, l}, 1);
+    b.atLine(403);
+    const OpId packed = b.concat(b.zext(spamFlag, 4), digitLabel);
+    b.writePort(out, packed);
+    b.ret();
+  }
+  design.module->addFunction(std::move(top));
+  design.module->setTop("digit_spam_top");
+  ir::verifyOrThrow(*design.module);
+  addDigitDirectives(design, digit);
+  addSpamDirectives(design, spam);
+  return design;
+}
+
+}  // namespace hcp::apps

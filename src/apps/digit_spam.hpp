@@ -1,0 +1,38 @@
+// Digit Recognition (KNN over binarized digits, xor + popcount) and Spam
+// Filtering (SGD logistic regression, dot products + weight updates), the
+// pair the paper evaluates "invoked by the same function" (§IV). Both are
+// structured after their Rosetta counterparts and carry the suite's
+// directive sets (pipelined, heavily unrolled inner loops over partitioned
+// arrays).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_design.hpp"
+
+namespace hcp::apps {
+
+struct DigitRecognitionConfig {
+  std::uint64_t trainingSize = 512;   ///< training-set loop trip count
+  std::uint32_t unroll = 32;          ///< distance-loop unroll factor
+  std::uint32_t knn = 8;              ///< neighbours tracked by the vote
+  std::uint32_t wordBits = 49;        ///< one digit = 7x7 binarized pixels
+  bool withDirectives = true;
+};
+
+struct SpamFilterConfig {
+  std::uint64_t numFeatures = 1024;   ///< feature-vector length
+  std::uint32_t unroll = 32;          ///< dot-product / update unroll
+  std::uint32_t partition = 32;       ///< weight-array banks
+  bool withDirectives = true;
+};
+
+/// Individual designs (used by tests and the ablation benches).
+AppDesign digitRecognition(const DigitRecognitionConfig& config = {});
+AppDesign spamFilter(const SpamFilterConfig& config = {});
+
+/// The paper's combined design: one top invoking both kernels.
+AppDesign digitSpamCombined(const DigitRecognitionConfig& digit = {},
+                            const SpamFilterConfig& spam = {});
+
+}  // namespace hcp::apps

@@ -1,0 +1,281 @@
+#include "apps/face_detection.hpp"
+
+#include <algorithm>
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+
+namespace hcp::apps {
+
+using ir::Builder;
+using ir::Function;
+using ir::Module;
+using ir::OpId;
+
+namespace {
+
+/// Weak classifier: weighted sum of `samples` window values against a
+/// threshold. Returns the vote (selected weight or zero).
+std::unique_ptr<Function> buildWeak(const FaceDetectionConfig& cfg,
+                                    const std::string& name) {
+  auto fn = std::make_unique<Function>(name);
+  Builder b(*fn);
+  b.atLine(10);
+  std::vector<ir::PortId> in;
+  for (std::uint32_t s = 0; s < cfg.samplesPerWeak; ++s)
+    in.push_back(b.inPort("px" + std::to_string(s), 16));
+  const ir::PortId out = b.outPort("vote", 16);
+
+  // Haar-feature weights stay narrow so the multipliers map to LUTs, as the
+  // fixed-point Rosetta implementation does.
+  std::vector<OpId> terms;
+  for (std::uint32_t s = 0; s < cfg.samplesPerWeak; ++s) {
+    b.atLine(11 + static_cast<std::int32_t>(s));
+    const OpId px = b.readPort(in[s]);
+    const OpId narrowed = b.trunc(px, 6);
+    const OpId weight =
+        b.constant(3 + static_cast<std::int64_t>(s) * 2, 4);
+    terms.push_back(b.mul(narrowed, weight));  // 10-bit: LUT multiplier
+  }
+  b.atLine(16);
+  while (terms.size() > 1) {
+    std::vector<OpId> next;
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2)
+      next.push_back(b.add(terms[i], terms[i + 1]));
+    if (terms.size() % 2) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  b.atLine(17);
+  const OpId threshold = b.constant(4096, 16);
+  const OpId hit = b.icmpGt(terms[0], threshold);
+  const OpId passWeight = b.constant(211, 16);
+  const OpId zero = b.constant(0, 16);
+  const OpId vote = b.select(hit, passWeight, zero);
+  b.writePort(out, vote);
+  b.ret();
+  return fn;
+}
+
+/// Stage classifier: `weakPerStage` weak classifiers over rotating subsets
+/// of the stage inputs; votes are summed and thresholded.
+std::unique_ptr<Function> buildStage(const FaceDetectionConfig& cfg,
+                                     std::uint32_t stageInputs,
+                                     const std::string& name,
+                                     std::uint32_t stageIndex) {
+  auto fn = std::make_unique<Function>(name);
+  Builder b(*fn);
+  b.atLine(30);
+  std::vector<ir::PortId> in;
+  for (std::uint32_t s = 0; s < stageInputs; ++s)
+    in.push_back(b.inPort("w" + std::to_string(s), 16));
+  const ir::PortId out = b.outPort("stage_sum", 16);
+
+  std::vector<OpId> inputs;
+  for (ir::PortId p : in) inputs.push_back(b.readPort(p));
+
+  std::vector<OpId> votes;
+  for (std::uint32_t w = 0; w < cfg.weakPerStage; ++w) {
+    b.atLine(32 + static_cast<std::int32_t>(w));
+    std::vector<OpId> args;
+    for (std::uint32_t s = 0; s < cfg.samplesPerWeak; ++s)
+      args.push_back(inputs[(w + s) % inputs.size()]);
+    votes.push_back(
+        b.call("weak_" + std::to_string(stageIndex), args, 16));
+  }
+  b.atLine(38);
+  while (votes.size() > 1) {
+    std::vector<OpId> next;
+    for (std::size_t i = 0; i + 1 < votes.size(); i += 2)
+      next.push_back(b.add(votes[i], votes[i + 1]));
+    if (votes.size() % 2) next.push_back(votes.back());
+    votes = std::move(next);
+  }
+  b.atLine(39);
+  const OpId stageThresh = b.constant(300, 16);
+  const OpId pass = b.icmpGt(votes[0], stageThresh);
+  const OpId sum = b.select(pass, votes[0], b.constant(0, 16));
+  b.writePort(out, sum);
+  b.ret();
+  return fn;
+}
+
+/// Cascade part: runs `numStages` stage classifiers over rotating subsets of
+/// its inputs, then sums and compares the stage results — the region the
+/// paper's model flags as congested in the baseline (§IV-C).
+std::unique_ptr<Function> buildCascade(std::uint32_t numStages,
+                                       std::uint32_t stageFirst,
+                                       std::uint32_t cascadeInputs,
+                                       std::uint32_t stageInputs,
+                                       const std::string& name) {
+  auto fn = std::make_unique<Function>(name);
+  Builder b(*fn);
+  b.atLine(50);
+  std::vector<ir::PortId> in;
+  for (std::uint32_t s = 0; s < cascadeInputs; ++s)
+    in.push_back(b.inPort("px" + std::to_string(s), 16));
+  const ir::PortId out = b.outPort("score", 16);
+
+  std::vector<OpId> inputs;
+  for (ir::PortId p : in) inputs.push_back(b.readPort(p));
+
+  std::vector<OpId> stageSums;
+  for (std::uint32_t s = 0; s < numStages; ++s) {
+    b.atLine(52 + static_cast<std::int32_t>(s));
+    std::vector<OpId> args;
+    for (std::uint32_t k = 0; k < stageInputs; ++k)
+      args.push_back(inputs[(s + k) % inputs.size()]);
+    stageSums.push_back(
+        b.call("stage_" + std::to_string(stageFirst + s), args, 16));
+  }
+
+  // Sum-and-compare of all stage results: the baseline hotspot (line 70).
+  b.atLine(70);
+  std::vector<OpId> sums = stageSums;
+  while (sums.size() > 1) {
+    std::vector<OpId> next;
+    for (std::size_t i = 0; i + 1 < sums.size(); i += 2)
+      next.push_back(b.add(sums[i], sums[i + 1]));
+    if (sums.size() % 2) next.push_back(sums.back());
+    sums = std::move(next);
+  }
+  b.atLine(71);
+  OpId verdict = sums[0];
+  // Per-stage early-exit comparisons all feed the final select chain.
+  for (std::uint32_t s = 0; s < numStages; ++s) {
+    const OpId thresh =
+        b.constant(100 + static_cast<std::int64_t>(s) * 10, 16);
+    const OpId ok = b.icmpGt(stageSums[s], thresh);
+    verdict = b.select(ok, verdict, b.constant(0, 16));
+  }
+  b.writePort(out, verdict);
+  b.ret();
+  return fn;
+}
+
+}  // namespace
+
+AppDesign faceDetection(const FaceDetectionConfig& cfg) {
+  AppDesign design;
+  design.name = "face_detection";
+  design.module = std::make_unique<Module>("face_detection");
+
+  const std::uint32_t parts =
+      cfg.replicateWindowArray ? std::max(1u, cfg.replicationCopies) : 1;
+  const std::uint32_t stagesPerPart = std::max(1u, cfg.stages / parts);
+  const std::uint32_t cascadeInputs = 16;
+  const std::uint32_t stageInputs = 8;
+
+  // The cascade is a chain of *distinct* stage classifiers (stage_0,
+  // stage_1, ...), each called exactly once — matching the Rosetta design,
+  // where "Not Inline" keeps per-stage modules without losing parallelism.
+  const std::uint32_t totalStages = stagesPerPart * parts;
+  for (std::uint32_t s = 0; s < totalStages; ++s) {
+    design.module->addFunction(buildWeak(cfg, "weak_" + std::to_string(s)));
+    design.module->addFunction(
+        buildStage(cfg, stageInputs, "stage_" + std::to_string(s), s));
+  }
+  for (std::uint32_t p = 0; p < parts; ++p) {
+    design.module->addFunction(buildCascade(
+        stagesPerPart, p * stagesPerPart, cascadeInputs, stageInputs,
+        parts == 1 ? "cascade_classifier"
+                   : "cascade_part" + std::to_string(p)));
+  }
+
+  // --- top ---------------------------------------------------------------
+  auto top = std::make_unique<Function>("face_detect");
+  {
+    Builder b(*top);
+    b.atLine(100);
+    const ir::PortId pixelIn = b.inPort("pixel", 16);
+    const ir::PortId resultOut = b.outPort("result", 32);
+
+    // One window array per cascade part ("Replication" gives each group of
+    // stages its own copy of the shared input data).
+    std::vector<ir::ArrayId> windows;
+    for (std::uint32_t p = 0; p < parts; ++p) {
+      b.atLine(101 + static_cast<std::int32_t>(p));
+      windows.push_back(b.array(parts == 1 ? "window"
+                                           : "window_rep" +
+                                                 std::to_string(p),
+                                cfg.windowSize, 16));
+    }
+
+    // Window-fill loop: preprocess the incoming pixel and store it into
+    // every copy at a (synthesis-time) position.
+    b.atLine(110);
+    b.beginLoop("fill", cfg.fillTrip);
+    {
+      const OpId px = b.readPort(pixelIn);
+      b.atLine(111);
+      const OpId bias = b.constant(128, 16);
+      const OpId shifted = b.sub(px, bias);
+      const OpId gain = b.constant(3, 4);
+      const OpId scaled = b.mul(shifted, gain);
+      const OpId clamped = b.trunc(b.max(scaled, b.constant(0, 16)), 16);
+      for (std::uint32_t p = 0; p < parts; ++p) {
+        const OpId idx = b.constant(
+            static_cast<std::int64_t>(p) * 7 % cfg.windowSize, 16);
+        b.atLine(112);
+        b.store(windows[p], idx, clamped);
+      }
+    }
+    b.endLoop();
+
+    // Sliding-window loop: sample the window array(s) and run the cascade
+    // part(s); verdicts accumulate into the result.
+    b.atLine(120);
+    b.beginLoop("windows", cfg.windowTrip);
+    std::vector<OpId> verdicts;
+    for (std::uint32_t p = 0; p < parts; ++p) {
+      b.atLine(121 + static_cast<std::int32_t>(p));
+      std::vector<OpId> samples;
+      for (std::uint32_t s = 0; s < cascadeInputs; ++s) {
+        const OpId idx = b.constant(
+            (static_cast<std::int64_t>(s) * 17 + p * 5) % cfg.windowSize,
+            16);
+        samples.push_back(b.load(windows[p], idx));
+      }
+      verdicts.push_back(
+          b.call(parts == 1 ? "cascade_classifier"
+                            : "cascade_part" + std::to_string(p),
+                 samples, 16));
+    }
+    b.atLine(130);
+    OpId score = verdicts[0];
+    for (std::uint32_t p = 1; p < parts; ++p)
+      score = b.add(score, verdicts[p]);
+    const OpId wide = b.zext(score, 32);
+    b.endLoop();
+    b.atLine(131);
+    b.writePort(resultOut, wide);
+    b.ret();
+  }
+  design.module->addFunction(std::move(top));
+  design.module->setTop("face_detect");
+  ir::verifyOrThrow(*design.module);
+
+  // --- directives ----------------------------------------------------------
+  if (cfg.withDirectives) {
+    if (cfg.inlineClassifiers) {
+      for (std::uint32_t s = 0; s < totalStages; ++s) {
+        design.directives.inlineFunction("weak_" + std::to_string(s));
+        design.directives.inlineFunction("stage_" + std::to_string(s));
+      }
+      for (std::uint32_t p = 0; p < parts; ++p)
+        design.directives.inlineFunction(
+            parts == 1 ? "cascade_classifier"
+                       : "cascade_part" + std::to_string(p));
+    }
+    design.directives.unroll("face_detect", "fill", cfg.fillUnroll)
+        .pipeline("face_detect", "fill", 1)
+        .unroll("face_detect", "windows", cfg.windowUnroll);
+    for (std::uint32_t p = 0; p < parts; ++p) {
+      design.directives.partitionComplete(
+          "face_detect",
+          parts == 1 ? "window" : "window_rep" + std::to_string(p));
+    }
+  }
+  return design;
+}
+
+}  // namespace hcp::apps

@@ -1,0 +1,41 @@
+// Face Detection (Rosetta): sliding-window Viola-Jones-style cascade.
+//
+// Structure mirrors the paper's description: a window loop feeds a cascade
+// classifier whose stages each run several weak classifiers over values from
+// a shared, completely-partitioned image-window array; the stage results are
+// summed and compared (the congestion hotspot of §IV-C). The optimized
+// directive set inlines the cascade and every classifier, unrolls the window
+// loop and completely partitions the window array — reproducing Table I's
+// "with directives" implementation. Config switches reproduce the case-study
+// steps: noInline (step 1) and replicateWindowArray (step 2).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_design.hpp"
+
+namespace hcp::apps {
+
+struct FaceDetectionConfig {
+  std::uint32_t stages = 8;           ///< cascade stages
+  std::uint32_t weakPerStage = 4;     ///< weak classifiers per stage
+  std::uint32_t samplesPerWeak = 4;   ///< window pixels read per weak
+  std::uint32_t windowSize = 256;     ///< shared window array words
+  std::uint64_t fillTrip = 256;       ///< window-fill loop trip count
+  std::uint64_t windowTrip = 1024;    ///< sliding-window loop trip count
+
+  /// Optimized-directive knobs (the Rosetta configuration).
+  bool withDirectives = true;         ///< Table I "with/without directives"
+  std::uint32_t windowUnroll = 2;     ///< window-loop unroll factor
+  std::uint32_t fillUnroll = 8;
+
+  /// Case-study steps (§IV-C / Table VI).
+  bool inlineClassifiers = true;      ///< false = "Not Inline" step
+  bool replicateWindowArray = false;  ///< true = "Replication" step
+  std::uint32_t replicationCopies = 4;
+};
+
+/// Builds the design; `module` verifies clean.
+AppDesign faceDetection(const FaceDetectionConfig& config = {});
+
+}  // namespace hcp::apps

@@ -1,0 +1,276 @@
+#include "apps/vision_suite.hpp"
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+
+namespace hcp::apps {
+
+using ir::Builder;
+using ir::Function;
+using ir::Module;
+using ir::OpId;
+
+namespace {
+
+std::unique_ptr<Function> buildBnn(const BnnConfig& cfg) {
+  auto fn = std::make_unique<Function>("bnn");
+  Builder b(*fn);
+  b.atLine(500);
+  const ir::PortId actIn = b.inPort("activations", cfg.wordBits);
+  const ir::PortId bitsOut = b.outPort("out_bits", 8);
+  const ir::ArrayId weightsArr = b.array(
+      "bnn_weights",
+      static_cast<std::uint64_t>(cfg.neurons) * cfg.wordsPerNeuron,
+      cfg.wordBits);
+
+  const OpId act = b.readPort(actIn);
+
+  b.atLine(510);
+  b.beginLoop("neurons", cfg.neurons);
+  OpId bit;
+  {
+    // Per-neuron xnor-popcount over the (fully unrolled) weight words.
+    std::vector<OpId> pops;
+    for (std::uint32_t w = 0; w < cfg.wordsPerNeuron; ++w) {
+      b.atLine(511 + static_cast<std::int32_t>(w));
+      const OpId idx = b.constant(w, 16);
+      const OpId word = b.load(weightsArr, idx);
+      const OpId xnor = b.not_(b.xor_(act, word));
+      pops.push_back(b.popcount(xnor));
+    }
+    b.atLine(520);
+    std::vector<OpId> sums = pops;
+    while (sums.size() > 1) {
+      std::vector<OpId> next;
+      for (std::size_t i = 0; i + 1 < sums.size(); i += 2)
+        next.push_back(b.add(b.zext(sums[i], 10), b.zext(sums[i + 1], 10)));
+      if (sums.size() % 2) next.push_back(b.zext(sums.back(), 10));
+      sums = std::move(next);
+    }
+    b.atLine(521);
+    const OpId threshold =
+        b.constant(static_cast<std::int64_t>(cfg.wordsPerNeuron) *
+                       cfg.wordBits / 2,
+                   10);
+    bit = b.icmpGt(sums[0], threshold);
+  }
+  b.endLoop();
+  b.atLine(530);
+  b.writePort(bitsOut, b.zext(bit, 8));
+  b.ret();
+  return fn;
+}
+
+std::unique_ptr<Function> buildRendering(const RenderingConfig& cfg) {
+  auto fn = std::make_unique<Function>("rendering");
+  Builder b(*fn);
+  b.atLine(600);
+  const ir::PortId triIn = b.inPort("triangle", 48);  // packed x0y0x1y1x2y2
+  const ir::PortId fragOut = b.outPort("fragments", 16);
+  const ir::ArrayId zbuf = b.array("z_buffer", 256, 8);
+
+  b.atLine(610);
+  b.beginLoop("triangles", cfg.triangles);
+  OpId frags;
+  {
+    const OpId tri = b.readPort(triIn);
+    // Unpack vertices.
+    const OpId x0 = b.extract(tri, 0, 8), y0 = b.extract(tri, 8, 8);
+    const OpId x1 = b.extract(tri, 16, 8), y1 = b.extract(tri, 24, 8);
+    const OpId x2 = b.extract(tri, 32, 8), y2 = b.extract(tri, 40, 8);
+    b.atLine(611);
+    // Edge-function coefficients (dx/dy per edge).
+    const OpId a0 = b.sub(y1, y0), b0 = b.sub(x0, x1);
+    const OpId a1 = b.sub(y2, y1), b1 = b.sub(x1, x2);
+    const OpId a2 = b.sub(y0, y2), b2 = b.sub(x2, x0);
+    b.atLine(612);
+    // Fully unrolled tileSize^2 coverage tests.
+    std::vector<OpId> covered;
+    for (std::uint32_t py = 0; py < cfg.tileSize; ++py) {
+      for (std::uint32_t px = 0; px < cfg.tileSize; ++px) {
+        b.atLine(613 + static_cast<std::int32_t>(py));
+        const OpId cx = b.constant(px, 8);
+        const OpId cy = b.constant(py, 8);
+        const OpId e0 = b.add(b.mul(a0, cx), b.mul(b0, cy));
+        const OpId e1 = b.add(b.mul(a1, cx), b.mul(b1, cy));
+        const OpId e2 = b.add(b.mul(a2, cx), b.mul(b2, cy));
+        const OpId zero = b.constant(0, 16);
+        const OpId in0 = b.icmpGe(e0, zero);
+        const OpId in1 = b.icmpGe(e1, zero);
+        const OpId in2 = b.icmpGe(e2, zero);
+        covered.push_back(b.and_(b.and_(in0, in1), in2));
+      }
+    }
+    b.atLine(620);
+    std::vector<OpId> counts;
+    for (OpId c : covered) counts.push_back(b.zext(c, 16));
+    while (counts.size() > 1) {
+      std::vector<OpId> next;
+      for (std::size_t i = 0; i + 1 < counts.size(); i += 2)
+        next.push_back(b.add(counts[i], counts[i + 1]));
+      if (counts.size() % 2) next.push_back(counts.back());
+      counts = std::move(next);
+    }
+    frags = counts[0];
+    // Depth-test store for the first covered pixel.
+    b.atLine(621);
+    const OpId zIdx = b.constant(1, 8);
+    const OpId depth = b.load(zbuf, zIdx);
+    const OpId nearer = b.icmpLt(b.trunc(frags, 8), depth);
+    const OpId newZ = b.select(nearer, b.trunc(frags, 8), depth);
+    b.store(zbuf, zIdx, newZ);
+  }
+  b.endLoop();
+  b.atLine(630);
+  b.writePort(fragOut, frags);
+  b.ret();
+  return fn;
+}
+
+std::unique_ptr<Function> buildOpticalFlow(const OpticalFlowConfig& cfg) {
+  auto fn = std::make_unique<Function>("optical_flow");
+  Builder b(*fn);
+  b.atLine(700);
+  const ir::PortId frameIn = b.inPort("frame_px", 16);
+  const ir::PortId flowOut = b.outPort("flow", 32);
+  const ir::ArrayId lineBuf = b.array("line_buffer", 128, 16);
+
+  b.atLine(710);
+  b.beginLoop("pixels", cfg.pixels);
+  OpId flow;
+  {
+    const OpId px = b.readPort(frameIn);
+    b.store(lineBuf, b.constant(0, 8), px);
+    // Windowed gradients (taps at synthesis-time offsets).
+    std::vector<OpId> gx, gy;
+    for (std::uint32_t t = 0; t < cfg.windowTaps; ++t) {
+      b.atLine(711 + static_cast<std::int32_t>(t));
+      const OpId left = b.load(lineBuf, b.constant(t, 8));
+      const OpId right = b.load(lineBuf, b.constant(t + 2, 8));
+      gx.push_back(b.absdiff(right, left));
+      gy.push_back(b.absdiff(b.load(lineBuf, b.constant(t + 1, 8)), px));
+    }
+    b.atLine(720);
+    // Structure-tensor terms in floating point (FP units on 7-series map to
+    // DSP + fabric, as in the Rosetta implementation).
+    OpId ixx = b.fmul(gx[0], gx[0]);
+    OpId iyy = b.fmul(gy[0], gy[0]);
+    OpId ixy = b.fmul(gx[0], gy[0]);
+    for (std::uint32_t t = 1; t < cfg.windowTaps; ++t) {
+      ixx = b.fadd(ixx, b.fmul(gx[t], gx[t]));
+      iyy = b.fadd(iyy, b.fmul(gy[t], gy[t]));
+      ixy = b.fadd(ixy, b.fmul(gx[t], gy[t]));
+    }
+    b.atLine(730);
+    const OpId det = b.fsub(b.fmul(ixx, iyy), b.fmul(ixy, ixy));
+    const OpId trace = b.fadd(ixx, iyy);
+    const OpId response = b.fdiv(det, trace);
+    flow = b.zext(b.trunc(response, 16), 32);
+  }
+  b.endLoop();
+  b.atLine(740);
+  b.writePort(flowOut, flow);
+  b.ret();
+  return fn;
+}
+
+void addBnnDirectives(AppDesign& d, const BnnConfig& cfg) {
+  if (!cfg.withDirectives) return;
+  d.directives.unroll("bnn", "neurons", cfg.unroll)
+      .pipeline("bnn", "neurons", 1)
+      .partition("bnn", "bnn_weights", cfg.unroll * cfg.wordsPerNeuron);
+}
+
+void addRenderingDirectives(AppDesign& d, const RenderingConfig& cfg) {
+  if (!cfg.withDirectives) return;
+  d.directives.unroll("rendering", "triangles", cfg.unroll)
+      .pipeline("rendering", "triangles", 2)
+      .partition("rendering", "z_buffer", 8);
+}
+
+void addFlowDirectives(AppDesign& d, const OpticalFlowConfig& cfg) {
+  if (!cfg.withDirectives) return;
+  d.directives.unroll("optical_flow", "pixels", cfg.unroll)
+      .pipeline("optical_flow", "pixels", 2)
+      .partition("optical_flow", "line_buffer", 16);
+}
+
+}  // namespace
+
+AppDesign bnn(const BnnConfig& cfg) {
+  AppDesign d;
+  d.name = "bnn";
+  d.module = std::make_unique<Module>("bnn");
+  d.module->addFunction(buildBnn(cfg));
+  d.module->setTop("bnn");
+  ir::verifyOrThrow(*d.module);
+  addBnnDirectives(d, cfg);
+  return d;
+}
+
+AppDesign rendering3d(const RenderingConfig& cfg) {
+  AppDesign d;
+  d.name = "rendering_3d";
+  d.module = std::make_unique<Module>("rendering_3d");
+  d.module->addFunction(buildRendering(cfg));
+  d.module->setTop("rendering");
+  ir::verifyOrThrow(*d.module);
+  addRenderingDirectives(d, cfg);
+  return d;
+}
+
+AppDesign opticalFlow(const OpticalFlowConfig& cfg) {
+  AppDesign d;
+  d.name = "optical_flow";
+  d.module = std::make_unique<Module>("optical_flow");
+  d.module->addFunction(buildOpticalFlow(cfg));
+  d.module->setTop("optical_flow");
+  ir::verifyOrThrow(*d.module);
+  addFlowDirectives(d, cfg);
+  return d;
+}
+
+AppDesign visionCombined(const BnnConfig& bnnCfg,
+                         const RenderingConfig& renderCfg,
+                         const OpticalFlowConfig& flowCfg) {
+  AppDesign d;
+  d.name = "vision_combined";
+  d.module = std::make_unique<Module>("vision_combined");
+  d.module->addFunction(buildBnn(bnnCfg));
+  d.module->addFunction(buildRendering(renderCfg));
+  d.module->addFunction(buildOpticalFlow(flowCfg));
+
+  auto top = std::make_unique<Function>("vision_top");
+  {
+    Builder b(*top);
+    b.atLine(800);
+    const ir::PortId actIn = b.inPort("activations", bnnCfg.wordBits);
+    const ir::PortId triIn = b.inPort("triangle", 48);
+    const ir::PortId frameIn = b.inPort("frame_px", 16);
+    const ir::PortId out = b.outPort("vision_out", 32);
+
+    const OpId act = b.readPort(actIn);
+    const OpId tri = b.readPort(triIn);
+    const OpId frame = b.readPort(frameIn);
+    b.atLine(801);
+    const OpId bits = b.call("bnn", {act}, 8);
+    b.atLine(802);
+    const OpId frags = b.call("rendering", {tri}, 16);
+    b.atLine(803);
+    const OpId flow = b.call("optical_flow", {frame}, 32);
+    b.atLine(804);
+    const OpId mixed =
+        b.add(flow, b.zext(b.add(b.zext(bits, 16), frags), 32));
+    b.writePort(out, mixed);
+    b.ret();
+  }
+  d.module->addFunction(std::move(top));
+  d.module->setTop("vision_top");
+  ir::verifyOrThrow(*d.module);
+  addBnnDirectives(d, bnnCfg);
+  addRenderingDirectives(d, renderCfg);
+  addFlowDirectives(d, flowCfg);
+  return d;
+}
+
+}  // namespace hcp::apps

@@ -1,0 +1,46 @@
+// The remaining three Rosetta applications, evaluated by the paper "in an
+// integrated function": BNN (binarized neural network, xnor + popcount
+// layers), 3D Rendering (triangle rasterization with edge functions) and
+// Optical Flow (windowed gradient / tensor computation with floating-point
+// arithmetic).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_design.hpp"
+
+namespace hcp::apps {
+
+struct BnnConfig {
+  std::uint32_t neurons = 128;     ///< output-layer loop trip count
+  std::uint32_t wordsPerNeuron = 8;///< weight words per neuron (fully unrolled)
+  std::uint32_t wordBits = 32;
+  std::uint32_t unroll = 16;       ///< neuron-loop unroll
+  bool withDirectives = true;
+};
+
+struct RenderingConfig {
+  std::uint64_t triangles = 512;
+  std::uint32_t tileSize = 4;      ///< fully-unrolled tileSize^2 pixel tests
+  std::uint32_t unroll = 1;        ///< pipelined; DSP-bound, so no unroll
+  bool withDirectives = true;
+};
+
+struct OpticalFlowConfig {
+  std::uint64_t pixels = 1024;
+  std::uint32_t windowTaps = 5;    ///< gradient taps per direction
+  std::uint32_t unroll = 2;        ///< FP tensor math is DSP-hungry
+  bool withDirectives = true;
+};
+
+AppDesign bnn(const BnnConfig& config = {});
+AppDesign rendering3d(const RenderingConfig& config = {});
+AppDesign opticalFlow(const OpticalFlowConfig& config = {});
+
+/// The paper's combined design: BNN + 3D Rendering + Optical Flow under one
+/// top function.
+AppDesign visionCombined(const BnnConfig& bnnCfg = {},
+                         const RenderingConfig& renderCfg = {},
+                         const OpticalFlowConfig& flowCfg = {});
+
+}  // namespace hcp::apps

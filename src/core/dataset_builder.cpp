@@ -1,0 +1,48 @@
+#include "core/dataset_builder.hpp"
+
+namespace hcp::core {
+
+LabeledDataset buildDataset(const FlowResult& flow,
+                            const DatasetOptions& options) {
+  const FlowResult* one = &flow;
+  return buildDataset(std::span<const FlowResult>(one, 1), options);
+}
+
+void enrichDataset(LabeledDataset& base, const LabeledDataset& extra) {
+  base.vertical.merge(extra.vertical);
+  base.horizontal.merge(extra.horizontal);
+  base.average.merge(extra.average);
+  base.samples.insert(base.samples.end(), extra.samples.begin(),
+                      extra.samples.end());
+  base.filterStats.total += extra.filterStats.total;
+  base.filterStats.marginal += extra.filterStats.marginal;
+}
+
+LabeledDataset buildDataset(std::span<const FlowResult> flows,
+                            const DatasetOptions& options) {
+  LabeledDataset out;
+  for (const FlowResult& flow : flows) {
+    features::FeatureExtractor extractor(flow.design, options.caps);
+
+    std::vector<trace::Sample> samples = flow.traced.samples;
+    if (options.applyMarginalFilter) {
+      const auto stats = trace::filterMarginal(samples, options.filter);
+      out.filterStats.total += stats.total;
+      out.filterStats.marginal += stats.marginal;
+    } else {
+      out.filterStats.total += samples.size();
+    }
+
+    for (const trace::Sample& s : samples) {
+      if (s.marginal) continue;
+      auto x = extractor.extract(s.functionIndex, s.op);
+      out.vertical.add(x, s.vCongestion);
+      out.horizontal.add(x, s.hCongestion);
+      out.average.add(std::move(x), s.avgCongestion);
+      out.samples.push_back(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace hcp::core

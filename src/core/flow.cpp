@@ -1,0 +1,37 @@
+#include "core/flow.hpp"
+
+namespace hcp::core {
+
+FlowResult runFlow(apps::AppDesign&& app, const fpga::Device& device,
+                   const FlowConfig& config) {
+  FlowResult result;
+  result.name = app.name;
+
+  hls::SynthesisOptions synth = config.synthesis;
+  result.design =
+      hls::synthesize(std::move(app.module), app.directives, synth);
+
+  result.rtl = rtl::generateRtl(result.design);
+  const auto netlistIssues = result.rtl.netlist.validate();
+  HCP_CHECK_MSG(netlistIssues.empty(),
+                app.name << ": " << netlistIssues.front());
+
+  fpga::ParConfig par = config.par;
+  par.placer.seed = config.seed;
+  par.timing.targetClockNs = synth.schedule.clockPeriodNs;
+  par.timing.clockUncertaintyNs = synth.schedule.clockUncertaintyNs;
+  result.impl = fpga::implement(result.rtl.netlist, device, par);
+
+  result.traced =
+      trace::backTrace(result.rtl, result.impl, device, *result.design.module);
+
+  result.wnsNs = result.impl.timing.wnsNs;
+  result.maxFrequencyMhz = result.impl.timing.maxFrequencyMhz;
+  result.latencyCycles = result.design.top().report.latency;
+  result.maxVCongestion = result.impl.routing.map.maxVUtil();
+  result.maxHCongestion = result.impl.routing.map.maxHUtil();
+  result.congestedTiles = result.impl.routing.map.tilesOver(100.0);
+  return result;
+}
+
+}  // namespace hcp::core

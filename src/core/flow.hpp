@@ -1,0 +1,45 @@
+// The complete C-to-FPGA flow (paper Fig 2, training-phase left column):
+// IR module + directives -> HLS synthesis -> RTL netlist -> pack/place/route
+// -> congestion map -> back-traced per-op samples. One call, deterministic
+// under its seed.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_design.hpp"
+#include "fpga/par.hpp"
+#include "hls/design.hpp"
+#include "rtl/generator.hpp"
+#include "trace/backtrace.hpp"
+
+namespace hcp::core {
+
+struct FlowConfig {
+  hls::SynthesisOptions synthesis;
+  fpga::ParConfig par;
+  /// Master seed; placer/router derive their streams from it.
+  std::uint64_t seed = 42;
+};
+
+struct FlowResult {
+  std::string name;
+  hls::SynthesizedDesign design;
+  rtl::GeneratedRtl rtl;
+  fpga::Implementation impl;
+  trace::BackTraceResult traced;
+
+  // Headline numbers (Table I / III / VI rows).
+  double wnsNs = 0.0;
+  double maxFrequencyMhz = 0.0;
+  std::uint64_t latencyCycles = 0;
+  double maxVCongestion = 0.0;
+  double maxHCongestion = 0.0;
+  std::size_t congestedTiles = 0;  ///< tiles over 100%
+};
+
+/// Runs the full flow for one application design on `device`.
+/// Consumes the AppDesign (its module moves into the result).
+FlowResult runFlow(apps::AppDesign&& app, const fpga::Device& device,
+                   const FlowConfig& config = {});
+
+}  // namespace hcp::core

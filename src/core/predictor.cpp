@@ -1,0 +1,139 @@
+#include "core/predictor.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "ml/serialize.hpp"
+
+namespace hcp::core {
+
+std::string_view modelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::Linear: return "Linear";
+    case ModelKind::Ann: return "ANN";
+    case ModelKind::Gbrt: return "GBRT";
+  }
+  return "?";
+}
+
+CongestionPredictor::CongestionPredictor(PredictorOptions options)
+    : options_(std::move(options)) {}
+
+std::unique_ptr<ml::Regressor> CongestionPredictor::makeModel() const {
+  switch (options_.kind) {
+    case ModelKind::Linear:
+      return std::make_unique<ml::LassoRegression>(options_.lasso);
+    case ModelKind::Ann:
+      return std::make_unique<ml::MlpRegressor>(options_.mlp);
+    case ModelKind::Gbrt:
+      return std::make_unique<ml::Gbrt>(options_.gbrt);
+  }
+  HCP_CHECK(false);
+  return nullptr;
+}
+
+void CongestionPredictor::train(const LabeledDataset& data) {
+  HCP_CHECK_MSG(data.vertical.size() > 0, "empty training dataset");
+  vertical_ = makeModel();
+  horizontal_ = makeModel();
+  average_ = makeModel();
+  vertical_->fit(data.vertical);
+  horizontal_->fit(data.horizontal);
+  average_->fit(data.average);
+  trained_ = true;
+}
+
+OpPrediction CongestionPredictor::predictOp(
+    const features::FeatureExtractor& extractor, std::uint32_t functionIndex,
+    ir::OpId op) const {
+  HCP_CHECK_MSG(trained_, "predictor not trained");
+  const auto x = extractor.extract(functionIndex, op);
+  OpPrediction p;
+  p.vertical = vertical_->predict(x);
+  p.horizontal = horizontal_->predict(x);
+  p.average = average_->predict(x);
+  return p;
+}
+
+std::vector<Hotspot> CongestionPredictor::findHotspots(
+    const hls::SynthesizedDesign& design, const features::DeviceCaps& caps,
+    std::size_t topK) const {
+  HCP_CHECK_MSG(trained_, "predictor not trained");
+  features::FeatureExtractor extractor(design, caps);
+
+  struct Acc {
+    double sum = 0.0, max = 0.0;
+    std::size_t count = 0;
+  };
+  std::map<std::pair<std::uint32_t, std::int32_t>, Acc> regions;
+
+  for (std::uint32_t f = 0; f < design.module->numFunctions(); ++f) {
+    const ir::Function& fn = design.module->function(f);
+    for (ir::OpId op = 0; op < fn.numOps(); ++op) {
+      if (!ir::isFunctionalUnit(fn.op(op).opcode)) continue;
+      const OpPrediction p = predictOp(extractor, f, op);
+      Acc& a = regions[{f, fn.op(op).sourceLine}];
+      a.sum += p.average;
+      a.max = std::max(a.max, p.average);
+      ++a.count;
+    }
+  }
+
+  std::vector<Hotspot> hotspots;
+  for (const auto& [key, a] : regions) {
+    Hotspot h;
+    h.functionIndex = key.first;
+    h.functionName = design.module->function(key.first).name();
+    h.sourceLine = key.second;
+    h.numOps = a.count;
+    h.meanPredicted = a.sum / static_cast<double>(a.count);
+    h.maxPredicted = a.max;
+    hotspots.push_back(std::move(h));
+  }
+  std::sort(hotspots.begin(), hotspots.end(),
+            [](const Hotspot& a, const Hotspot& b) {
+              return a.meanPredicted > b.meanPredicted;
+            });
+  if (hotspots.size() > topK) hotspots.resize(topK);
+  return hotspots;
+}
+
+std::vector<double> CongestionPredictor::featureImportance() const {
+  if (!trained_ || options_.kind != ModelKind::Gbrt) return {};
+  return static_cast<const ml::Gbrt&>(*vertical_).featureImportance();
+}
+
+void CongestionPredictor::save(const std::string& path) const {
+  HCP_CHECK_MSG(trained_, "cannot save an untrained predictor");
+  std::ofstream os(path);
+  HCP_CHECK_MSG(os.good(), "cannot open " << path);
+  os << "hcp-predictor 1 " << modelKindName(options_.kind) << "\n";
+  ml::saveModel(*vertical_, os);
+  ml::saveModel(*horizontal_, os);
+  ml::saveModel(*average_, os);
+  HCP_CHECK_MSG(os.good(), "predictor write failed");
+}
+
+CongestionPredictor CongestionPredictor::load(const std::string& path) {
+  std::ifstream is(path);
+  HCP_CHECK_MSG(is.good(), "cannot open " << path);
+  std::string magic, kind;
+  int version = 0;
+  HCP_CHECK_MSG(static_cast<bool>(is >> magic >> version >> kind) &&
+                    magic == "hcp-predictor" && version == 1,
+                "not a predictor file: " << path);
+  PredictorOptions options;
+  if (kind == "Linear") options.kind = ModelKind::Linear;
+  else if (kind == "ANN") options.kind = ModelKind::Ann;
+  else if (kind == "GBRT") options.kind = ModelKind::Gbrt;
+  else HCP_CHECK_MSG(false, "unknown predictor kind " << kind);
+  CongestionPredictor predictor(options);
+  predictor.vertical_ = ml::loadModel(is);
+  predictor.horizontal_ = ml::loadModel(is);
+  predictor.average_ = ml::loadModel(is);
+  predictor.trained_ = true;
+  return predictor;
+}
+
+}  // namespace hcp::core

@@ -1,0 +1,132 @@
+#include "core/resolver.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace hcp::core {
+
+std::string_view resolutionKindName(ResolutionKind kind) {
+  switch (kind) {
+    case ResolutionKind::RemoveInline: return "remove-inline";
+    case ResolutionKind::ReplicateInputs: return "replicate-inputs";
+    case ResolutionKind::PartitionArray: return "partition-array";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Extracts the inlined-callee tag from an op name ("cascade_classifier_i42.
+/// mul3" -> "cascade_classifier"). Empty if the op was not inlined.
+std::string inlineOrigin(const std::string& name) {
+  const auto pos = name.find("_i");
+  if (pos == std::string::npos || pos == 0) return "";
+  // Require digits after "_i" followed by '.' or end.
+  std::size_t p = pos + 2;
+  if (p >= name.size() || !std::isdigit(static_cast<unsigned char>(name[p])))
+    return "";
+  while (p < name.size() && std::isdigit(static_cast<unsigned char>(name[p])))
+    ++p;
+  if (p != name.size() && name[p] != '.') return "";
+  return name.substr(0, pos);
+}
+
+}  // namespace
+
+std::vector<ResolutionHint> adviseResolution(
+    const hls::SynthesizedDesign& design,
+    const std::vector<Hotspot>& hotspots, const ResolverConfig& config) {
+  std::vector<ResolutionHint> hints;
+  std::set<std::pair<ResolutionKind, std::string>> seen;
+
+  auto emit = [&](ResolutionHint hint) {
+    if (seen.insert({hint.kind, hint.target}).second)
+      hints.push_back(std::move(hint));
+  };
+
+  for (const Hotspot& spot : hotspots) {
+    const ir::Function& fn = design.module->function(spot.functionIndex);
+    const auto& syn = design.functions[spot.functionIndex];
+
+    for (ir::OpId op = 0; op < fn.numOps(); ++op) {
+      const ir::Op& o = fn.op(op);
+      if (o.sourceLine != spot.sourceLine) continue;
+
+      // 1) Hotspot dominated by inlined ops -> stop inlining that callee.
+      const std::string origin = inlineOrigin(o.name);
+      if (!origin.empty() &&
+          design.module->findFunction(origin) != ir::kInvalidIndex) {
+        ResolutionHint h;
+        h.kind = ResolutionKind::RemoveInline;
+        h.target = origin;
+        h.functionName = spot.functionName;
+        h.sourceLine = spot.sourceLine;
+        h.severity = spot.meanPredicted;
+        std::ostringstream os;
+        os << "ops inlined from '" << origin << "' crowd " << spot.functionName
+           << ":" << spot.sourceLine
+           << "; removing the inline directive keeps them in a separate "
+              "module with registered interfaces";
+        h.message = os.str();
+        emit(std::move(h));
+      }
+
+      // 2) Widely shared load results -> replicate the input data.
+      if (o.opcode == ir::Opcode::Load) {
+        const auto node = syn.graph.nodeOf(op);
+        const double fanOut = syn.graph.fanOut(node);
+        if (fanOut >= config.sharedFanoutThreshold) {
+          ResolutionHint h;
+          h.kind = ResolutionKind::ReplicateInputs;
+          h.target = fn.array(o.array).name;
+          h.functionName = spot.functionName;
+          h.sourceLine = spot.sourceLine;
+          h.severity = spot.meanPredicted;
+          std::ostringstream os;
+          os << "load from '" << fn.array(o.array).name << "' fans out "
+             << fanOut << " wires to shared consumers; replicate the values "
+             << "and send copies to different consumers";
+          h.message = os.str();
+          emit(std::move(h));
+        }
+      }
+    }
+
+    // 3) Memory-port pressure on under-partitioned arrays.
+    std::map<ir::ArrayId, std::size_t> accesses;
+    for (ir::OpId op = 0; op < fn.numOps(); ++op) {
+      const ir::Op& o = fn.op(op);
+      if (o.opcode == ir::Opcode::Load || o.opcode == ir::Opcode::Store)
+        ++accesses[o.array];
+    }
+    for (const auto& [arr, count] : accesses) {
+      const ir::ArrayInfo& info = fn.array(arr);
+      const double perPort =
+          static_cast<double>(count) / (2.0 * std::max(1u, info.banks));
+      if (perPort >= config.portPressureThreshold) {
+        ResolutionHint h;
+        h.kind = ResolutionKind::PartitionArray;
+        h.target = info.name;
+        h.functionName = spot.functionName;
+        h.sourceLine = info.sourceLine;
+        h.severity = spot.meanPredicted;
+        std::ostringstream os;
+        os << "array '" << info.name << "' serves " << count
+           << " accesses over " << info.banks
+           << " bank(s); partitioning it raises memory bandwidth";
+        h.message = os.str();
+        emit(std::move(h));
+      }
+    }
+  }
+
+  std::sort(hints.begin(), hints.end(),
+            [](const ResolutionHint& a, const ResolutionHint& b) {
+              return a.severity > b.severity;
+            });
+  return hints;
+}
+
+}  // namespace hcp::core

@@ -1,0 +1,45 @@
+// Congestion-resolution advisor (paper §III-D, §IV-C): given predicted
+// hotspots, inspects the IR around them and proposes source-level fixes —
+// the two the case study applies (remove function inlining; replicate
+// shared input data) plus array partitioning for memory-port serialization.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/predictor.hpp"
+
+namespace hcp::core {
+
+enum class ResolutionKind {
+  RemoveInline,     ///< stop inlining a function whose body dominates a hotspot
+  ReplicateInputs,  ///< copy a widely-shared array/value per consumer group
+  PartitionArray,   ///< split an array whose ports serialize accesses
+};
+
+std::string_view resolutionKindName(ResolutionKind kind);
+
+struct ResolutionHint {
+  ResolutionKind kind = ResolutionKind::RemoveInline;
+  std::string target;        ///< function or array name
+  std::string functionName;  ///< where the hotspot lives
+  std::int32_t sourceLine = 0;
+  double severity = 0.0;     ///< predicted congestion driving the hint
+  std::string message;
+};
+
+struct ResolverConfig {
+  /// Load results fanning out to at least this many wires trigger a
+  /// ReplicateInputs hint.
+  double sharedFanoutThreshold = 128.0;
+  /// Arrays with at least this many accesses per bank port trigger a
+  /// PartitionArray hint.
+  double portPressureThreshold = 8.0;
+};
+
+/// Analyzes the design around the hotspots and emits ranked hints.
+std::vector<ResolutionHint> adviseResolution(
+    const hls::SynthesizedDesign& design, const std::vector<Hotspot>& hotspots,
+    const ResolverConfig& config = {});
+
+}  // namespace hcp::core

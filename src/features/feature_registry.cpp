@@ -1,0 +1,153 @@
+#include "features/feature_registry.hpp"
+
+#include <algorithm>
+
+#include "ir/opcode.hpp"
+#include "support/error.hpp"
+
+namespace hcp::features {
+
+std::string_view categoryName(Category c) {
+  switch (c) {
+    case Category::Bitwidth: return "Bitwidth";
+    case Category::Interconnection: return "Interconnection";
+    case Category::Resource: return "Resource";
+    case Category::Timing: return "Timing";
+    case Category::ResourcePerDt: return "#Resource/dTcs";
+    case Category::OperatorType: return "Operator Type";
+    case Category::GlobalInfo: return "Global Information";
+  }
+  return "?";
+}
+
+namespace {
+constexpr std::array<const char*, 4> kResTypes = {"lut", "ff", "dsp", "bram"};
+}
+
+const FeatureRegistry& FeatureRegistry::instance() {
+  static const FeatureRegistry registry;
+  return registry;
+}
+
+FeatureRegistry::FeatureRegistry() {
+  auto add = [&](std::string name, Category c) {
+    features_.push_back(FeatureInfo{std::move(name), c});
+  };
+
+  // --- bitwidth (1) --------------------------------------------------------
+  add("bitwidth", Category::Bitwidth);
+
+  // --- interconnection (9 x {1hop, 2hop} = 18) -----------------------------
+  for (const char* scope : {"1hop", "2hop"}) {
+    const std::string s = std::string(".") + scope;
+    add("fan_in" + s, Category::Interconnection);
+    add("fan_out" + s, Category::Interconnection);
+    add("fan_sum" + s, Category::Interconnection);
+    add("num_preds" + s, Category::Interconnection);
+    add("num_succs" + s, Category::Interconnection);
+    add("num_neighbors" + s, Category::Interconnection);
+    add("max_wires" + s, Category::Interconnection);
+    add("max_wires_pct_fan_in" + s, Category::Interconnection);
+    add("max_wires_pct_fan_out" + s, Category::Interconnection);
+  }
+
+  // --- resource (4 types x (14 + 11) = 100) --------------------------------
+  for (const char* t : kResTypes) {
+    const std::string p = std::string("res.") + t + ".";
+    // Self (3).
+    add(p + "usage", Category::Resource);
+    add(p + "util_device", Category::Resource);
+    add(p + "util_function", Category::Resource);
+    // One-hop neighbour totals (9).
+    for (const char* m : {"usage", "util_device", "util_function"}) {
+      add(p + std::string(m) + ".preds.1hop", Category::Resource);
+      add(p + std::string(m) + ".succs.1hop", Category::Resource);
+      add(p + std::string(m) + ".sum.1hop", Category::Resource);
+    }
+    // One-hop max + share (2).
+    add(p + "max_neighbor.1hop", Category::Resource);
+    add(p + "max_neighbor_pct.1hop", Category::Resource);
+    // Two-hop totals (9) + max/share (2).
+    for (const char* m : {"usage", "util_device", "util_function"}) {
+      add(p + std::string(m) + ".preds.2hop", Category::Resource);
+      add(p + std::string(m) + ".succs.2hop", Category::Resource);
+      add(p + std::string(m) + ".sum.2hop", Category::Resource);
+    }
+    add(p + "max_neighbor.2hop", Category::Resource);
+    add(p + "max_neighbor_pct.2hop", Category::Resource);
+  }
+
+  // --- timing (2) ----------------------------------------------------------
+  add("delay_ns", Category::Timing);
+  add("latency_cycles", Category::Timing);
+
+  // --- #Resource/dTcs (4 types x (6 + 6) = 48) -----------------------------
+  for (const char* t : kResTypes) {
+    const std::string p = std::string("res_dt.") + t + ".";
+    for (const char* scope : {"1hop", "2hop"}) {
+      const std::string s = std::string(".") + scope;
+      add(p + "usage.preds" + s, Category::ResourcePerDt);
+      add(p + "usage.succs" + s, Category::ResourcePerDt);
+      add(p + "util_device.preds" + s, Category::ResourcePerDt);
+      add(p + "util_device.succs" + s, Category::ResourcePerDt);
+      add(p + "util_function.preds" + s, Category::ResourcePerDt);
+      add(p + "util_function.succs" + s, Category::ResourcePerDt);
+    }
+  }
+
+  // --- operator type (53 one-hot + 53 neighbour counts + 1 = 107) ----------
+  for (std::size_t i = 0; i < ir::kNumOpcodes; ++i)
+    add("op.is." + std::string(ir::opcodeName(ir::opcodeFromIndex(i))),
+        Category::OperatorType);
+  for (std::size_t i = 0; i < ir::kNumOpcodes; ++i)
+    add("op.nbr_count." +
+            std::string(ir::opcodeName(ir::opcodeFromIndex(i))),
+        Category::OperatorType);
+  add("op.nbr_distinct_kinds", Category::OperatorType);
+
+  // --- global information (26) ---------------------------------------------
+  for (const char* t : kResTypes)
+    add(std::string("global.ftop.") + t, Category::GlobalInfo);
+  for (const char* t : kResTypes)
+    add(std::string("global.fop.") + t, Category::GlobalInfo);
+  for (const char* t : kResTypes)
+    add(std::string("global.fop_pct_ftop.") + t, Category::GlobalInfo);
+  for (const char* fn : {"ftop", "fop"}) {
+    add(std::string("global.") + fn + ".target_clock_ns",
+        Category::GlobalInfo);
+    add(std::string("global.") + fn + ".estimated_clock_ns",
+        Category::GlobalInfo);
+    add(std::string("global.") + fn + ".clock_uncertainty_ns",
+        Category::GlobalInfo);
+  }
+  add("global.mem.words", Category::GlobalInfo);
+  add("global.mem.banks", Category::GlobalInfo);
+  add("global.mem.bits", Category::GlobalInfo);
+  add("global.mem.primitives", Category::GlobalInfo);
+  add("global.mux.count", Category::GlobalInfo);
+  add("global.mux.lut", Category::GlobalInfo);
+  add("global.mux.total_inputs", Category::GlobalInfo);
+  add("global.mux.avg_width", Category::GlobalInfo);
+
+  HCP_CHECK_MSG(features_.size() == kNumFeatures,
+                "feature registry has " << features_.size()
+                                        << " features, expected "
+                                        << kNumFeatures);
+}
+
+std::array<std::size_t, kNumCategories> FeatureRegistry::categoryCounts()
+    const {
+  std::array<std::size_t, kNumCategories> counts{};
+  for (const FeatureInfo& f : features_)
+    ++counts[static_cast<std::size_t>(f.category)];
+  return counts;
+}
+
+std::size_t FeatureRegistry::indexOf(const std::string& name) const {
+  auto it = std::find_if(features_.begin(), features_.end(),
+                         [&](const FeatureInfo& f) { return f.name == name; });
+  HCP_CHECK_MSG(it != features_.end(), "no feature named " << name);
+  return static_cast<std::size_t>(it - features_.begin());
+}
+
+}  // namespace hcp::features

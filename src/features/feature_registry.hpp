@@ -1,0 +1,64 @@
+// Registry of the paper's 302 features in 7 categories (Table II).
+//
+// The decomposition (asserted to total exactly 302 in tests):
+//   bitwidth                              1
+//   interconnection          9 x 2 scopes = 18
+//   resource      (4 types) x (14 + 11)  = 100
+//   timing                                2
+//   #Resource/dTcs (4 types) x (6 + 6)   = 48
+//   operator type        53 + 53 + 1     = 107
+//   global information                    26
+//
+// The registry fixes the order of the feature vector; the extractor fills
+// values in exactly this order, and the importance analysis (Table V) maps
+// GBRT split counts back onto categories through it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hcp::features {
+
+enum class Category : std::uint8_t {
+  Bitwidth,
+  Interconnection,
+  Resource,
+  Timing,
+  ResourcePerDt,  ///< the paper's #Resource / dTcs
+  OperatorType,
+  GlobalInfo,
+};
+
+inline constexpr std::size_t kNumCategories = 7;
+inline constexpr std::size_t kNumFeatures = 302;
+
+std::string_view categoryName(Category c);
+
+struct FeatureInfo {
+  std::string name;
+  Category category = Category::Bitwidth;
+};
+
+/// Immutable singleton-style registry.
+class FeatureRegistry {
+ public:
+  static const FeatureRegistry& instance();
+
+  std::size_t size() const { return features_.size(); }
+  const FeatureInfo& info(std::size_t idx) const { return features_[idx]; }
+  const std::vector<FeatureInfo>& all() const { return features_; }
+
+  /// Number of features in each category.
+  std::array<std::size_t, kNumCategories> categoryCounts() const;
+
+  /// Index of a feature by exact name; throws if absent.
+  std::size_t indexOf(const std::string& name) const;
+
+ private:
+  FeatureRegistry();
+  std::vector<FeatureInfo> features_;
+};
+
+}  // namespace hcp::features

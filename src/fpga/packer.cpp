@@ -1,0 +1,218 @@
+#include "fpga/packer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace hcp::fpga {
+
+using rtl::Cell;
+using rtl::CellId;
+using rtl::CellType;
+using rtl::Netlist;
+
+namespace {
+
+TileType siteOf(const Cell& cell) {
+  if (cell.type == CellType::Pad) return TileType::Io;
+  if (cell.res.dsp > 0.0) return TileType::Dsp;
+  if (cell.res.bram > 0.0) return TileType::Bram;
+  return TileType::Clb;
+}
+
+/// Number of tile-parts a cell needs on its site class.
+std::uint32_t partsNeeded(const Cell& cell, const Device& dev) {
+  switch (siteOf(cell)) {
+    case TileType::Io:
+      return 1;
+    case TileType::Dsp: {
+      const auto& cfg = dev.tilesOfType(TileType::Dsp);
+      HCP_CHECK_MSG(!cfg.empty(), "device has no DSP tiles");
+      const double perTile =
+          dev.tileCapacity(cfg.front().first, cfg.front().second).dsp;
+      return static_cast<std::uint32_t>(
+          std::max(1.0, std::ceil(cell.res.dsp / perTile)));
+    }
+    case TileType::Bram: {
+      const auto& cfg = dev.tilesOfType(TileType::Bram);
+      HCP_CHECK_MSG(!cfg.empty(), "device has no BRAM tiles");
+      const double perTile =
+          dev.tileCapacity(cfg.front().first, cfg.front().second).bram;
+      return static_cast<std::uint32_t>(
+          std::max(1.0, std::ceil(cell.res.bram / perTile)));
+    }
+    case TileType::Clb: {
+      const auto& cfg = dev.tilesOfType(TileType::Clb);
+      HCP_CHECK_MSG(!cfg.empty(), "device has no CLB tiles");
+      const auto cap =
+          dev.tileCapacity(cfg.front().first, cfg.front().second);
+      const double tiles = std::max(cell.res.lut / cap.lut,
+                                    cell.res.ff / cap.ff);
+      return static_cast<std::uint32_t>(std::max(1.0, std::ceil(tiles)));
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+
+Packing pack(const Netlist& netlist, const Device& device) {
+  Packing out;
+  out.clustersOfCell.resize(netlist.numCells());
+
+  const auto& clbTiles = device.tilesOfType(TileType::Clb);
+  HCP_CHECK(!clbTiles.empty());
+  const TileCapacity clbCap =
+      device.tileCapacity(clbTiles.front().first, clbTiles.front().second);
+
+  // Cell adjacency (shared nets) for connectivity-driven CLB clustering,
+  // plus per-cell pin demand (total bits entering/leaving the cell) for the
+  // CLB pin-capacity constraint.
+  std::vector<std::map<CellId, double>> adj(netlist.numCells());
+  std::vector<double> pinBits(netlist.numCells(), 0.0);
+  for (const rtl::Net& net : netlist.nets()) {
+    // Charge connectivity driver<->sink; sink<->sink pairs matter less and
+    // would blow up on high-fanout nets.
+    pinBits[net.driver] += net.width;
+    for (CellId s : net.sinks) {
+      adj[net.driver][s] += net.width;
+      adj[s][net.driver] += net.width;
+      pinBits[s] += net.width;
+    }
+  }
+  // A 7-series CLB has on the order of 40 inputs + 16 outputs; clustering
+  // beyond that cannot be wired no matter how little logic the cells hold.
+  constexpr double kClbPinCap = 112.0;
+
+  auto newCluster = [&](const Cell& cell, CellId id, std::uint32_t part) {
+    Cluster c;
+    c.site = siteOf(cell);
+    c.cells = {id};
+    c.part = part;
+    const std::uint32_t parts = partsNeeded(cell, device);
+    c.lut = cell.res.lut / parts;
+    c.ff = cell.res.ff / parts;
+    c.dsp = cell.res.dsp / parts;
+    c.bram = cell.res.bram / parts;
+    out.clusters.push_back(std::move(c));
+    const auto cid = static_cast<ClusterId>(out.clusters.size() - 1);
+    out.clustersOfCell[id].push_back(cid);
+    return cid;
+  };
+
+  // Non-CLB cells: one (or several, if split) cluster each.
+  std::vector<CellId> clbCells;
+  for (CellId id = 0; id < netlist.numCells(); ++id) {
+    const Cell& cell = netlist.cell(id);
+    if (siteOf(cell) == TileType::Clb) {
+      clbCells.push_back(id);
+      continue;
+    }
+    const std::uint32_t parts = partsNeeded(cell, device);
+    for (std::uint32_t p = 0; p < parts; ++p) newCluster(cell, id, p);
+  }
+
+  // CLB clustering: big cells split first, then greedy absorption.
+  std::vector<bool> packed(netlist.numCells(), false);
+  // Process in descending area so large seeds form cluster cores.
+  std::sort(clbCells.begin(), clbCells.end(), [&](CellId a, CellId b) {
+    const auto& ra = netlist.cell(a).res;
+    const auto& rb = netlist.cell(b).res;
+    const double aa = ra.lut + ra.ff, bb = rb.lut + rb.ff;
+    return aa > bb || (aa == bb && a < b);
+  });
+
+  for (CellId seed : clbCells) {
+    if (packed[seed]) continue;
+    const Cell& seedCell = netlist.cell(seed);
+    const std::uint32_t parts = partsNeeded(seedCell, device);
+    if (parts > 1) {
+      // Oversized cell: dedicated part-clusters, nothing else absorbed.
+      for (std::uint32_t p = 0; p < parts; ++p) newCluster(seedCell, seed, p);
+      packed[seed] = true;
+      continue;
+    }
+    const ClusterId cid = newCluster(seedCell, seed, 0);
+    packed[seed] = true;
+    Cluster& cluster = out.clusters[cid];
+    double clusterPins = pinBits[seed];
+
+    // Absorb most-connected unpacked CLB neighbours while logic capacity
+    // and pin capacity allow. Absorbing a neighbour internalizes (roughly)
+    // twice the connection weight between it and the cluster.
+    std::map<CellId, double> gain;
+    for (const auto& [nbr, w] : adj[seed]) gain[nbr] += w;
+    while (true) {
+      CellId best = rtl::kInvalidCell;
+      double bestGain = 0.0;
+      for (const auto& [cand, g] : gain) {
+        if (packed[cand]) continue;
+        const Cell& cc = netlist.cell(cand);
+        if (siteOf(cc) != TileType::Clb) continue;
+        if (cluster.lut + cc.res.lut > clbCap.lut ||
+            cluster.ff + cc.res.ff > clbCap.ff)
+          continue;
+        if (clusterPins + pinBits[cand] - 2.0 * g > kClbPinCap) continue;
+        if (g > bestGain || (g == bestGain && cand < best)) {
+          best = cand;
+          bestGain = g;
+        }
+      }
+      if (best == rtl::kInvalidCell) break;
+      const Cell& cc = netlist.cell(best);
+      cluster.cells.push_back(best);
+      cluster.lut += cc.res.lut;
+      cluster.ff += cc.res.ff;
+      clusterPins += pinBits[best] - 2.0 * bestGain;
+      out.clustersOfCell[best].push_back(cid);
+      packed[best] = true;
+      for (const auto& [nbr, w] : adj[best]) gain[nbr] += w;
+    }
+  }
+
+  // Capacity check per site class.
+  std::array<std::size_t, 4> demand{0, 0, 0, 0};
+  for (const Cluster& c : out.clusters)
+    ++demand[static_cast<std::size_t>(c.site)];
+  for (std::size_t t = 0; t < 4; ++t) {
+    const auto have =
+        device.tilesOfType(static_cast<TileType>(t)).size();
+    HCP_CHECK_MSG(demand[t] <= have,
+                  "design needs " << demand[t] << " tiles of class " << t
+                                  << " but device has " << have);
+  }
+
+  // Project nets onto clusters. For split cells, connect to part 0.
+  for (rtl::NetId n = 0; n < netlist.numNets(); ++n) {
+    const rtl::Net& net = netlist.net(n);
+    const ClusterId driver = out.clustersOfCell[net.driver].front();
+    std::set<ClusterId> sinks;
+    for (CellId s : net.sinks) {
+      const ClusterId sc = out.clustersOfCell[s].front();
+      if (sc != driver) sinks.insert(sc);
+    }
+    if (sinks.empty()) continue;  // fully absorbed
+    ClusterNet cn;
+    cn.source = n;
+    cn.width = net.width;
+    cn.driver = driver;
+    cn.sinks.assign(sinks.begin(), sinks.end());
+    out.nets.push_back(std::move(cn));
+  }
+  // Chain split-cell parts so placement keeps them together.
+  for (CellId id = 0; id < netlist.numCells(); ++id) {
+    const auto& parts = out.clustersOfCell[id];
+    for (std::size_t p = 1; p < parts.size(); ++p) {
+      ClusterNet cn;
+      cn.source = rtl::kInvalidNet;
+      cn.width = std::max<std::uint16_t>(8, netlist.cell(id).width);
+      cn.driver = parts[p - 1];
+      cn.sinks = {parts[p]};
+      out.nets.push_back(std::move(cn));
+    }
+  }
+  return out;
+}
+
+}  // namespace hcp::fpga

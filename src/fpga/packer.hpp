@@ -1,0 +1,51 @@
+// Packing: clusters netlist cells into tile-sized units.
+//
+// CLB-bound cells (LUT/FF logic) are clustered greedily by connectivity —
+// the classic VPR-style approach: seed a cluster with the unpacked cell most
+// connected to already-packed logic, then absorb its most-connected
+// neighbours until the CLB capacity is hit. DSP and BRAM cells get their own
+// tile class; pads go to the I/O ring. Cells wider than one tile are split
+// into multiple chained parts so big operators occupy several adjacent-ish
+// tiles, as on a real device.
+//
+// The output also projects nets onto clusters (intra-cluster connections are
+// absorbed), which is what the placer and router operate on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fpga/device.hpp"
+#include "rtl/netlist.hpp"
+
+namespace hcp::fpga {
+
+using ClusterId = std::uint32_t;
+
+struct Cluster {
+  TileType site = TileType::Clb;
+  std::vector<rtl::CellId> cells;  ///< member cells (part-cells repeat)
+  double lut = 0.0, ff = 0.0, dsp = 0.0, bram = 0.0;
+  /// For split cells: which part of the cell this cluster holds (0-based).
+  std::uint32_t part = 0;
+};
+
+struct ClusterNet {
+  rtl::NetId source = rtl::kInvalidNet;  ///< originating netlist net
+  std::uint16_t width = 1;
+  ClusterId driver = 0;
+  std::vector<ClusterId> sinks;  ///< deduplicated, driver excluded
+};
+
+struct Packing {
+  std::vector<Cluster> clusters;
+  std::vector<ClusterNet> nets;
+  /// Clusters holding each cell (usually one; several for split cells).
+  std::vector<std::vector<ClusterId>> clustersOfCell;
+};
+
+/// Packs `netlist` for `device`. Throws hcp::Error if the design cannot fit
+/// (more clusters of a class than tiles of that class).
+Packing pack(const rtl::Netlist& netlist, const Device& device);
+
+}  // namespace hcp::fpga

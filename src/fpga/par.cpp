@@ -1,0 +1,16 @@
+#include "fpga/par.hpp"
+
+namespace hcp::fpga {
+
+Implementation implement(const rtl::Netlist& netlist, const Device& device,
+                         const ParConfig& config) {
+  Implementation impl;
+  impl.packing = pack(netlist, device);
+  impl.placement = place(impl.packing, device, config.placer);
+  impl.routing = route(impl.packing, impl.placement, device, config.router);
+  impl.timing = analyzeTiming(netlist, impl.packing, impl.placement,
+                              impl.routing, config.timing);
+  return impl;
+}
+
+}  // namespace hcp::fpga

@@ -1,0 +1,38 @@
+// Place-and-route orchestration: pack -> place -> route -> STA. This is the
+// "RTL implementation flow" of the paper's Fig 2/3 — the expensive step the
+// trained model lets designers skip. One call yields everything the
+// back-tracing stage needs: cell locations, the per-tile congestion map and
+// the timing report.
+#pragma once
+
+#include "fpga/packer.hpp"
+#include "fpga/placer.hpp"
+#include "fpga/router.hpp"
+#include "fpga/sta.hpp"
+#include "rtl/netlist.hpp"
+
+namespace hcp::fpga {
+
+struct ParConfig {
+  PlacerConfig placer;
+  RouterConfig router;
+  TimingConfig timing;
+};
+
+struct Implementation {
+  Packing packing;
+  Placement placement;
+  RoutingResult routing;
+  TimingReport timing;
+
+  /// Tile a cell landed on (its first cluster's tile).
+  TileXY tileOfCell(rtl::CellId cell) const {
+    return placement.tileOfCluster[packing.clustersOfCell[cell].front()];
+  }
+};
+
+/// Runs the full physical flow on `netlist` for `device`.
+Implementation implement(const rtl::Netlist& netlist, const Device& device,
+                         const ParConfig& config = {});
+
+}  // namespace hcp::fpga

@@ -1,0 +1,339 @@
+#include "fpga/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hcp::fpga {
+
+namespace {
+
+struct NetBox {
+  std::uint32_t x0 = 0, x1 = 0, y0 = 0, y1 = 0;
+  double weight = 1.0;
+
+  double hpwl() const {
+    return weight * ((x1 - x0) + (y1 - y0));
+  }
+};
+
+class Annealer {
+ public:
+  Annealer(const Packing& packing, const Device& device,
+           const PlacerConfig& config)
+      : packing_(packing), device_(device), config_(config),
+        rng_(config.seed) {}
+
+  Placement run() {
+    seedInitial();
+    buildIndex();
+    buildRegions();
+    double cost = fullCost();
+
+    const std::size_t n = packing_.clusters.size();
+    const auto movesPerT = static_cast<std::uint64_t>(
+        std::max(64.0, config_.effort * static_cast<double>(n)));
+
+    // Initial temperature: std-dev of random-move deltas (classic VPR rule).
+    double t = initialTemperature(cost);
+    const double tStop = std::max(1e-9, t * config_.stopFraction);
+    double range = 1.0;  // window as fraction of device span
+
+    Placement result;
+    while (t > tStop) {
+      std::uint64_t accepted = 0;
+      for (std::uint64_t m = 0; m < movesPerT; ++m) {
+        ++result.movesTried;
+        const double delta = tryMove(range);
+        if (delta == kRejected) continue;
+        if (delta <= 0.0 || rng_.uniformReal() < std::exp(-delta / t)) {
+          commitMove();
+          cost += delta;
+          ++accepted;
+          ++result.movesAccepted;
+        } else {
+          revertMove();
+        }
+      }
+      // Adapt the window toward a 44% acceptance target (VPR heuristic).
+      const double rate =
+          static_cast<double>(accepted) / static_cast<double>(movesPerT);
+      range = std::clamp(range * (rate > 0.44 ? 1.15 : 0.9), 0.02, 1.0);
+      t *= config_.coolingRate;
+    }
+    result.tileOfCluster = tileOf_;
+    result.cost = fullCost();
+    return result;
+  }
+
+ private:
+  static constexpr double kRejected =
+      std::numeric_limits<double>::infinity();
+
+  // --- congestion-driven spreading ---------------------------------------
+  std::uint32_t regionOf(TileXY t) const {
+    const std::uint32_t rs = std::max(1u, config_.regionSize);
+    const std::uint32_t rw = (device_.width() + rs - 1) / rs;
+    return (t.y / rs) * rw + (t.x / rs);
+  }
+
+  void buildRegions() {
+    const std::uint32_t rs = std::max(1u, config_.regionSize);
+    const std::uint32_t rw = (device_.width() + rs - 1) / rs;
+    const std::uint32_t rh = (device_.height() + rs - 1) / rs;
+    regionPins_.assign(static_cast<std::size_t>(rw) * rh, 0.0);
+    regionSupply_.assign(regionPins_.size(), 0.0);
+    for (std::uint32_t y = 0; y < device_.height(); ++y)
+      for (std::uint32_t x = 0; x < device_.width(); ++x)
+        regionSupply_[regionOf({x, y})] +=
+            config_.supplyFraction *
+            (device_.vTracksAt(x, y) + device_.hTracksAt(x, y)) / 2.0;
+    clusterPins_.assign(packing_.clusters.size(), 0.0);
+    for (const ClusterNet& net : packing_.nets) {
+      clusterPins_[net.driver] += net.width;
+      for (ClusterId s : net.sinks) clusterPins_[s] += net.width;
+    }
+    for (ClusterId c = 0; c < packing_.clusters.size(); ++c)
+      regionPins_[regionOf(tileOf_[c])] += clusterPins_[c];
+  }
+
+  double regionPenalty(std::size_t region) const {
+    const double over = regionPins_[region] - regionSupply_[region];
+    if (over <= 0.0) return 0.0;
+    return config_.densityWeight * over * over / regionSupply_[region];
+  }
+
+  /// Penalty delta of moving `pins` from region a to region b.
+  double densityDelta(std::size_t a, std::size_t b, double pins) const {
+    if (a == b || pins == 0.0 || config_.densityWeight <= 0.0) return 0.0;
+    const double before = regionPenalty(a) + regionPenalty(b);
+    const double overA = regionPins_[a] - pins - regionSupply_[a];
+    const double overB = regionPins_[b] + pins - regionSupply_[b];
+    double after = 0.0;
+    if (overA > 0) after += config_.densityWeight * overA * overA /
+                            regionSupply_[a];
+    if (overB > 0) after += config_.densityWeight * overB * overB /
+                            regionSupply_[b];
+    return after - before;
+  }
+
+  void seedInitial() {
+    tileOf_.resize(packing_.clusters.size());
+    occupant_.assign(device_.numTiles(), kNone);
+    // Shuffle tiles per class, assign clusters in order.
+    for (std::size_t t = 0; t < 4; ++t) {
+      auto tiles = device_.tilesOfType(static_cast<TileType>(t));
+      rng_.shuffle(tiles);
+      std::size_t next = 0;
+      for (ClusterId c = 0; c < packing_.clusters.size(); ++c) {
+        if (static_cast<std::size_t>(packing_.clusters[c].site) != t)
+          continue;
+        HCP_CHECK(next < tiles.size());
+        const auto [x, y] = tiles[next++];
+        tileOf_[c] = {x, y};
+        occupant_[device_.index(x, y)] = c;
+      }
+    }
+  }
+
+  void buildIndex() {
+    netsOfCluster_.resize(packing_.clusters.size());
+    boxes_.resize(packing_.nets.size());
+    for (std::size_t n = 0; n < packing_.nets.size(); ++n) {
+      const ClusterNet& net = packing_.nets[n];
+      netsOfCluster_[net.driver].push_back(static_cast<std::uint32_t>(n));
+      for (ClusterId s : net.sinks)
+        netsOfCluster_[s].push_back(static_cast<std::uint32_t>(n));
+      // VPR-style q factor: HPWL underestimates the routed length of
+      // high-fanout nets, so weight them up to keep them compact.
+      const double q =
+          1.0 + 0.35 * std::sqrt(static_cast<double>(net.sinks.size()) - 1.0 +
+                                 1e-9);
+      boxes_[n].weight = net.width * q;
+      recomputeBox(n);
+    }
+  }
+
+  void recomputeBox(std::size_t n) {
+    const ClusterNet& net = packing_.nets[n];
+    NetBox& b = boxes_[n];
+    const TileXY d = tileOf_[net.driver];
+    b.x0 = b.x1 = d.x;
+    b.y0 = b.y1 = d.y;
+    for (ClusterId s : net.sinks) {
+      const TileXY p = tileOf_[s];
+      b.x0 = std::min(b.x0, p.x);
+      b.x1 = std::max(b.x1, p.x);
+      b.y0 = std::min(b.y0, p.y);
+      b.y1 = std::max(b.y1, p.y);
+    }
+  }
+
+  double fullCost() const {
+    double c = 0.0;
+    for (const NetBox& b : boxes_) c += b.hpwl();
+    return c;
+  }
+
+  double initialTemperature(double cost) {
+    // Sample random moves; T0 = 20 * stddev of deltas (accept-most regime).
+    std::vector<double> deltas;
+    for (int i = 0; i < 128; ++i) {
+      const double d = tryMove(1.0);
+      if (d != kRejected) {
+        deltas.push_back(d);
+        revertMove();
+      }
+    }
+    if (deltas.empty()) return std::max(1.0, cost * 0.05);
+    double m = 0.0;
+    for (double d : deltas) m += d;
+    m /= static_cast<double>(deltas.size());
+    double v = 0.0;
+    for (double d : deltas) v += (d - m) * (d - m);
+    v = std::sqrt(v / static_cast<double>(deltas.size()));
+    return std::max(1.0, 20.0 * v);
+  }
+
+  /// Proposes a move; returns the cost delta or kRejected. State is staged in
+  /// moved_ / movedTo_ until commit/revert.
+  double tryMove(double range) {
+    const auto n = packing_.clusters.size();
+    const ClusterId a = static_cast<ClusterId>(rng_.uniformInt(n));
+    const TileType site = packing_.clusters[a].site;
+    const auto& tiles = device_.tilesOfType(site);
+    if (tiles.size() < 2) return kRejected;
+
+    // Pick a target tile within the range window around a's position.
+    const TileXY pa = tileOf_[a];
+    const auto span = static_cast<std::int64_t>(std::max(
+        2.0, range * std::max(device_.width(), device_.height())));
+    const auto& [tx, ty] = tiles[rng_.uniformInt(tiles.size())];
+    if (std::llabs(static_cast<std::int64_t>(tx) - pa.x) > span ||
+        std::llabs(static_cast<std::int64_t>(ty) - pa.y) > span)
+      return kRejected;
+    if (tx == pa.x && ty == pa.y) return kRejected;
+
+    const ClusterId b = occupant_[device_.index(tx, ty)];
+
+    // Stage.
+    moveA_ = a;
+    moveB_ = b;
+    fromA_ = pa;
+    toA_ = {tx, ty};
+
+    // Affected nets: union of a's and b's nets.
+    touched_.clear();
+    for (std::uint32_t net : netsOfCluster_[a]) touched_.push_back(net);
+    if (b != kNone)
+      for (std::uint32_t net : netsOfCluster_[b]) touched_.push_back(net);
+    std::sort(touched_.begin(), touched_.end());
+    touched_.erase(std::unique(touched_.begin(), touched_.end()),
+                   touched_.end());
+
+    double before = 0.0;
+    savedBoxes_.clear();
+    for (std::uint32_t net : touched_) {
+      before += boxes_[net].hpwl();
+      savedBoxes_.push_back(boxes_[net]);
+    }
+
+    // Apply tentatively.
+    applyPositions(toA_, fromA_);
+    double after = 0.0;
+    for (std::uint32_t net : touched_) {
+      recomputeBox(net);
+      after += boxes_[net].hpwl();
+    }
+    staged_ = true;
+
+    // Density term: cluster a moves fromA->toA; b (if any) the reverse.
+    const std::size_t ra = regionOf(fromA_);
+    const std::size_t rb = regionOf(toA_);
+    double density = densityDelta(ra, rb, clusterPins_[moveA_]);
+    if (moveB_ != kNone) density += densityDelta(rb, ra, clusterPins_[moveB_]);
+    stagedDensity_ = density;
+    return after - before + density;
+  }
+
+  void applyPositions(TileXY aPos, TileXY bPos) {
+    occupant_[device_.index(fromA_.x, fromA_.y)] = moveB_;
+    occupant_[device_.index(toA_.x, toA_.y)] = moveA_;
+    tileOf_[moveA_] = aPos;
+    if (moveB_ != kNone) tileOf_[moveB_] = bPos;
+  }
+
+  void commitMove() {
+    const std::size_t ra = regionOf(fromA_);
+    const std::size_t rb = regionOf(toA_);
+    if (ra != rb) {
+      regionPins_[ra] -= clusterPins_[moveA_];
+      regionPins_[rb] += clusterPins_[moveA_];
+      if (moveB_ != kNone) {
+        regionPins_[rb] -= clusterPins_[moveB_];
+        regionPins_[ra] += clusterPins_[moveB_];
+      }
+    }
+    staged_ = false;
+  }
+
+  void revertMove() {
+    if (!staged_) return;
+    occupant_[device_.index(fromA_.x, fromA_.y)] = moveA_;
+    occupant_[device_.index(toA_.x, toA_.y)] = moveB_;
+    tileOf_[moveA_] = fromA_;
+    if (moveB_ != kNone) tileOf_[moveB_] = toA_;
+    for (std::size_t i = 0; i < touched_.size(); ++i)
+      boxes_[touched_[i]] = savedBoxes_[i];
+    staged_ = false;
+  }
+
+  static constexpr ClusterId kNone =
+      std::numeric_limits<ClusterId>::max();
+
+  const Packing& packing_;
+  const Device& device_;
+  const PlacerConfig& config_;
+  hcp::Rng rng_;
+
+  std::vector<TileXY> tileOf_;
+  std::vector<ClusterId> occupant_;
+  std::vector<std::vector<std::uint32_t>> netsOfCluster_;
+  std::vector<NetBox> boxes_;
+
+  std::vector<double> regionPins_, regionSupply_, clusterPins_;
+
+  // Staged move state.
+  bool staged_ = false;
+  double stagedDensity_ = 0.0;
+  ClusterId moveA_ = kNone, moveB_ = kNone;
+  TileXY fromA_, toA_;
+  std::vector<std::uint32_t> touched_;
+  std::vector<NetBox> savedBoxes_;
+};
+
+}  // namespace
+
+Placement place(const Packing& packing, const Device& device,
+                const PlacerConfig& config) {
+  Annealer annealer(packing, device, config);
+  return annealer.run();
+}
+
+double totalWirelength(const Packing& packing, const Placement& placement) {
+  double total = 0.0;
+  for (const ClusterNet& net : packing.nets) {
+    const TileXY d = placement.tileOfCluster[net.driver];
+    std::uint32_t x0 = d.x, x1 = d.x, y0 = d.y, y1 = d.y;
+    for (ClusterId s : net.sinks) {
+      const TileXY p = placement.tileOfCluster[s];
+      x0 = std::min(x0, p.x);
+      x1 = std::max(x1, p.x);
+      y0 = std::min(y0, p.y);
+      y1 = std::max(y1, p.y);
+    }
+    total += static_cast<double>(net.width) * ((x1 - x0) + (y1 - y0));
+  }
+  return total;
+}
+
+}  // namespace hcp::fpga

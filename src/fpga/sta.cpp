@@ -1,0 +1,134 @@
+#include "fpga/sta.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace hcp::fpga {
+
+using rtl::Cell;
+using rtl::CellId;
+using rtl::Netlist;
+
+TimingReport analyzeTiming(const Netlist& netlist, const Packing& packing,
+                           const Placement& placement,
+                           const RoutingResult& routing,
+                           const TimingConfig& config) {
+  TimingReport report;
+  const std::size_t numCells = netlist.numCells();
+
+  // Location of each cell = tile of its first cluster.
+  auto tileOf = [&](CellId c) -> TileXY {
+    return placement.tileOfCluster[packing.clustersOfCell[c].front()];
+  };
+
+  // Per packing-net congestion penalty: summed overflow along its route.
+  std::vector<double> netPenalty(packing.nets.size(), 0.0);
+  for (std::size_t n = 0; n < packing.nets.size(); ++n) {
+    double pen = 0.0;
+    for (const RouteStep& s : routing.routes[n]) {
+      const double util = s.vertical ? routing.map.vUtil(s.x, s.y)
+                                     : routing.map.hUtil(s.x, s.y);
+      if (util > 100.0)
+        pen += config.congestionPenaltyNs *
+               std::min(config.maxOverflowFraction, (util - 100.0) / 100.0);
+    }
+    netPenalty[n] = pen;
+  }
+  // Map netlist nets to their packing-net penalty (absorbed nets get 0).
+  std::vector<double> penaltyOfNet(netlist.numNets(), 0.0);
+  for (std::size_t n = 0; n < packing.nets.size(); ++n)
+    if (packing.nets[n].source != rtl::kInvalidNet)
+      penaltyOfNet[packing.nets[n].source] = netPenalty[n];
+
+  auto netDelayTo = [&](const rtl::Net& net, rtl::NetId id,
+                        CellId sink) -> double {
+    const TileXY a = tileOf(net.driver);
+    const TileXY b = tileOf(sink);
+    return config.netBaseDelayNs +
+           config.perTileDelayNs * Device::manhattan(a.x, a.y, b.x, b.y) +
+           penaltyOfNet[id];
+  };
+
+  // Combinational propagation graph: edges driver -> sink for sinks that
+  // continue combinational paths. Sequential cells and pads are endpoints.
+  auto isEndpoint = [&](const Cell& c) {
+    return c.sequential || c.type == rtl::CellType::Pad ||
+           c.type == rtl::CellType::MemoryBank ||
+           c.type == rtl::CellType::Register;
+  };
+
+  std::vector<std::uint32_t> inDegree(numCells, 0);
+  for (const rtl::Net& net : netlist.nets()) {
+    for (CellId s : net.sinks)
+      if (!isEndpoint(netlist.cell(s))) ++inDegree[s];
+  }
+  // Nets by driver for propagation.
+  std::vector<std::vector<rtl::NetId>> netsOfDriver(numCells);
+  for (rtl::NetId n = 0; n < netlist.numNets(); ++n)
+    netsOfDriver[netlist.net(n).driver].push_back(n);
+
+  // Output arrival times. Endpoints launch at their clk-to-q / access delay.
+  std::vector<double> arrival(numCells, 0.0);
+  std::vector<bool> resolved(numCells, false);
+  std::queue<CellId> ready;
+  for (CellId c = 0; c < numCells; ++c) {
+    if (isEndpoint(netlist.cell(c)) || inDegree[c] == 0) {
+      arrival[c] = netlist.cell(c).delayNs;
+      resolved[c] = true;
+      ready.push(c);
+    }
+  }
+
+  std::size_t processed = 0;
+  std::vector<std::uint32_t> remaining = inDegree;
+  while (!ready.empty()) {
+    const CellId u = ready.front();
+    ready.pop();
+    ++processed;
+    for (rtl::NetId nid : netsOfDriver[u]) {
+      const rtl::Net& net = netlist.net(nid);
+      for (CellId s : net.sinks) {
+        const Cell& sc = netlist.cell(s);
+        if (isEndpoint(sc)) continue;  // handled as endpoints below
+        const double inArrival = arrival[u] + netDelayTo(net, nid, s);
+        arrival[s] = std::max(arrival[s], inArrival + sc.delayNs);
+        if (--remaining[s] == 0) {
+          resolved[s] = true;
+          ready.push(s);
+        }
+      }
+    }
+  }
+
+  // Cells stuck in combinational cycles (cross-coupled shared FUs): their
+  // ops execute in different control steps, so treat them as registered —
+  // launch at their own delay and count them.
+  for (CellId c = 0; c < numCells; ++c) {
+    if (!resolved[c]) {
+      arrival[c] = netlist.cell(c).delayNs;
+      ++report.combinationalCycleCells;
+    }
+  }
+
+  // Critical segment: longest (arrival at driver + net delay + setup) over
+  // every net sink.
+  for (rtl::NetId nid = 0; nid < netlist.numNets(); ++nid) {
+    const rtl::Net& net = netlist.net(nid);
+    for (CellId s : net.sinks) {
+      const double path =
+          arrival[net.driver] + netDelayTo(net, nid, s) + config.setupNs;
+      if (path > report.criticalPathNs) {
+        report.criticalPathNs = path;
+        report.criticalNet = nid;
+      }
+    }
+  }
+
+  const double effective =
+      report.criticalPathNs + config.clockUncertaintyNs;
+  report.wnsNs = config.targetClockNs - effective;
+  report.maxFrequencyMhz = effective > 0 ? 1000.0 / effective : 0.0;
+  return report;
+}
+
+}  // namespace hcp::fpga

@@ -1,0 +1,51 @@
+// Post-route static timing analysis.
+//
+// Net delays combine distance (Manhattan, per-tile wire delay) with a
+// congestion penalty per overflowed tile the route traverses — routes
+// through >100% regions are detoured/slower on real silicon, which is how
+// congestion depresses Fmax (the coupling behind the paper's Table I/VI:
+// congested implementations lose frequency even when latency improves).
+//
+// Reported figures mirror the paper's tables: WNS against the target clock
+// and the resulting maximum frequency (Fmax = 1000 / (critical + clock
+// uncertainty); WNS = target - that total).
+#pragma once
+
+#include <cstdint>
+
+#include "fpga/packer.hpp"
+#include "fpga/placer.hpp"
+#include "fpga/router.hpp"
+#include "rtl/netlist.hpp"
+
+namespace hcp::fpga {
+
+struct TimingConfig {
+  double targetClockNs = 10.0;
+  double clockUncertaintyNs = 1.25;
+  double netBaseDelayNs = 0.25;
+  double perTileDelayNs = 0.11;
+  /// Extra delay per traversed tile at 100% overflow (scales linearly above,
+  /// clamped at `maxOverflowFraction` per tile — the router has already
+  /// lengthened the route; this models slower/shared wires, not the detour).
+  double congestionPenaltyNs = 0.18;
+  double maxOverflowFraction = 1.5;
+  double setupNs = 0.2;
+};
+
+struct TimingReport {
+  double criticalPathNs = 0.0;   ///< longest reg-to-reg segment (no margin)
+  double wnsNs = 0.0;            ///< target - (critical + uncertainty)
+  double maxFrequencyMhz = 0.0;  ///< 1000 / (critical + uncertainty)
+  std::size_t combinationalCycleCells = 0;  ///< cells skipped (shared-FU cycles)
+  rtl::NetId criticalNet = rtl::kInvalidNet;
+};
+
+/// Analyzes `netlist` under the given physical results.
+TimingReport analyzeTiming(const rtl::Netlist& netlist,
+                           const Packing& packing,
+                           const Placement& placement,
+                           const RoutingResult& routing,
+                           const TimingConfig& config = {});
+
+}  // namespace hcp::fpga

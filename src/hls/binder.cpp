@@ -1,0 +1,141 @@
+#include "hls/binder.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace hcp::hls {
+
+using ir::Function;
+using ir::Opcode;
+using ir::OpId;
+
+namespace {
+bool inPipelinedLoop(const Function& fn, OpId id) {
+  ir::LoopId l = fn.op(id).loop;
+  while (l != ir::kRootRegion) {
+    if (fn.loop(l).pipelined) return true;
+    l = fn.loop(l).parent;
+  }
+  return false;
+}
+
+/// Width bucket for sharing compatibility: units are sized to the widest
+/// member, so only similar widths share (rounded up to multiples of 8).
+std::uint16_t widthBucket(std::uint16_t w) {
+  return static_cast<std::uint16_t>(((w + 7) / 8) * 8);
+}
+}  // namespace
+
+Binding bind(const Function& fn, const Schedule& sched,
+             const CharLibrary& lib, const BindConstraints& constraints,
+             const std::map<std::string, Resource>& calleeRes) {
+  Binding binding;
+  binding.fuOfOp.assign(fn.numOps(), ir::kInvalidIndex);
+
+  auto unitResOf = [&](Opcode opcode, std::uint16_t width,
+                       const std::string& callee) {
+    if (opcode == Opcode::Call) {
+      auto it = calleeRes.find(callee);
+      return it != calleeRes.end() ? it->second : Resource{};
+    }
+    return lib.query(opcode, width).res;
+  };
+
+  // Partition sharable ops into compatibility classes. Call sites of one
+  // callee form their own class keyed by the callee name.
+  std::map<std::tuple<Opcode, std::uint16_t, std::string>, std::vector<OpId>>
+      classes;
+  for (OpId id = 0; id < fn.numOps(); ++id) {
+    const ir::Op& op = fn.op(id);
+    const bool isCall = op.opcode == Opcode::Call;
+    if (!isCall && !ir::isFunctionalUnit(op.opcode)) continue;
+    const bool sharable =
+        (isCall || ir::isSharable(op.opcode)) &&
+        (constraints.shareInPipelinedLoops || !inPipelinedLoop(fn, id));
+    if (sharable) {
+      classes[{op.opcode, isCall ? 0 : widthBucket(op.bitwidth),
+               isCall ? op.name : std::string()}]
+          .push_back(id);
+    } else {
+      FuInstance fu;
+      fu.opcode = op.opcode;
+      fu.width = op.bitwidth;
+      fu.ops = {id};
+      if (isCall) fu.callee = op.name;
+      fu.unitRes = unitResOf(op.opcode, op.bitwidth, fu.callee);
+      binding.fuOfOp[id] = static_cast<std::uint32_t>(binding.fus.size());
+      binding.fus.push_back(std::move(fu));
+    }
+  }
+
+  // Left-edge interval packing per class: sort by start step, place each op
+  // on the first unit whose last interval ended before this op starts.
+  for (auto& [key, ops] : classes) {
+    std::sort(ops.begin(), ops.end(), [&](OpId a, OpId b) {
+      return sched.ops[a].startStep < sched.ops[b].startStep ||
+             (sched.ops[a].startStep == sched.ops[b].startStep && a < b);
+    });
+    struct Unit {
+      std::vector<OpId> ops;
+      std::uint32_t lastEnd = 0;
+      std::uint16_t maxWidth = 0;
+    };
+    std::vector<Unit> units;
+    for (OpId id : ops) {
+      const auto& s = sched.ops[id];
+      Unit* placed = nullptr;
+      for (Unit& u : units) {
+        if (u.ops.size() < constraints.maxGroupSize &&
+            u.lastEnd < s.startStep) {
+          placed = &u;
+          break;
+        }
+      }
+      if (!placed) {
+        units.emplace_back();
+        placed = &units.back();
+      }
+      placed->ops.push_back(id);
+      placed->lastEnd = std::max(placed->lastEnd, s.endStep);
+      placed->maxWidth = std::max(placed->maxWidth, fn.op(id).bitwidth);
+    }
+    for (Unit& u : units) {
+      FuInstance fu;
+      fu.opcode = std::get<0>(key);
+      fu.width = u.maxWidth;
+      fu.ops = std::move(u.ops);
+      fu.callee = std::get<2>(key);
+      fu.unitRes = unitResOf(fu.opcode, u.maxWidth, fu.callee);
+      if (fu.ops.size() > 1) {
+        // One mux per operand port, as many inputs as sharers.
+        const std::size_t operandPorts = fn.op(fu.ops.front()).operands.size();
+        fu.muxInputs = static_cast<std::uint32_t>(fu.ops.size());
+        fu.muxCount = static_cast<std::uint32_t>(std::max<std::size_t>(
+            1, operandPorts));
+        const OperatorSpec mux = lib.muxSpec(fu.muxInputs, fu.width);
+        for (std::uint32_t m = 0; m < fu.muxCount; ++m) fu.muxRes += mux.res;
+        ++binding.sharedUnits;
+        binding.sharedOps += fu.ops.size();
+      }
+      binding.totalMuxCount += fu.muxCount;
+      binding.totalMuxRes += fu.muxRes;
+      const auto fuIdx = static_cast<std::uint32_t>(binding.fus.size());
+      for (OpId id : fu.ops) binding.fuOfOp[id] = fuIdx;
+      binding.fus.push_back(std::move(fu));
+    }
+  }
+  return binding;
+}
+
+std::size_t mergeIntoGraph(ir::DependencyGraph& graph,
+                           const Binding& binding) {
+  std::size_t merges = 0;
+  for (const FuInstance& fu : binding.fus) {
+    if (fu.ops.size() < 2) continue;
+    graph.mergeOps(fu.ops);
+    ++merges;
+  }
+  return merges;
+}
+
+}  // namespace hcp::hls

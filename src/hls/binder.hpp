@@ -1,0 +1,66 @@
+// Functional-unit binding with resource sharing.
+//
+// Expensive operators (multipliers, dividers, floating-point units) whose
+// control-step intervals do not overlap are bound to the same RTL module;
+// the unit then needs an input multiplexer per operand port. The paper
+// models sharing in the dependency graph by replacing the ops that share one
+// RTL module with a single combined node (Fig 4) — mergeIntoGraph() performs
+// exactly that rewrite.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hls/charlib.hpp"
+#include "hls/scheduler.hpp"
+#include "ir/function.hpp"
+#include "ir/graph.hpp"
+
+namespace hcp::hls {
+
+struct BindConstraints {
+  /// Maximum ops folded into one shared unit (limits mux growth; mirrors
+  /// HLS tools' sharing caps).
+  std::uint32_t maxGroupSize = 8;
+  /// Sharing is disabled inside pipelined loops (a pipelined datapath needs
+  /// its unit every II cycles).
+  bool shareInPipelinedLoops = false;
+};
+
+/// One RTL functional unit; shared units carry >1 op. Call units represent a
+/// callee module instance shared by their call sites.
+struct FuInstance {
+  ir::Opcode opcode = ir::Opcode::Passthrough;
+  std::uint16_t width = 0;
+  std::vector<ir::OpId> ops;
+  Resource unitRes;       ///< the operator (or callee instance) itself
+  Resource muxRes;        ///< input muxes added by sharing
+  std::uint32_t muxCount = 0;
+  std::uint32_t muxInputs = 0;  ///< inputs per mux (== ops.size() when shared)
+  std::string callee;           ///< non-empty for Call units
+};
+
+struct Binding {
+  std::vector<FuInstance> fus;
+  std::vector<std::uint32_t> fuOfOp;  ///< OpId -> index into fus
+  std::size_t sharedUnits = 0;        ///< units carrying more than one op
+  std::size_t sharedOps = 0;          ///< ops living on shared units
+  Resource totalMuxRes;
+  std::uint32_t totalMuxCount = 0;
+};
+
+/// Binds every functional-unit op of `fn` to an FU instance, sharing
+/// sharable ops greedily (left-edge over control-step intervals). Call ops
+/// are bound to callee module instances the same way, so serialized calls to
+/// one callee share hardware; `calleeRes` supplies each callee's footprint.
+Binding bind(const ir::Function& fn, const Schedule& sched,
+             const CharLibrary& lib, const BindConstraints& constraints = {},
+             const std::map<std::string, Resource>& calleeRes = {});
+
+/// Applies Fig-4 node merging to `graph`: each shared FU's ops collapse into
+/// one combined node. Returns the number of merges performed.
+std::size_t mergeIntoGraph(ir::DependencyGraph& graph, const Binding& binding);
+
+}  // namespace hcp::hls

@@ -1,0 +1,220 @@
+#include "hls/charlib.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace hcp::hls {
+
+using ir::Opcode;
+
+CharLibrary CharLibrary::xilinx7() { return CharLibrary(); }
+
+namespace {
+double log2ceil(double x) { return std::ceil(std::log2(std::max(2.0, x))); }
+}  // namespace
+
+OperatorSpec CharLibrary::query(Opcode opcode, std::uint16_t width) const {
+  const double w = std::max<std::uint16_t>(width, 1);
+  OperatorSpec s;
+  switch (opcode) {
+    case Opcode::Add:
+    case Opcode::Sub:
+      // Carry-chain adder: one LUT per bit, delay grows with carry length.
+      s.delayNs = 0.9 + 0.035 * w;
+      s.res.lut = w;
+      break;
+    case Opcode::Neg:
+      s.delayNs = 0.8 + 0.03 * w;
+      s.res.lut = w;
+      break;
+    case Opcode::Min:
+    case Opcode::Max:
+    case Opcode::AbsDiff:
+      // Compare + select.
+      s.delayNs = 1.2 + 0.045 * w;
+      s.res.lut = 1.8 * w;
+      break;
+    case Opcode::Mul:
+      if (w > 10) {
+        // DSP48-mapped; one DSP per 18x18 tile.
+        const double tiles = std::ceil(w / 18.0);
+        s.res.dsp = tiles * tiles;
+        s.delayNs = 2.6 + 0.5 * (tiles - 1);
+        s.latency = tiles > 1 ? 3 : 2;
+        s.res.ff = 0.6 * w;  // pipeline registers inside the macro wrapper
+      } else {
+        s.res.lut = 1.1 * w * w / 2.0;
+        s.delayNs = 1.5 + 0.09 * w;
+      }
+      break;
+    case Opcode::MulAdd:
+    case Opcode::Mac:
+      // DSP48 pre-adder/post-adder fused pattern.
+      s.res.dsp = std::ceil(w / 18.0);
+      s.res.ff = 0.7 * w;
+      s.delayNs = 2.9;
+      s.latency = 3;
+      break;
+    case Opcode::Dot:
+      s.res.dsp = 2.0 * std::ceil(w / 18.0);
+      s.res.ff = 1.2 * w;
+      s.delayNs = 3.2;
+      s.latency = 4;
+      break;
+    case Opcode::Div:
+    case Opcode::Rem:
+      // Iterative radix-2 divider: w cycles, w^2-ish LUT area.
+      s.res.lut = 1.4 * w * w / 3.0;
+      s.res.ff = 3.0 * w;
+      s.delayNs = 2.2;
+      s.latency = static_cast<std::uint32_t>(w);
+      break;
+    case Opcode::FAdd:
+    case Opcode::FSub:
+      s.res.lut = 6.0 * w;
+      s.res.ff = 4.0 * w;
+      s.res.dsp = 0.0;
+      s.delayNs = 2.8;
+      s.latency = 4;
+      break;
+    case Opcode::FMul:
+      s.res.dsp = 2.0;
+      s.res.lut = 2.0 * w;
+      s.res.ff = 3.0 * w;
+      s.delayNs = 2.9;
+      s.latency = 4;
+      break;
+    case Opcode::FDiv:
+      s.res.lut = 8.0 * w;
+      s.res.ff = 6.0 * w;
+      s.delayNs = 3.0;
+      s.latency = 12;
+      break;
+    case Opcode::FSqrt:
+      s.res.lut = 7.0 * w;
+      s.res.ff = 5.0 * w;
+      s.delayNs = 3.0;
+      s.latency = 10;
+      break;
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Not:
+      s.delayNs = 0.45;
+      s.res.lut = w / 2.0;
+      break;
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr:
+      // Barrel shifter: log stages of muxes.
+      s.delayNs = 0.7 + 0.25 * log2ceil(w);
+      s.res.lut = w * log2ceil(w) / 2.0;
+      break;
+    case Opcode::ICmpEq:
+    case Opcode::ICmpNe:
+    case Opcode::ICmpLt:
+    case Opcode::ICmpLe:
+    case Opcode::ICmpGt:
+    case Opcode::ICmpGe:
+      s.delayNs = 0.9 + 0.03 * w;
+      s.res.lut = w / 1.5;
+      break;
+    case Opcode::FCmp:
+      s.delayNs = 1.8;
+      s.res.lut = 2.0 * w;
+      s.latency = 1;
+      break;
+    case Opcode::Select:
+    case Opcode::Mux:
+      s.delayNs = 0.6;
+      s.res.lut = w / 2.0;
+      break;
+    case Opcode::Load:
+      // BRAM/LUTRAM read: registered output.
+      s.delayNs = 2.1;
+      s.latency = 1;
+      s.res.lut = 2.0;  // address decode share
+      break;
+    case Opcode::Store:
+      s.delayNs = 1.6;
+      s.latency = 1;
+      s.res.lut = 2.0;
+      break;
+    case Opcode::PopCount:
+      s.delayNs = 1.0 + 0.2 * log2ceil(w);
+      s.res.lut = 0.9 * w;
+      break;
+    case Opcode::Concat:
+    case Opcode::Extract:
+    case Opcode::BitCast:
+    case Opcode::Trunc:
+    case Opcode::ZExt:
+    case Opcode::SExt:
+    case Opcode::Passthrough:
+      // Pure wiring.
+      s.delayNs = 0.0;
+      break;
+    case Opcode::Const:
+    case Opcode::Phi:
+    case Opcode::Br:
+    case Opcode::Switch:
+    case Opcode::Ret:
+    case Opcode::Port:
+    case Opcode::ReadPort:
+    case Opcode::WritePort:
+    case Opcode::Alloca:
+      s.delayNs = 0.0;
+      break;
+    case Opcode::Call:
+      // Black-box submodule; latency/resources accounted by the caller from
+      // the callee's report, not from the library.
+      s.delayNs = 0.5;
+      s.latency = 1;
+      break;
+  }
+  return s;
+}
+
+OperatorSpec CharLibrary::muxSpec(std::uint32_t inputs,
+                                  std::uint16_t width) const {
+  HCP_CHECK(inputs >= 2);
+  OperatorSpec s;
+  const double stages = log2ceil(static_cast<double>(inputs));
+  // One 2:1 mux bit fits half a LUT6; k-input mux needs (k-1) 2:1 stages.
+  s.res.lut = static_cast<double>(inputs - 1) * width / 2.0;
+  s.delayNs = 0.3 + 0.25 * stages;
+  return s;
+}
+
+Resource CharLibrary::memorySpec(std::uint64_t words, std::uint16_t width,
+                                 std::uint32_t banks) const {
+  HCP_CHECK(banks >= 1);
+  Resource r;
+  const std::uint64_t wordsPerBank = (words + banks - 1) / banks;
+  if (wordsPerBank <= 1) {
+    // Fully partitioned: plain registers.
+    r.ff = static_cast<double>(words) * width;
+    r.lut = static_cast<double>(words) * width / 8.0;  // addressing fabric
+    return r;
+  }
+  if (wordsPerBank * width <= 1024) {
+    // Shallow banks map to distributed LUTRAM.
+    r.lut = static_cast<double>(banks) *
+            std::ceil(static_cast<double>(wordsPerBank) * width / 32.0);
+    return r;
+  }
+  // RAMB18-equivalent blocks: 18Kb each (counted in RAMB18 units).
+  const double bitsPerBank = static_cast<double>(wordsPerBank) * width;
+  r.bram = static_cast<double>(banks) * std::ceil(bitsPerBank / (18.0 * 1024));
+  return r;
+}
+
+Resource CharLibrary::registerSpec(std::uint16_t width) const {
+  Resource r;
+  r.ff = width;
+  return r;
+}
+
+}  // namespace hcp::hls

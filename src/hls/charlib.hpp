@@ -1,0 +1,79 @@
+// Operator pre-characterization library (paper §III-A2: "the values of
+// multiple metrics for each operator are obtained from the HLS
+// pre-characterization libraries ... resource usage, operation type, bitwidth
+// and delay").
+//
+// Each (opcode, bitwidth) maps to an OperatorSpec: combinational delay,
+// pipeline latency in cycles, and LUT/FF/DSP/BRAM cost. The built-in
+// xilinx7() instance uses parametric formulas calibrated to the general
+// shape of 7-series operators (adders ~w LUTs, multipliers DSP-blocked above
+// 10 bits, dividers w-cycle iterative, BRAM accesses 1-cycle) — absolute
+// values are approximations, but relative costs drive scheduling, binding,
+// packing and therefore congestion exactly as the real library would.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/opcode.hpp"
+
+namespace hcp::hls {
+
+/// Resource vector on the four FPGA resource types the paper tracks.
+struct Resource {
+  double lut = 0.0;
+  double ff = 0.0;
+  double dsp = 0.0;
+  double bram = 0.0;
+
+  Resource& operator+=(const Resource& o) {
+    lut += o.lut;
+    ff += o.ff;
+    dsp += o.dsp;
+    bram += o.bram;
+    return *this;
+  }
+  friend Resource operator+(Resource a, const Resource& b) { return a += b; }
+  friend Resource operator*(Resource a, double k) {
+    a.lut *= k;
+    a.ff *= k;
+    a.dsp *= k;
+    a.bram *= k;
+    return a;
+  }
+  double total() const { return lut + ff + dsp + bram; }
+};
+
+/// Characterized implementation of one operator instance.
+struct OperatorSpec {
+  double delayNs = 0.0;      ///< combinational delay through the operator
+  std::uint32_t latency = 0; ///< pipeline latency in clock cycles
+  Resource res;
+};
+
+/// The characterization library. Query is pure and cheap; no caching needed.
+class CharLibrary {
+ public:
+  /// Library calibrated to a Xilinx 7-series (Zynq XC7Z020 class) device.
+  static CharLibrary xilinx7();
+
+  /// Spec for an operator of `opcode` at result width `width` bits.
+  OperatorSpec query(ir::Opcode opcode, std::uint16_t width) const;
+
+  /// Cost of a k-input multiplexer of `width` bits (used for binding-induced
+  /// muxes and memory-bank selection logic).
+  OperatorSpec muxSpec(std::uint32_t inputs, std::uint16_t width) const;
+
+  /// Storage cost of an array of `words` x `width` bits split over `banks`
+  /// banks: BRAM when a bank is deep enough, distributed LUTRAM below that,
+  /// flip-flop registers for fully partitioned (1-word) banks.
+  Resource memorySpec(std::uint64_t words, std::uint16_t width,
+                      std::uint32_t banks) const;
+
+  /// Register cost of pipelining a value of `width` bits for one stage.
+  Resource registerSpec(std::uint16_t width) const;
+
+ private:
+  CharLibrary() = default;
+};
+
+}  // namespace hcp::hls

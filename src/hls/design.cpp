@@ -1,0 +1,170 @@
+#include "hls/design.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "hls/transforms.hpp"
+#include "ir/passes.hpp"
+#include "ir/verifier.hpp"
+
+namespace hcp::hls {
+
+using ir::Function;
+using ir::Module;
+using ir::Op;
+using ir::Opcode;
+using ir::OpId;
+
+namespace {
+
+/// Bottom-up (callees first) order over the acyclic call graph.
+std::vector<std::uint32_t> bottomUpOrder(const Module& mod) {
+  const std::size_t n = mod.numFunctions();
+  std::vector<std::vector<std::uint32_t>> callees(n);
+  for (std::uint32_t f = 0; f < n; ++f) {
+    for (OpId id = 0; id < mod.function(f).numOps(); ++id) {
+      const Op& op = mod.function(f).op(id);
+      if (op.opcode == Opcode::Call) {
+        auto c = mod.findFunction(op.name);
+        HCP_CHECK(c != ir::kInvalidIndex);
+        callees[f].push_back(c);
+      }
+    }
+  }
+  std::vector<std::uint32_t> order;
+  std::vector<int> state(n, 0);
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (state[root]) continue;
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack{{root, 0}};
+    state[root] = 1;
+    while (!stack.empty()) {
+      auto& [f, next] = stack.back();
+      if (next < callees[f].size()) {
+        const std::uint32_t c = callees[f][next++];
+        HCP_CHECK_MSG(state[c] != 1, "recursion in call graph");
+        if (state[c] == 0) {
+          state[c] = 1;
+          stack.emplace_back(c, 0);
+        }
+      } else {
+        state[f] = 2;
+        order.push_back(f);
+        stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+FunctionReport buildReport(const Function& fn, const Schedule& sched,
+                           const Binding& binding, const CharLibrary& lib,
+                           const ScheduleConstraints& constraints,
+                           const std::vector<FunctionReport>& calleeReports,
+                           const Module& mod) {
+  (void)calleeReports;  // callee footprints now arrive through the binding
+  (void)mod;
+  FunctionReport r;
+  r.latency = sched.totalLatency;
+  r.numSteps = sched.numSteps;
+  r.estimatedClockNs = sched.estimatedClockNs;
+  r.targetClockNs = constraints.clockPeriodNs;
+  r.clockUncertaintyNs = constraints.clockUncertaintyNs;
+
+  for (const FuInstance& fu : binding.fus) {
+    // Call units carry a whole callee instance; account them separately.
+    if (fu.opcode == Opcode::Call) {
+      r.calleeRes += fu.unitRes;
+    } else {
+      r.fuRes += fu.unitRes;
+    }
+    r.muxRes += fu.muxRes;
+    if (fu.muxCount > 0) {
+      r.mux.count += fu.muxCount;
+      r.mux.totalInputs +=
+          static_cast<std::uint64_t>(fu.muxCount) * fu.muxInputs;
+      r.mux.avgWidth += static_cast<double>(fu.width) * fu.muxCount;
+    }
+  }
+
+  // Cross-step registers: a value consumed after its producing step needs a
+  // register of its width (counted once per producer).
+  for (OpId id = 0; id < fn.numOps(); ++id) {
+    const Op& op = fn.op(id);
+    for (const ir::Operand& use : op.operands) {
+      if (sched.ops[id].startStep > sched.ops[use.producer].endStep) {
+        r.regRes += lib.registerSpec(fn.op(use.producer).bitwidth);
+        break;  // one register per producer is enough; shared by consumers
+      }
+    }
+  }
+
+  // Memories + banking muxes. A multi-banked array with more than one
+  // accessor needs a bank-select mux per access port.
+  for (ir::ArrayId a = 0; a < fn.numArrays(); ++a) {
+    const ir::ArrayInfo& info = fn.array(a);
+    r.memRes += lib.memorySpec(info.words, info.bitwidth, info.banks);
+    r.memory.words += info.words;
+    r.memory.banks += info.banks;
+    r.memory.bits += info.words * info.bitwidth;
+    r.memory.primitives +=
+        info.words * info.bitwidth * std::max<std::uint64_t>(1, info.banks);
+    if (info.banks > 1) {
+      const OperatorSpec bankMux =
+          lib.muxSpec(std::max<std::uint32_t>(2, info.banks), info.bitwidth);
+      r.muxRes += bankMux.res;
+      ++r.mux.count;
+      r.mux.totalInputs += info.banks;
+      r.mux.avgWidth += info.bitwidth;
+    }
+  }
+  if (r.mux.count > 0) r.mux.avgWidth /= r.mux.count;
+  r.mux.res = r.muxRes;
+
+  r.totalRes = r.fuRes + r.regRes + r.memRes + r.muxRes + r.calleeRes;
+  return r;
+}
+
+SynthesizedDesign synthesize(std::unique_ptr<Module> mod,
+                             const DirectiveSet& dirs,
+                             const SynthesisOptions& options) {
+  HCP_CHECK(mod != nullptr);
+  ir::verifyOrThrow(*mod);
+
+  if (options.runFrontendPasses) {
+    for (std::uint32_t f = 0; f < mod->numFunctions(); ++f)
+      ir::runFrontendPasses(mod->function(f));
+  }
+  applyDirectives(*mod, dirs);
+
+  SynthesizedDesign design;
+  design.constraints = options.schedule;
+  design.functions.resize(mod->numFunctions());
+
+  std::map<std::string, std::uint64_t> calleeLatency;
+  std::map<std::string, Resource> calleeRes;
+  std::vector<FunctionReport> reports(mod->numFunctions());
+
+  for (std::uint32_t f : bottomUpOrder(*mod)) {
+    Function& fn = mod->function(f);
+    SynthesizedFunction& out = design.functions[f];
+    out.functionIndex = f;
+    out.schedule = schedule(fn, design.library, options.schedule,
+                            calleeLatency);
+    out.binding = bind(fn, out.schedule, design.library, options.bind,
+                       calleeRes);
+    out.graph = ir::DependencyGraph::build(fn);
+    mergeIntoGraph(out.graph, out.binding);
+    out.report = buildReport(fn, out.schedule, out.binding, design.library,
+                             options.schedule, reports, *mod);
+    reports[f] = out.report;
+    calleeLatency[fn.name()] = out.report.latency;
+    calleeRes[fn.name()] = out.report.totalRes;
+  }
+
+  design.module = std::move(mod);
+  return design;
+}
+
+}  // namespace hcp::hls

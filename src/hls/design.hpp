@@ -1,0 +1,66 @@
+// End-to-end HLS synthesis of a module: directives -> transforms ->
+// per-function scheduling, binding, dependency-graph construction (with
+// Fig-4 share-node merging) and reporting, in bottom-up call-graph order so
+// callers see callee latencies and resources.
+//
+// The SynthesizedDesign is the hand-off point to RTL generation (src/rtl)
+// and to feature extraction (src/features).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hls/binder.hpp"
+#include "hls/charlib.hpp"
+#include "hls/directives.hpp"
+#include "hls/report.hpp"
+#include "hls/scheduler.hpp"
+#include "ir/graph.hpp"
+#include "ir/module.hpp"
+
+namespace hcp::hls {
+
+/// Synthesis results for one function.
+struct SynthesizedFunction {
+  std::uint32_t functionIndex = 0;
+  Schedule schedule;
+  Binding binding;
+  ir::DependencyGraph graph;  ///< with shared ops merged (Fig 4)
+  FunctionReport report;
+};
+
+/// A fully synthesized design. Owns the (transformed) module.
+struct SynthesizedDesign {
+  std::unique_ptr<ir::Module> module;
+  std::vector<SynthesizedFunction> functions;  ///< indexed like the module
+  CharLibrary library = CharLibrary::xilinx7();
+  ScheduleConstraints constraints;
+
+  const SynthesizedFunction& top() const {
+    return functions[module->topIndex()];
+  }
+  const ir::Function& topFunction() const { return module->top(); }
+};
+
+struct SynthesisOptions {
+  ScheduleConstraints schedule;
+  BindConstraints bind;
+  /// Run the front-end passes (const-fold, bitwidth reduction, DCE) before
+  /// directives, as Vivado HLS's front-end compiler does (§III).
+  bool runFrontendPasses = true;
+};
+
+/// Applies `dirs` to `mod` (taking ownership) and synthesizes every function.
+SynthesizedDesign synthesize(std::unique_ptr<ir::Module> mod,
+                             const DirectiveSet& dirs,
+                             const SynthesisOptions& options = {});
+
+/// Computes the report for one already-scheduled/bound function.
+FunctionReport buildReport(const ir::Function& fn, const Schedule& sched,
+                           const Binding& binding, const CharLibrary& lib,
+                           const ScheduleConstraints& constraints,
+                           const std::vector<FunctionReport>& calleeReports,
+                           const ir::Module& mod);
+
+}  // namespace hcp::hls

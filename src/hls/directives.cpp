@@ -1,0 +1,28 @@
+#include "hls/directives.hpp"
+
+namespace hcp::hls {
+
+std::optional<LoopDirective> DirectiveSet::loopDirective(
+    const std::string& fn, const std::string& loop) const {
+  const FunctionDirectives* fd = find(fn);
+  if (!fd) return std::nullopt;
+  auto it = fd->loops.find(loop);
+  if (it == fd->loops.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<ArrayDirective> DirectiveSet::arrayDirective(
+    const std::string& fn, const std::string& array) const {
+  const FunctionDirectives* fd = find(fn);
+  if (!fd) return std::nullopt;
+  auto it = fd->arrays.find(array);
+  if (it == fd->arrays.end()) return std::nullopt;
+  return it->second;
+}
+
+bool DirectiveSet::shouldInline(const std::string& fn) const {
+  const FunctionDirectives* fd = find(fn);
+  return fd != nullptr && fd->inlineFunction;
+}
+
+}  // namespace hcp::hls

@@ -1,0 +1,90 @@
+// HLS optimization directives (pragmas). The paper's motivating example and
+// case study hinge on these: function inlining, loop unrolling/pipelining
+// and array partitioning reshape the IR and hence the congestion profile
+// (Table I, Table VI).
+//
+// Directives are addressed symbolically — by function, loop and array name —
+// so the same DirectiveSet can be applied to a freshly regenerated design.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace hcp::hls {
+
+struct LoopDirective {
+  /// Unroll by this factor (1 = no unroll). If >= trip count, the loop is
+  /// fully unrolled and dissolved.
+  std::uint32_t unrollFactor = 1;
+  bool pipeline = false;
+  std::uint32_t initiationInterval = 1;
+};
+
+struct ArrayDirective {
+  /// Split the array into this many banks (cyclic). `complete` overrides the
+  /// factor and gives every word its own register.
+  std::uint32_t partitionFactor = 1;
+  bool complete = false;
+};
+
+struct FunctionDirectives {
+  /// Inline every call to this function into its callers.
+  bool inlineFunction = false;
+  std::map<std::string, LoopDirective> loops;    ///< keyed by loop name
+  std::map<std::string, ArrayDirective> arrays;  ///< keyed by array name
+};
+
+/// Directives for a whole design, keyed by function name.
+class DirectiveSet {
+ public:
+  FunctionDirectives& forFunction(const std::string& fn) {
+    return perFunction_[fn];
+  }
+  const FunctionDirectives* find(const std::string& fn) const {
+    auto it = perFunction_.find(fn);
+    return it == perFunction_.end() ? nullptr : &it->second;
+  }
+
+  /// Convenience builders.
+  DirectiveSet& inlineFunction(const std::string& fn, bool on = true) {
+    perFunction_[fn].inlineFunction = on;
+    return *this;
+  }
+  DirectiveSet& unroll(const std::string& fn, const std::string& loop,
+                       std::uint32_t factor) {
+    perFunction_[fn].loops[loop].unrollFactor = factor;
+    return *this;
+  }
+  DirectiveSet& pipeline(const std::string& fn, const std::string& loop,
+                         std::uint32_t ii = 1) {
+    auto& d = perFunction_[fn].loops[loop];
+    d.pipeline = true;
+    d.initiationInterval = ii;
+    return *this;
+  }
+  DirectiveSet& partition(const std::string& fn, const std::string& array,
+                          std::uint32_t factor) {
+    perFunction_[fn].arrays[array].partitionFactor = factor;
+    return *this;
+  }
+  DirectiveSet& partitionComplete(const std::string& fn,
+                                  const std::string& array) {
+    perFunction_[fn].arrays[array].complete = true;
+    return *this;
+  }
+
+  std::optional<LoopDirective> loopDirective(const std::string& fn,
+                                             const std::string& loop) const;
+  std::optional<ArrayDirective> arrayDirective(const std::string& fn,
+                                               const std::string& array) const;
+  bool shouldInline(const std::string& fn) const;
+
+  bool empty() const { return perFunction_.empty(); }
+
+ private:
+  std::map<std::string, FunctionDirectives> perFunction_;
+};
+
+}  // namespace hcp::hls

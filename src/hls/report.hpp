@@ -1,0 +1,46 @@
+// Per-function HLS synthesis report: resource estimates, latency, clock
+// estimate, multiplexer and memory statistics. This is the "Global
+// information" source of the paper's feature set (Table II: resource usage
+// of Ftop and Fop, clock targets/estimates, memory words/banks/bits/
+// primitives, mux number/resource/inputs/bitwidth).
+#pragma once
+
+#include <cstdint>
+
+#include "hls/charlib.hpp"
+
+namespace hcp::hls {
+
+struct MemoryStats {
+  std::uint64_t words = 0;
+  std::uint64_t banks = 0;
+  std::uint64_t bits = 0;        ///< total data bits (Σ words*width)
+  std::uint64_t primitives = 0;  ///< paper's words*bits*banks aggregate
+};
+
+struct MuxStats {
+  std::uint32_t count = 0;
+  Resource res;
+  std::uint64_t totalInputs = 0;
+  double avgWidth = 0.0;
+};
+
+struct FunctionReport {
+  Resource fuRes;       ///< bound functional units
+  Resource regRes;      ///< cross-step value registers
+  Resource memRes;      ///< arrays
+  Resource muxRes;      ///< binding muxes + memory banking muxes
+  Resource calleeRes;   ///< non-inlined callee instances (one per call site)
+  Resource totalRes;    ///< sum of the above
+
+  MemoryStats memory;
+  MuxStats mux;
+
+  std::uint64_t latency = 0;      ///< cycles
+  std::uint32_t numSteps = 0;     ///< static FSM states
+  double estimatedClockNs = 0.0;
+  double targetClockNs = 0.0;
+  double clockUncertaintyNs = 0.0;
+};
+
+}  // namespace hcp::hls

@@ -1,0 +1,65 @@
+// HLS scheduler: assigns each operation a control step (FSM state), honouring
+// data dependencies, operator chaining under the target clock period, and
+// resource concurrency limits (DSP blocks, memory ports per array bank).
+//
+// The paper consumes two things from this stage (§III-A2 "Scheduling and
+// Global information"): the control step of every operation — ΔTcs between
+// dependent ops is the paper's strongest feature category — and the overall
+// function latency (loop-aware, honouring pipeline directives).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hls/charlib.hpp"
+#include "ir/function.hpp"
+
+namespace hcp::hls {
+
+struct ScheduleConstraints {
+  double clockPeriodNs = 10.0;      ///< target clock (100 MHz default)
+  double clockUncertaintyNs = 1.25; ///< margin subtracted from the budget
+  std::uint32_t dspLimit = 220;     ///< concurrent DSP ops per step (device)
+  std::uint32_t memPortsPerBank = 2;///< BRAM is true dual-port
+  std::uint32_t divLimit = 8;       ///< concurrent iterative dividers
+  /// Concurrent calls to the same (non-inlined) callee. Calls beyond this
+  /// serialize, letting the binder share callee module instances — the
+  /// mechanism by which removing an inline directive shrinks the design.
+  std::uint32_t callInstanceLimit = 2;
+  /// Fraction of the clock budget available for operator chaining; the rest
+  /// is reserved for routing delay (HLS tools keep similar margins).
+  double chainingSlackFactor = 0.55;
+};
+
+/// Per-op placement in control steps. Multi-cycle ops occupy
+/// [startStep, endStep]; combinational ops have endStep == startStep and a
+/// chaining offset within the step.
+struct OpSchedule {
+  std::uint32_t startStep = 0;
+  std::uint32_t endStep = 0;
+  double startOffsetNs = 0.0;  ///< chaining position within startStep
+  double delayNs = 0.0;
+  std::uint32_t latency = 0;   ///< 0 = combinational
+};
+
+struct Schedule {
+  std::vector<OpSchedule> ops;   ///< indexed by OpId
+  std::uint32_t numSteps = 0;    ///< static control steps (FSM states)
+  std::uint64_t totalLatency = 0;///< cycles, loop trip counts accounted
+  double estimatedClockNs = 0.0; ///< longest chained path within any step
+
+  std::int64_t deltaTcs(ir::OpId pred, ir::OpId succ) const {
+    return static_cast<std::int64_t>(ops[succ].startStep) -
+           static_cast<std::int64_t>(ops[pred].endStep);
+  }
+};
+
+/// Schedules `fn`. `calleeLatency` supplies the latency (cycles) of each
+/// non-inlined callee by name; a Call op occupies that many steps.
+Schedule schedule(const ir::Function& fn, const CharLibrary& lib,
+                  const ScheduleConstraints& constraints,
+                  const std::map<std::string, std::uint64_t>& calleeLatency = {});
+
+}  // namespace hcp::hls

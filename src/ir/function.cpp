@@ -1,0 +1,24 @@
+#include "ir/function.hpp"
+
+namespace hcp::ir {
+
+bool Function::inLoop(OpId opId, LoopId l) const {
+  LoopId cur = op(opId).loop;
+  while (true) {
+    if (cur == l) return true;
+    if (cur == kRootRegion) return l == kRootRegion;
+    cur = loop(cur).parent;
+  }
+}
+
+std::uint64_t Function::iterationProduct(OpId opId) const {
+  std::uint64_t product = 1;
+  LoopId cur = op(opId).loop;
+  while (cur != kRootRegion) {
+    product *= loop(cur).tripCount;
+    cur = loop(cur).parent;
+  }
+  return product;
+}
+
+}  // namespace hcp::ir

@@ -1,0 +1,161 @@
+#include "ir/graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace hcp::ir {
+
+DependencyGraph DependencyGraph::build(const Function& fn) {
+  DependencyGraph g;
+  g.fn_ = &fn;
+  g.opToNode_.resize(fn.numOps(), kInvalidNode);
+
+  for (OpId id = 0; id < fn.numOps(); ++id) {
+    Node n;
+    n.kind = NodeKind::Operation;
+    n.op = id;
+    n.members = {id};
+    g.nodes_.push_back(std::move(n));
+    g.opToNode_[id] = static_cast<NodeId>(g.nodes_.size() - 1);
+  }
+  std::vector<NodeId> portNode(fn.numPorts(), kInvalidNode);
+  for (PortId p = 0; p < fn.numPorts(); ++p) {
+    Node n;
+    n.kind = NodeKind::Port;
+    n.port = p;
+    g.nodes_.push_back(std::move(n));
+    portNode[p] = static_cast<NodeId>(g.nodes_.size() - 1);
+  }
+  g.preds_.resize(g.nodes_.size());
+  g.succs_.resize(g.nodes_.size());
+
+  for (OpId id = 0; id < fn.numOps(); ++id) {
+    const Op& op = fn.op(id);
+    for (const Operand& use : op.operands) {
+      g.addEdge(g.opToNode_[use.producer], g.opToNode_[id],
+                static_cast<double>(use.bitsUsed));
+    }
+    if (op.opcode == Opcode::ReadPort) {
+      g.addEdge(portNode[op.port], g.opToNode_[id],
+                static_cast<double>(fn.portInfo(op.port).bitwidth));
+    } else if (op.opcode == Opcode::WritePort) {
+      g.addEdge(g.opToNode_[id], portNode[op.port],
+                static_cast<double>(fn.portInfo(op.port).bitwidth));
+    }
+  }
+  return g;
+}
+
+void DependencyGraph::addEdge(NodeId from, NodeId to, double wires) {
+  // Accumulate parallel edges so each neighbour appears once.
+  auto accumulate = [wires](std::vector<Neighbor>& list, NodeId other) {
+    for (Neighbor& n : list) {
+      if (n.node == other) {
+        n.wires += wires;
+        return;
+      }
+    }
+    list.push_back(Neighbor{other, wires});
+  };
+  accumulate(succs_[from], to);
+  accumulate(preds_[to], from);
+}
+
+NodeId DependencyGraph::mergeOps(std::span<const OpId> ops) {
+  HCP_CHECK(ops.size() >= 2);
+  std::set<NodeId> group;
+  for (OpId op : ops) group.insert(nodeOf(op));
+  HCP_CHECK_MSG(group.size() >= 2, "mergeOps: ops already share a node");
+
+  Node merged;
+  merged.kind = NodeKind::Merged;
+  merged.op = *std::min_element(ops.begin(), ops.end());
+  for (NodeId n : group) {
+    HCP_CHECK(nodes_[n].kind != NodeKind::Port);
+    for (OpId m : nodes_[n].members) merged.members.push_back(m);
+  }
+  std::sort(merged.members.begin(), merged.members.end());
+  nodes_.push_back(std::move(merged));
+  const NodeId mid = static_cast<NodeId>(nodes_.size() - 1);
+  preds_.emplace_back();
+  succs_.emplace_back();
+
+  // Collect external edges of the group; intra-group edges vanish.
+  std::map<NodeId, double> in, out;
+  for (NodeId n : group) {
+    for (const Neighbor& p : preds_[n])
+      if (!group.count(p.node)) in[p.node] += p.wires;
+    for (const Neighbor& s : succs_[n])
+      if (!group.count(s.node)) out[s.node] += s.wires;
+  }
+  // Detach the old nodes from their neighbours.
+  auto detach = [&](std::vector<Neighbor>& list) {
+    std::erase_if(list, [&](const Neighbor& n) { return group.count(n.node) > 0; });
+  };
+  for (const auto& [nbr, w] : in) {
+    (void)w;
+    detach(succs_[nbr]);
+  }
+  for (const auto& [nbr, w] : out) {
+    (void)w;
+    detach(preds_[nbr]);
+  }
+  for (const auto& [nbr, w] : in) addEdge(nbr, mid, w);
+  for (const auto& [nbr, w] : out) addEdge(mid, nbr, w);
+
+  for (NodeId n : group) {
+    nodes_[n].alive = false;
+    preds_[n].clear();
+    succs_[n].clear();
+  }
+  for (OpId m : nodes_[mid].members) opToNode_[m] = mid;
+  return mid;
+}
+
+NodeId DependencyGraph::nodeOf(OpId op) const {
+  HCP_CHECK(op < opToNode_.size());
+  return opToNode_[op];
+}
+
+std::size_t DependencyGraph::numAliveNodes() const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [](const Node& n) { return n.alive; }));
+}
+
+double DependencyGraph::fanIn(NodeId id) const {
+  double total = 0.0;
+  for (const Neighbor& n : preds(id)) total += n.wires;
+  return total;
+}
+
+double DependencyGraph::fanOut(NodeId id) const {
+  double total = 0.0;
+  for (const Neighbor& n : succs(id)) total += n.wires;
+  return total;
+}
+
+namespace {
+std::vector<NodeId> twoHop(
+    NodeId id, const DependencyGraph& g,
+    std::span<const Neighbor> (DependencyGraph::*dir)(NodeId) const) {
+  std::set<NodeId> seen;
+  for (const Neighbor& one : (g.*dir)(id)) {
+    seen.insert(one.node);
+    for (const Neighbor& two : (g.*dir)(one.node)) seen.insert(two.node);
+  }
+  seen.erase(id);
+  return {seen.begin(), seen.end()};
+}
+}  // namespace
+
+std::vector<NodeId> DependencyGraph::twoHopPreds(NodeId id) const {
+  return twoHop(id, *this, &DependencyGraph::preds);
+}
+
+std::vector<NodeId> DependencyGraph::twoHopSuccs(NodeId id) const {
+  return twoHop(id, *this, &DependencyGraph::succs);
+}
+
+}  // namespace hcp::ir

@@ -1,0 +1,26 @@
+#include "ir/module.hpp"
+
+namespace hcp::ir {
+
+std::uint32_t Module::addFunction(std::unique_ptr<Function> fn) {
+  HCP_CHECK(fn != nullptr);
+  HCP_CHECK_MSG(byName_.find(fn->name()) == byName_.end(),
+                "duplicate function " << fn->name());
+  const auto idx = static_cast<std::uint32_t>(functions_.size());
+  byName_.emplace(fn->name(), idx);
+  functions_.push_back(std::move(fn));
+  return idx;
+}
+
+std::uint32_t Module::findFunction(const std::string& name) const {
+  auto it = byName_.find(name);
+  return it == byName_.end() ? kInvalidIndex : it->second;
+}
+
+void Module::setTop(const std::string& name) {
+  const auto idx = findFunction(name);
+  HCP_CHECK_MSG(idx != kInvalidIndex, "no such function " << name);
+  top_ = idx;
+}
+
+}  // namespace hcp::ir

@@ -1,0 +1,50 @@
+// IR module: a set of functions with a designated top. Calls reference
+// functions by index; resolveCalls() links Call ops to their callees after
+// all functions exist.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace hcp::ir {
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a function; name must be unique. Returns its index.
+  std::uint32_t addFunction(std::unique_ptr<Function> fn);
+
+  Function& function(std::uint32_t idx) {
+    HCP_CHECK(idx < functions_.size());
+    return *functions_[idx];
+  }
+  const Function& function(std::uint32_t idx) const {
+    HCP_CHECK(idx < functions_.size());
+    return *functions_[idx];
+  }
+  std::size_t numFunctions() const { return functions_.size(); }
+
+  /// Index of a function by name, or kInvalidIndex.
+  std::uint32_t findFunction(const std::string& name) const;
+
+  void setTop(const std::string& name);
+  std::uint32_t topIndex() const { return top_; }
+  Function& top() { return function(top_); }
+  const Function& top() const { return function(top_); }
+  bool hasTop() const { return top_ != kInvalidIndex; }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Function>> functions_;
+  std::map<std::string, std::uint32_t> byName_;
+  std::uint32_t top_ = kInvalidIndex;
+};
+
+}  // namespace hcp::ir

@@ -1,0 +1,232 @@
+#include "ir/passes.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+namespace hcp::ir {
+
+namespace {
+
+/// Two's-complement truncation of `v` to `width` bits, sign-extended back
+/// into int64 so folded constants stay canonical.
+std::int64_t truncToWidth(std::int64_t v, std::uint16_t width) {
+  if (width >= 64) return v;
+  const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+  std::uint64_t u = static_cast<std::uint64_t>(v) & mask;
+  // Sign-extend.
+  if (width > 0 && (u >> (width - 1)) & 1) u |= ~mask;
+  return static_cast<std::int64_t>(u);
+}
+
+std::optional<std::int64_t> evalOp(const Function& fn, const Op& op) {
+  auto cval = [&](std::size_t i) {
+    return fn.op(op.operands[i].producer).constValue;
+  };
+  auto allConst = [&] {
+    return std::all_of(op.operands.begin(), op.operands.end(),
+                       [&](const Operand& o) {
+                         return fn.op(o.producer).opcode == Opcode::Const;
+                       });
+  };
+  if (op.operands.empty() || !allConst()) return std::nullopt;
+
+  switch (op.opcode) {
+    case Opcode::Add: return cval(0) + cval(1);
+    case Opcode::Sub: return cval(0) - cval(1);
+    case Opcode::Mul: return cval(0) * cval(1);
+    case Opcode::Div:
+      if (cval(1) == 0) return std::nullopt;
+      return cval(0) / cval(1);
+    case Opcode::Rem:
+      if (cval(1) == 0) return std::nullopt;
+      return cval(0) % cval(1);
+    case Opcode::Neg: return -cval(0);
+    case Opcode::And: return cval(0) & cval(1);
+    case Opcode::Or: return cval(0) | cval(1);
+    case Opcode::Xor: return cval(0) ^ cval(1);
+    case Opcode::Not: return ~cval(0);
+    case Opcode::Shl:
+      if (cval(1) < 0 || cval(1) >= 64) return std::nullopt;
+      return static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(cval(0)) << cval(1));
+    case Opcode::LShr:
+      if (cval(1) < 0 || cval(1) >= 64) return std::nullopt;
+      return static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(cval(0)) >> cval(1));
+    case Opcode::AShr:
+      if (cval(1) < 0 || cval(1) >= 64) return std::nullopt;
+      return cval(0) >> cval(1);
+    case Opcode::ICmpEq: return cval(0) == cval(1) ? 1 : 0;
+    case Opcode::ICmpNe: return cval(0) != cval(1) ? 1 : 0;
+    case Opcode::ICmpLt: return cval(0) < cval(1) ? 1 : 0;
+    case Opcode::ICmpLe: return cval(0) <= cval(1) ? 1 : 0;
+    case Opcode::ICmpGt: return cval(0) > cval(1) ? 1 : 0;
+    case Opcode::ICmpGe: return cval(0) >= cval(1) ? 1 : 0;
+    case Opcode::Min: return std::min(cval(0), cval(1));
+    case Opcode::Max: return std::max(cval(0), cval(1));
+    case Opcode::Select: return cval(0) != 0 ? cval(1) : cval(2);
+    case Opcode::ZExt:
+    case Opcode::SExt:
+    case Opcode::Trunc:
+    case Opcode::Passthrough:
+      return cval(0);
+    default:
+      return std::nullopt;
+  }
+}
+
+/// True when keeping only the low result bits of `op` needs only the low
+/// operand bits (two's-complement locality), making demand narrowing sound.
+bool lowBitsLocal(Opcode op) {
+  switch (op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Neg:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Not:
+    case Opcode::Select:
+    case Opcode::Mux:
+    case Opcode::Passthrough:
+    case Opcode::Const:
+    case Opcode::ZExt:
+    case Opcode::SExt:
+    case Opcode::Trunc:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint16_t bitsForValue(std::int64_t v) {
+  // Minimum two's-complement width representing v.
+  if (v == 0 || v == -1) return 1;
+  std::uint64_t u = v < 0 ? ~static_cast<std::uint64_t>(v)
+                          : static_cast<std::uint64_t>(v);
+  std::uint16_t bits = 0;
+  while (u) {
+    ++bits;
+    u >>= 1;
+  }
+  return static_cast<std::uint16_t>(bits + 1);  // +1 sign bit
+}
+
+}  // namespace
+
+PassStats constantFold(Function& fn) {
+  PassStats stats;
+  for (OpId id = 0; id < fn.numOps(); ++id) {
+    Op& op = fn.op(id);
+    if (op.opcode == Opcode::Const || hasSideEffects(op.opcode)) continue;
+    if (auto v = evalOp(fn, op)) {
+      op.opcode = Opcode::Const;
+      op.constValue = truncToWidth(*v, op.bitwidth);
+      op.operands.clear();
+      ++stats.opsFolded;
+    }
+  }
+  return stats;
+}
+
+PassStats deadCodeElim(Function& fn) {
+  PassStats stats;
+  const std::size_t n = fn.numOps();
+  std::vector<bool> live(n, false);
+  // Seed with side-effecting ops, then sweep backwards (operands precede
+  // users, so one reverse pass reaches a fixpoint).
+  for (OpId id = 0; id < n; ++id)
+    if (hasSideEffects(fn.op(id).opcode)) live[id] = true;
+  for (OpId id = static_cast<OpId>(n); id-- > 0;) {
+    if (!live[id]) continue;
+    for (const Operand& use : fn.op(id).operands) live[use.producer] = true;
+  }
+
+  std::vector<OpId> remap(n, kInvalidOp);
+  std::vector<Op> kept;
+  kept.reserve(n);
+  for (OpId id = 0; id < n; ++id) {
+    if (!live[id]) {
+      ++stats.opsRemoved;
+      continue;
+    }
+    remap[id] = static_cast<OpId>(kept.size());
+    kept.push_back(std::move(fn.op(id)));
+  }
+  for (Op& op : kept) {
+    for (Operand& use : op.operands) use.producer = remap[use.producer];
+    // An op's unroll origin may itself have been removed; fall back to self.
+    op.originOp = (op.originOp < n && remap[op.originOp] != kInvalidOp)
+                      ? remap[op.originOp]
+                      : kInvalidOp;
+  }
+  fn.ops() = std::move(kept);
+  for (OpId id = 0; id < fn.numOps(); ++id)
+    if (fn.op(id).originOp == kInvalidOp) fn.op(id).originOp = id;
+  return stats;
+}
+
+PassStats bitwidthReduce(Function& fn) {
+  PassStats stats;
+  bool changed = true;
+  int iterations = 0;
+  while (changed && iterations++ < 16) {
+    changed = false;
+    const std::size_t n = fn.numOps();
+    // Demand: max bits any consumer actually uses of each producer.
+    std::vector<std::uint16_t> demand(n, 0);
+    std::vector<bool> demandedByOpaque(n, false);
+    for (OpId id = 0; id < n; ++id) {
+      const Op& op = fn.op(id);
+      const bool opaque = !lowBitsLocal(op.opcode);
+      for (const Operand& use : op.operands) {
+        demand[use.producer] = std::max(demand[use.producer], use.bitsUsed);
+        if (opaque) demandedByOpaque[use.producer] = true;
+      }
+    }
+    for (OpId id = 0; id < n; ++id) {
+      Op& op = fn.op(id);
+      if (op.bitwidth == 0) continue;
+      std::uint16_t target = op.bitwidth;
+      // Value-based tightening for constants.
+      if (op.opcode == Opcode::Const)
+        target = std::min(target, bitsForValue(op.constValue));
+      // Demand-based tightening: only when every consumer path is sound and
+      // the op itself produces locality-preserving low bits.
+      if (demand[id] > 0 && !demandedByOpaque[id] &&
+          lowBitsLocal(op.opcode))
+        target = std::min(target, std::max<std::uint16_t>(demand[id], 1));
+      if (target < op.bitwidth) {
+        stats.bitsSaved += op.bitwidth - target;
+        op.bitwidth = target;
+        changed = true;
+      }
+    }
+    // Clamp operand uses to (possibly reduced) producer widths.
+    for (OpId id = 0; id < n; ++id) {
+      for (Operand& use : fn.op(id).operands) {
+        const std::uint16_t w = fn.op(use.producer).bitwidth;
+        if (use.bitsUsed > w) {
+          use.bitsUsed = w;
+          changed = true;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+PassStats runFrontendPasses(Function& fn) {
+  PassStats total;
+  const PassStats f = constantFold(fn);
+  const PassStats b = bitwidthReduce(fn);
+  const PassStats d = deadCodeElim(fn);
+  total.opsFolded = f.opsFolded;
+  total.bitsSaved = b.bitsSaved;
+  total.opsRemoved = d.opsRemoved;
+  return total;
+}
+
+}  // namespace hcp::ir

@@ -1,0 +1,37 @@
+// Front-end optimization passes. The paper operates on the IR *after* the
+// HLS front-end compiler has run code optimizations such as bitwidth
+// reduction, because those directly shape the generated RTL (§III). These
+// passes model that stage: constant folding, dead-code elimination and
+// demand-driven bitwidth reduction.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/function.hpp"
+
+namespace hcp::ir {
+
+struct PassStats {
+  std::size_t opsFolded = 0;    ///< ops turned into constants
+  std::size_t opsRemoved = 0;   ///< ops deleted by DCE
+  std::uint64_t bitsSaved = 0;  ///< total result-width reduction
+};
+
+/// Folds integer ops whose operands are all constants into Const ops.
+PassStats constantFold(Function& fn);
+
+/// Removes ops that have no users and no side effects. Rebuilds the op list
+/// (ids are compacted); loop/array/port tables are preserved.
+PassStats deadCodeElim(Function& fn);
+
+/// Demand-driven width reduction: narrows producers whose consumers use
+/// fewer bits, restricted to opcodes where low bits are independent of the
+/// dropped high bits (add/sub/mul/bitwise/select/...). Also tightens Const
+/// widths to the bits their value needs. Runs to a fixpoint.
+PassStats bitwidthReduce(Function& fn);
+
+/// constantFold + bitwidthReduce + deadCodeElim, in the order the HLS
+/// front-end applies them. Returns accumulated stats.
+PassStats runFrontendPasses(Function& fn);
+
+}  // namespace hcp::ir

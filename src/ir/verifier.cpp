@@ -1,0 +1,186 @@
+#include "ir/verifier.hpp"
+
+#include <sstream>
+
+namespace hcp::ir {
+
+namespace {
+void check(std::vector<std::string>& out, bool ok, const std::string& msg) {
+  if (!ok) out.push_back(msg);
+}
+
+std::string opRef(const Function& fn, OpId id) {
+  std::ostringstream os;
+  os << fn.name() << ":%" << id << "(" << opcodeName(fn.op(id).opcode) << ")";
+  return os.str();
+}
+}  // namespace
+
+std::vector<std::string> verify(const Function& fn) {
+  std::vector<std::string> out;
+
+  // Loop forest.
+  for (LoopId l = 1; l < fn.numLoops(); ++l) {
+    const LoopInfo& info = fn.loop(l);
+    check(out, info.parent < l,
+          "loop " + info.name + ": parent must precede child");
+    check(out, info.tripCount >= 1, "loop " + info.name + ": tripCount < 1");
+    check(out, info.initiationInterval >= 1,
+          "loop " + info.name + ": II < 1");
+  }
+
+  bool sawRet = false;
+  for (OpId id = 0; id < fn.numOps(); ++id) {
+    const Op& op = fn.op(id);
+    const std::string ref = opRef(fn, id);
+
+    check(out, op.loop < fn.numLoops(), ref + ": bad loop id");
+
+    for (const Operand& use : op.operands) {
+      if (use.producer >= fn.numOps()) {
+        out.push_back(ref + ": operand out of range");
+        continue;
+      }
+      if (op.opcode != Opcode::Phi) {
+        check(out, use.producer < id, ref + ": use before def");
+      }
+      const Op& prod = fn.op(use.producer);
+      check(out, use.bitsUsed > 0, ref + ": zero-width operand");
+      check(out, use.bitsUsed <= prod.bitwidth,
+            ref + ": operand uses more bits than producer has");
+      check(out, prod.bitwidth > 0,
+            ref + ": operand reads a void-valued op");
+    }
+
+    // Width discipline.
+    const bool isVoid = op.opcode == Opcode::Store ||
+                        op.opcode == Opcode::WritePort ||
+                        op.opcode == Opcode::Ret || op.opcode == Opcode::Br ||
+                        op.opcode == Opcode::Switch;
+    if (isVoid) {
+      check(out, op.bitwidth == 0, ref + ": void op with nonzero width");
+    } else {
+      check(out, op.bitwidth > 0, ref + ": value op with zero width");
+      check(out, op.bitwidth <= 1024, ref + ": width > 1024");
+    }
+
+    // Payloads.
+    switch (op.opcode) {
+      case Opcode::Load:
+        check(out, op.array < fn.numArrays(), ref + ": bad array");
+        check(out, op.operands.size() == 1, ref + ": load needs 1 operand");
+        break;
+      case Opcode::Store:
+        check(out, op.array < fn.numArrays(), ref + ": bad array");
+        check(out, op.operands.size() == 2, ref + ": store needs 2 operands");
+        break;
+      case Opcode::ReadPort:
+        check(out, op.port < fn.numPorts(), ref + ": bad port");
+        if (op.port < fn.numPorts())
+          check(out,
+                fn.portInfo(op.port).direction == PortDirection::In,
+                ref + ": reads an output port");
+        break;
+      case Opcode::WritePort:
+        check(out, op.port < fn.numPorts(), ref + ": bad port");
+        if (op.port < fn.numPorts())
+          check(out,
+                fn.portInfo(op.port).direction == PortDirection::Out,
+                ref + ": writes an input port");
+        break;
+      case Opcode::Const:
+        check(out, op.operands.empty(), ref + ": const with operands");
+        break;
+      case Opcode::Call:
+        check(out, !op.name.empty(), ref + ": call without callee name");
+        break;
+      case Opcode::Ret:
+        sawRet = true;
+        break;
+      default:
+        break;
+    }
+
+    check(out, op.originOp < fn.numOps() || op.originOp == id,
+          ref + ": bad unroll origin");
+  }
+
+  check(out, sawRet, fn.name() + ": missing ret");
+  return out;
+}
+
+std::vector<std::string> verify(const Module& mod) {
+  std::vector<std::string> out;
+  check(out, mod.hasTop(), mod.name() + ": no top function");
+  for (std::uint32_t f = 0; f < mod.numFunctions(); ++f) {
+    auto fnErrors = verify(mod.function(f));
+    out.insert(out.end(), fnErrors.begin(), fnErrors.end());
+    for (OpId id = 0; id < mod.function(f).numOps(); ++id) {
+      const Op& op = mod.function(f).op(id);
+      if (op.opcode == Opcode::Call) {
+        check(out, mod.findFunction(op.name) != kInvalidIndex,
+              mod.function(f).name() + ": call to unknown " + op.name);
+      }
+    }
+  }
+  // Recursion check: DFS over the call graph.
+  const std::size_t n = mod.numFunctions();
+  std::vector<int> state(n, 0);  // 0=unvisited 1=in-stack 2=done
+  std::vector<std::vector<std::uint32_t>> callees(n);
+  for (std::uint32_t f = 0; f < n; ++f) {
+    for (OpId id = 0; id < mod.function(f).numOps(); ++id) {
+      const Op& op = mod.function(f).op(id);
+      if (op.opcode == Opcode::Call) {
+        auto idx = mod.findFunction(op.name);
+        if (idx != kInvalidIndex) callees[f].push_back(idx);
+      }
+    }
+  }
+  // Iterative DFS to avoid deep recursion on long call chains.
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (state[root] != 0) continue;
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack{{root, 0}};
+    state[root] = 1;
+    while (!stack.empty()) {
+      auto& [f, next] = stack.back();
+      if (next < callees[f].size()) {
+        std::uint32_t c = callees[f][next++];
+        if (state[c] == 1) {
+          out.push_back("recursive call cycle through " +
+                        mod.function(c).name());
+        } else if (state[c] == 0) {
+          state[c] = 1;
+          stack.emplace_back(c, 0);
+        }
+      } else {
+        state[f] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return out;
+}
+
+void verifyOrThrow(const Function& fn) {
+  auto errors = verify(fn);
+  HCP_CHECK_MSG(errors.empty(), errors.front()
+                                    << (errors.size() > 1
+                                            ? " (+" +
+                                                  std::to_string(
+                                                      errors.size() - 1) +
+                                                  " more)"
+                                            : ""));
+}
+
+void verifyOrThrow(const Module& mod) {
+  auto errors = verify(mod);
+  HCP_CHECK_MSG(errors.empty(), errors.front()
+                                    << (errors.size() > 1
+                                            ? " (+" +
+                                                  std::to_string(
+                                                      errors.size() - 1) +
+                                                  " more)"
+                                            : ""));
+}
+
+}  // namespace hcp::ir

@@ -1,0 +1,32 @@
+// Structural IR verifier. Run after construction and after every transform
+// (inline/unroll/partition) to catch malformed IR early; all downstream
+// stages (scheduler, binder, RTL generation) assume a verified function.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace hcp::ir {
+
+/// Returns a list of human-readable violations (empty = valid).
+/// Checked invariants:
+///  - operands reference earlier ops (def-before-use; Phi may reference later)
+///  - operand bitsUsed <= producer bitwidth and > 0
+///  - opcode payloads present (Const value width fits, Load/Store array
+///    valid, Read/WritePort port valid and direction-correct)
+///  - loop forest well-formed (parents precede children, trip counts >= 1)
+///  - ops reference valid loop regions
+///  - value-producing opcodes have nonzero bitwidth; void opcodes have zero
+std::vector<std::string> verify(const Function& fn);
+
+/// Verifies every function plus module-level invariants (top set, all Call
+/// ops resolve to existing functions, no recursive call cycles).
+std::vector<std::string> verify(const Module& mod);
+
+/// Throws hcp::Error with the first violation if any.
+void verifyOrThrow(const Function& fn);
+void verifyOrThrow(const Module& mod);
+
+}  // namespace hcp::ir

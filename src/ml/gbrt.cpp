@@ -1,0 +1,111 @@
+#include "ml/gbrt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hcp::ml {
+
+void Gbrt::fit(const Dataset& data) {
+  HCP_CHECK(data.size() >= 4);
+  numFeatures_ = data.numFeatures();
+  Rng rng(config_.seed);
+
+  binner_.fit(data.rows(), config_.numBins);
+  std::vector<std::vector<std::uint8_t>> binned(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    binned[i] = binner_.binRow(data.row(i));
+
+  // F0 = mean target.
+  baseline_ = 0.0;
+  for (double y : data.targets()) baseline_ += y;
+  baseline_ /= static_cast<double>(data.size());
+
+  std::vector<double> prediction(data.size(), baseline_);
+  std::vector<double> residual(data.size());
+  trees_.clear();
+  trees_.reserve(config_.numEstimators);
+
+  const auto rowsPerStage = static_cast<std::size_t>(std::max(
+      2.0, config_.subsample * static_cast<double>(data.size())));
+  const auto featsPerStage = static_cast<std::size_t>(std::max(
+      1.0, config_.featureFraction * static_cast<double>(numFeatures_)));
+
+  TreeConfig treeConfig;
+  treeConfig.maxDepth = config_.maxDepth;
+  treeConfig.minSamplesLeaf = config_.minSamplesLeaf;
+
+  std::vector<std::size_t> allRows(data.size());
+  for (std::size_t i = 0; i < allRows.size(); ++i) allRows[i] = i;
+  std::vector<std::size_t> allFeatures(numFeatures_);
+  for (std::size_t f = 0; f < numFeatures_; ++f) allFeatures[f] = f;
+
+  for (std::size_t stage = 0; stage < config_.numEstimators; ++stage) {
+    for (std::size_t i = 0; i < data.size(); ++i)
+      residual[i] = data.target(i) - prediction[i];
+
+    // Row / feature subsampling for this stage.
+    rng.shuffle(allRows);
+    std::vector<std::size_t> rows(allRows.begin(),
+                                  allRows.begin() +
+                                      static_cast<std::ptrdiff_t>(
+                                          rowsPerStage));
+    rng.shuffle(allFeatures);
+    std::vector<std::size_t> features(
+        allFeatures.begin(),
+        allFeatures.begin() + static_cast<std::ptrdiff_t>(featsPerStage));
+
+    RegressionTree tree;
+    tree.fitBinned(binned, residual, std::move(rows), features, binner_,
+                   treeConfig);
+
+    for (std::size_t i = 0; i < data.size(); ++i)
+      prediction[i] += config_.learningRate * tree.predictBinned(binned[i]);
+    trees_.push_back(std::move(tree));
+  }
+
+  trainLoss_ = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double d = data.target(i) - prediction[i];
+    trainLoss_ += d * d;
+  }
+  trainLoss_ /= static_cast<double>(data.size());
+}
+
+double Gbrt::predict(const std::vector<double>& row) const {
+  double y = baseline_;
+  for (const RegressionTree& t : trees_)
+    y += config_.learningRate * t.predict(row);
+  return y;
+}
+
+std::vector<double> Gbrt::featureImportance() const {
+  std::vector<double> imp(numFeatures_, 0.0);
+  double total = 0.0;
+  for (const RegressionTree& t : trees_) {
+    const auto& counts = t.splitCounts();
+    for (std::size_t f = 0; f < counts.size(); ++f) {
+      imp[f] += counts[f];
+      total += counts[f];
+    }
+  }
+  if (total > 0)
+    for (double& v : imp) v /= total;
+  return imp;
+}
+
+std::vector<double> Gbrt::featureImportanceByGain() const {
+  std::vector<double> imp(numFeatures_, 0.0);
+  double total = 0.0;
+  for (const RegressionTree& t : trees_) {
+    const auto& gains = t.splitGains();
+    for (std::size_t f = 0; f < gains.size(); ++f) {
+      imp[f] += gains[f];
+      total += gains[f];
+    }
+  }
+  if (total > 0)
+    for (double& v : imp) v /= total;
+  return imp;
+}
+
+}  // namespace hcp::ml

@@ -1,0 +1,80 @@
+#include "ml/linear.hpp"
+
+#include <cmath>
+
+namespace hcp::ml {
+
+namespace {
+double softThreshold(double x, double lambda) {
+  if (x > lambda) return x - lambda;
+  if (x < -lambda) return x + lambda;
+  return 0.0;
+}
+}  // namespace
+
+void LassoRegression::fit(const Dataset& data) {
+  HCP_CHECK(data.size() > 0);
+  const std::size_t n = data.size();
+  const std::size_t d = data.numFeatures();
+
+  scaler_.fit(data);
+  // Standardized design matrix, column-major for coordinate descent.
+  std::vector<std::vector<double>> cols(d, std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto z = scaler_.transform(data.row(i));
+    for (std::size_t j = 0; j < d; ++j) cols[j][i] = z[j];
+  }
+  // Centre the target; intercept absorbs its mean.
+  double yMean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) yMean += data.target(i);
+  yMean /= static_cast<double>(n);
+
+  weights_.assign(d, 0.0);
+  intercept_ = yMean;
+
+  std::vector<double> residual(n);
+  for (std::size_t i = 0; i < n; ++i) residual[i] = data.target(i) - yMean;
+
+  // Columns are standardized, so sum(x_j^2) == n for every j.
+  const double colNorm = static_cast<double>(n);
+  const double lambda = config_.alpha * static_cast<double>(n);
+
+  iterationsRun_ = 0;
+  for (int it = 0; it < config_.maxIterations; ++it) {
+    double maxChange = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double old = weights_[j];
+      // rho = x_j . (residual + x_j * w_j)
+      double rho = 0.0;
+      const auto& xj = cols[j];
+      for (std::size_t i = 0; i < n; ++i) rho += xj[i] * residual[i];
+      rho += old * colNorm;
+      const double next = softThreshold(rho, lambda) / colNorm;
+      if (next != old) {
+        const double delta = next - old;
+        for (std::size_t i = 0; i < n; ++i) residual[i] -= delta * xj[i];
+        weights_[j] = next;
+        maxChange = std::max(maxChange, std::fabs(delta));
+      }
+    }
+    ++iterationsRun_;
+    if (maxChange < config_.tolerance) break;
+  }
+}
+
+double LassoRegression::predict(const std::vector<double>& row) const {
+  HCP_CHECK(scaler_.fitted());
+  const auto z = scaler_.transform(row);
+  double y = intercept_;
+  for (std::size_t j = 0; j < z.size(); ++j) y += weights_[j] * z[j];
+  return y;
+}
+
+std::size_t LassoRegression::nonZeroWeights() const {
+  std::size_t count = 0;
+  for (double w : weights_)
+    if (w != 0.0) ++count;
+  return count;
+}
+
+}  // namespace hcp::ml

@@ -1,0 +1,22 @@
+// Regression metrics. MAE and MedAE are the paper's Table IV metrics:
+// MAE = mean(|y - yhat|), MedAE = median(|y - yhat|) — robust to outliers.
+#pragma once
+
+#include <span>
+
+namespace hcp::ml {
+
+double meanAbsoluteError(std::span<const double> actual,
+                         std::span<const double> predicted);
+
+double medianAbsoluteError(std::span<const double> actual,
+                           std::span<const double> predicted);
+
+double rootMeanSquaredError(std::span<const double> actual,
+                            std::span<const double> predicted);
+
+/// Coefficient of determination; 1 is perfect, 0 is the mean predictor.
+double r2Score(std::span<const double> actual,
+               std::span<const double> predicted);
+
+}  // namespace hcp::ml

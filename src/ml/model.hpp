@@ -1,0 +1,32 @@
+// Common regressor interface for the three model families the paper compares
+// (Lasso linear regression, ANN, GBRT).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace hcp::ml {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Trains on the dataset (models standardize internally as needed).
+  virtual void fit(const Dataset& data) = 0;
+
+  virtual double predict(const std::vector<double>& row) const = 0;
+
+  std::vector<double> predictAll(const Dataset& data) const {
+    std::vector<double> out;
+    out.reserve(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+      out.push_back(predict(data.row(i)));
+    return out;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace hcp::ml

@@ -1,0 +1,221 @@
+#include "ml/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+
+#include "ml/gbrt.hpp"
+#include "ml/linear.hpp"
+#include "ml/mlp.hpp"
+#include "support/error.hpp"
+
+namespace hcp::ml {
+
+namespace detail {
+
+void writeVec(std::ostream& os, const std::vector<double>& v) {
+  os << v.size();
+  for (double x : v) os << ' ' << x;
+  os << '\n';
+}
+
+std::vector<double> readVec(std::istream& is) {
+  std::size_t n = 0;
+  HCP_CHECK_MSG(static_cast<bool>(is >> n), "truncated model file");
+  std::vector<double> v(n);
+  for (double& x : v)
+    HCP_CHECK_MSG(static_cast<bool>(is >> x), "truncated model file");
+  return v;
+}
+
+void expect(std::istream& is, const char* token) {
+  std::string got;
+  HCP_CHECK_MSG(static_cast<bool>(is >> got) && got == token,
+                "model file: expected '" << token << "', got '" << got
+                                         << "'");
+}
+
+}  // namespace detail
+
+void saveModel(const Regressor& model, std::ostream& os) {
+  os << std::setprecision(17);
+  if (const auto* lasso = dynamic_cast<const LassoRegression*>(&model)) {
+    os << "hcp-model lasso 1\n";
+    lasso->write(os);
+  } else if (const auto* mlp = dynamic_cast<const MlpRegressor*>(&model)) {
+    os << "hcp-model mlp 1\n";
+    mlp->write(os);
+  } else if (const auto* gbrt = dynamic_cast<const Gbrt*>(&model)) {
+    os << "hcp-model gbrt 1\n";
+    gbrt->write(os);
+  } else {
+    HCP_CHECK_MSG(false, "unsupported model type " << model.name());
+  }
+  HCP_CHECK_MSG(os.good(), "model write failed");
+}
+
+std::unique_ptr<Regressor> loadModel(std::istream& is) {
+  detail::expect(is, "hcp-model");
+  std::string kind;
+  int version = 0;
+  HCP_CHECK_MSG(static_cast<bool>(is >> kind >> version),
+                "truncated model header");
+  HCP_CHECK_MSG(version == 1, "unsupported model version " << version);
+  if (kind == "lasso") {
+    auto model = std::make_unique<LassoRegression>();
+    model->read(is);
+    return model;
+  }
+  if (kind == "mlp") {
+    auto model = std::make_unique<MlpRegressor>();
+    model->read(is);
+    return model;
+  }
+  if (kind == "gbrt") {
+    auto model = std::make_unique<Gbrt>();
+    model->read(is);
+    return model;
+  }
+  HCP_CHECK_MSG(false, "unknown model kind '" << kind << "'");
+  return nullptr;
+}
+
+void saveModelToFile(const Regressor& model, const std::string& path) {
+  std::ofstream os(path);
+  HCP_CHECK_MSG(os.good(), "cannot open " << path);
+  saveModel(model, os);
+}
+
+std::unique_ptr<Regressor> loadModelFromFile(const std::string& path) {
+  std::ifstream is(path);
+  HCP_CHECK_MSG(is.good(), "cannot open " << path);
+  return loadModel(is);
+}
+
+}  // namespace hcp::ml
+
+// --- member serialization definitions --------------------------------------
+// Kept in this TU so the line format lives in one place.
+
+namespace hcp::ml {
+
+using detail::expect;
+using detail::readVec;
+using detail::writeVec;
+
+void StandardScaler::write(std::ostream& os) const {
+  os << "scaler\n";
+  writeVec(os, mean_);
+  writeVec(os, std_);
+}
+
+void StandardScaler::read(std::istream& is) {
+  expect(is, "scaler");
+  mean_ = readVec(is);
+  std_ = readVec(is);
+}
+
+void LassoRegression::write(std::ostream& os) const {
+  os << "config " << config_.alpha << ' ' << config_.maxIterations << ' '
+     << config_.tolerance << '\n';
+  scaler_.write(os);
+  writeVec(os, weights_);
+  os << "intercept " << intercept_ << '\n';
+}
+
+void LassoRegression::read(std::istream& is) {
+  expect(is, "config");
+  HCP_CHECK(static_cast<bool>(is >> config_.alpha >> config_.maxIterations >>
+                              config_.tolerance));
+  scaler_.read(is);
+  weights_ = readVec(is);
+  expect(is, "intercept");
+  HCP_CHECK(static_cast<bool>(is >> intercept_));
+}
+
+void MlpRegressor::write(std::ostream& os) const {
+  os << "layers " << layers_.size() << '\n';
+  for (const Layer& l : layers_) {
+    os << l.in << ' ' << l.out << '\n';
+    writeVec(os, l.w);
+    writeVec(os, l.b);
+  }
+  scaler_.write(os);
+  os << "target " << yMean_ << ' ' << yStd_ << '\n';
+}
+
+void MlpRegressor::read(std::istream& is) {
+  expect(is, "layers");
+  std::size_t n = 0;
+  HCP_CHECK(static_cast<bool>(is >> n));
+  layers_.assign(n, Layer{});
+  for (Layer& l : layers_) {
+    HCP_CHECK(static_cast<bool>(is >> l.in >> l.out));
+    l.w = readVec(is);
+    l.b = readVec(is);
+    HCP_CHECK_MSG(l.w.size() == l.in * l.out && l.b.size() == l.out,
+                  "mlp layer shape mismatch");
+  }
+  scaler_.read(is);
+  expect(is, "target");
+  HCP_CHECK(static_cast<bool>(is >> yMean_ >> yStd_));
+}
+
+void RegressionTree::write(std::ostream& os) const {
+  os << "tree " << nodes_.size() << '\n';
+  for (const Node& n : nodes_) {
+    os << n.feature << ' ' << static_cast<int>(n.bin) << ' ' << n.threshold
+       << ' ' << n.left << ' ' << n.right << ' ' << n.value << '\n';
+  }
+  os << "splits " << splitCounts_.size();
+  for (std::uint32_t c : splitCounts_) os << ' ' << c;
+  os << '\n';
+  writeVec(os, splitGains_);
+}
+
+void RegressionTree::read(std::istream& is) {
+  expect(is, "tree");
+  std::size_t n = 0;
+  HCP_CHECK(static_cast<bool>(is >> n));
+  nodes_.assign(n, Node{});
+  for (Node& node : nodes_) {
+    int bin = 0;
+    HCP_CHECK(static_cast<bool>(is >> node.feature >> bin >>
+                                node.threshold >> node.left >> node.right >>
+                                node.value));
+    node.bin = static_cast<std::uint8_t>(bin);
+  }
+  expect(is, "splits");
+  std::size_t m = 0;
+  HCP_CHECK(static_cast<bool>(is >> m));
+  splitCounts_.assign(m, 0);
+  for (std::uint32_t& c : splitCounts_) HCP_CHECK(static_cast<bool>(is >> c));
+  splitGains_ = readVec(is);
+}
+
+void Gbrt::write(std::ostream& os) const {
+  os << "config " << config_.numEstimators << ' ' << config_.learningRate
+     << ' ' << config_.maxDepth << ' ' << config_.minSamplesLeaf << ' '
+     << config_.subsample << ' ' << config_.featureFraction << ' '
+     << config_.numBins << ' ' << config_.seed << '\n';
+  os << "state " << baseline_ << ' ' << numFeatures_ << ' ' << trainLoss_
+     << '\n';
+  os << "forest " << trees_.size() << '\n';
+  for (const RegressionTree& t : trees_) t.write(os);
+}
+
+void Gbrt::read(std::istream& is) {
+  expect(is, "config");
+  HCP_CHECK(static_cast<bool>(
+      is >> config_.numEstimators >> config_.learningRate >>
+      config_.maxDepth >> config_.minSamplesLeaf >> config_.subsample >>
+      config_.featureFraction >> config_.numBins >> config_.seed));
+  expect(is, "state");
+  HCP_CHECK(static_cast<bool>(is >> baseline_ >> numFeatures_ >> trainLoss_));
+  expect(is, "forest");
+  std::size_t n = 0;
+  HCP_CHECK(static_cast<bool>(is >> n));
+  trees_.assign(n, RegressionTree{});
+  for (RegressionTree& t : trees_) t.read(is);
+}
+
+}  // namespace hcp::ml

@@ -1,0 +1,32 @@
+// Model persistence: a trained predictor is the whole point of the method —
+// train once on implemented designs, then reuse across projects without
+// another place-and-route. Models serialize to a line-oriented text format
+// (architecture-independent, diff-friendly); loading restores bit-identical
+// predictions.
+#pragma once
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "ml/model.hpp"
+
+namespace hcp::ml {
+
+class LassoRegression;
+class MlpRegressor;
+class Gbrt;
+
+/// Writes any supported regressor with a type tag.
+void saveModel(const Regressor& model, std::ostream& os);
+
+/// Reads a regressor previously written by saveModel. Throws hcp::Error on
+/// malformed input or unknown type tags.
+std::unique_ptr<Regressor> loadModel(std::istream& is);
+
+/// File-path conveniences.
+void saveModelToFile(const Regressor& model, const std::string& path);
+std::unique_ptr<Regressor> loadModelFromFile(const std::string& path);
+
+}  // namespace hcp::ml

@@ -1,0 +1,205 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hcp::ml {
+
+void Binner::fit(const std::vector<std::vector<double>>& rows,
+                 std::uint32_t numBins) {
+  HCP_CHECK(!rows.empty());
+  HCP_CHECK(numBins >= 2 && numBins <= 256);
+  numBins_ = numBins;
+  const std::size_t d = rows.front().size();
+  edges_.assign(d, {});
+
+  std::vector<double> column(rows.size());
+  for (std::size_t f = 0; f < d; ++f) {
+    for (std::size_t i = 0; i < rows.size(); ++i) column[i] = rows[i][f];
+    std::sort(column.begin(), column.end());
+    auto& edges = edges_[f];
+    for (std::uint32_t b = 1; b < numBins; ++b) {
+      const std::size_t idx =
+          std::min(rows.size() - 1, b * rows.size() / numBins);
+      const double edge = column[idx];
+      if (edges.empty() || edge > edges.back()) edges.push_back(edge);
+    }
+    // Last bin is open-ended; ensure at least one edge so binOf works.
+    if (edges.empty()) edges.push_back(column.back());
+  }
+}
+
+std::uint8_t Binner::binOf(std::size_t feature, double value) const {
+  HCP_CHECK(feature < edges_.size());
+  const auto& edges = edges_[feature];
+  const auto it = std::lower_bound(edges.begin(), edges.end(), value);
+  return static_cast<std::uint8_t>(it - edges.begin());
+}
+
+std::vector<std::uint8_t> Binner::binRow(
+    const std::vector<double>& row) const {
+  std::vector<std::uint8_t> out(row.size());
+  for (std::size_t f = 0; f < row.size(); ++f) out[f] = binOf(f, row[f]);
+  return out;
+}
+
+double Binner::threshold(std::size_t feature, std::uint8_t bin) const {
+  HCP_CHECK(feature < edges_.size());
+  const auto& edges = edges_[feature];
+  return edges[std::min<std::size_t>(bin, edges.size() - 1)];
+}
+
+void RegressionTree::fitBinned(
+    const std::vector<std::vector<std::uint8_t>>& binned,
+    const std::vector<double>& targets, std::vector<std::size_t> rows,
+    const std::vector<std::size_t>& features, const Binner& binner,
+    const TreeConfig& config) {
+  HCP_CHECK(!rows.empty() && !features.empty());
+  nodes_.clear();
+  const std::size_t d = binned.front().size();
+  splitCounts_.assign(d, 0);
+  splitGains_.assign(d, 0.0);
+  build(binned, targets, rows, features, binner, config, 0);
+}
+
+std::int32_t RegressionTree::build(
+    const std::vector<std::vector<std::uint8_t>>& binned,
+    const std::vector<double>& targets, std::vector<std::size_t>& rows,
+    const std::vector<std::size_t>& features, const Binner& binner,
+    const TreeConfig& config, int depth) {
+  const auto nodeIdx = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  double sum = 0.0;
+  for (std::size_t i : rows) sum += targets[i];
+  const double n = static_cast<double>(rows.size());
+  nodes_[nodeIdx].value = sum / n;
+
+  if (depth >= config.maxDepth ||
+      rows.size() < 2 * config.minSamplesLeaf) {
+    return nodeIdx;
+  }
+
+  // Best split by variance-reduction gain over binned histograms.
+  const double parentScore = sum * sum / n;
+  double bestGain = 1e-12;
+  std::size_t bestFeature = 0;
+  std::uint32_t bestBin = 0;
+
+  const std::uint32_t numBins = binner.numBins();
+  std::vector<double> histSum(numBins);
+  std::vector<std::uint32_t> histCount(numBins);
+
+  for (std::size_t f : features) {
+    std::fill(histSum.begin(), histSum.end(), 0.0);
+    std::fill(histCount.begin(), histCount.end(), 0u);
+    for (std::size_t i : rows) {
+      const std::uint8_t b = binned[i][f];
+      histSum[b] += targets[i];
+      ++histCount[b];
+    }
+    double leftSum = 0.0;
+    std::uint32_t leftCount = 0;
+    for (std::uint32_t b = 0; b + 1 < numBins; ++b) {
+      leftSum += histSum[b];
+      leftCount += histCount[b];
+      const std::uint32_t rightCount =
+          static_cast<std::uint32_t>(rows.size()) - leftCount;
+      if (leftCount < config.minSamplesLeaf ||
+          rightCount < config.minSamplesLeaf)
+        continue;
+      const double rightSum = sum - leftSum;
+      const double gain = leftSum * leftSum / leftCount +
+                          rightSum * rightSum / rightCount - parentScore;
+      if (gain > bestGain) {
+        bestGain = gain;
+        bestFeature = f;
+        bestBin = b;
+      }
+    }
+  }
+  if (bestGain <= 1e-12) return nodeIdx;
+
+  // Partition rows in place.
+  std::vector<std::size_t> leftRows, rightRows;
+  leftRows.reserve(rows.size());
+  rightRows.reserve(rows.size());
+  for (std::size_t i : rows) {
+    (binned[i][bestFeature] <= bestBin ? leftRows : rightRows).push_back(i);
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+
+  ++splitCounts_[bestFeature];
+  splitGains_[bestFeature] += bestGain;
+
+  nodes_[nodeIdx].feature = static_cast<std::int32_t>(bestFeature);
+  nodes_[nodeIdx].bin = static_cast<std::uint8_t>(bestBin);
+  nodes_[nodeIdx].threshold = binner.threshold(bestFeature,
+                                               static_cast<std::uint8_t>(
+                                                   bestBin));
+  const std::int32_t left =
+      build(binned, targets, leftRows, features, binner, config, depth + 1);
+  const std::int32_t right =
+      build(binned, targets, rightRows, features, binner, config, depth + 1);
+  nodes_[nodeIdx].left = left;
+  nodes_[nodeIdx].right = right;
+  return nodeIdx;
+}
+
+double RegressionTree::predict(const std::vector<double>& row) const {
+  HCP_CHECK(!nodes_.empty());
+  std::int32_t cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    const Node& n = nodes_[cur];
+    cur = row[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                  : n.right;
+  }
+  return nodes_[cur].value;
+}
+
+double RegressionTree::predictBinned(
+    const std::vector<std::uint8_t>& row) const {
+  HCP_CHECK(!nodes_.empty());
+  std::int32_t cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    const Node& n = nodes_[cur];
+    cur = row[static_cast<std::size_t>(n.feature)] <= n.bin ? n.left
+                                                            : n.right;
+  }
+  return nodes_[cur].value;
+}
+
+void RegressionTree::fit(const Dataset& data, const TreeConfig& config,
+                         std::uint32_t numBins) {
+  ownBinner_.fit(data.rows(), numBins);
+  std::vector<std::vector<std::uint8_t>> binned(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    binned[i] = ownBinner_.binRow(data.row(i));
+  std::vector<std::size_t> rows(data.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  std::vector<std::size_t> features(data.numFeatures());
+  for (std::size_t f = 0; f < features.size(); ++f) features[f] = f;
+  fitBinned(binned, data.targets(), std::move(rows), features, ownBinner_,
+            config);
+}
+
+int RegressionTree::depth() const {
+  // Iterative depth computation over the node array.
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<std::int32_t, int>> stack{{0, 1}};
+  int best = 0;
+  while (!stack.empty()) {
+    auto [idx, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    if (nodes_[static_cast<std::size_t>(idx)].feature >= 0) {
+      stack.push_back({nodes_[static_cast<std::size_t>(idx)].left, d + 1});
+      stack.push_back({nodes_[static_cast<std::size_t>(idx)].right, d + 1});
+    }
+  }
+  return best;
+}
+
+}  // namespace hcp::ml

@@ -1,0 +1,29 @@
+#include "ml/validation.hpp"
+
+#include "support/stats.hpp"
+
+namespace hcp::ml {
+
+CvResult crossValidate(
+    const std::function<std::unique_ptr<Regressor>()>& factory,
+    const Dataset& data, std::size_t k, std::uint64_t seed) {
+  HCP_CHECK(data.size() >= k);
+  CvResult result;
+  const auto folds = kFoldSplits(data.size(), k, seed);
+  for (const Split& fold : folds) {
+    const Dataset train = data.subset(fold.train);
+    const Dataset test = data.subset(fold.test);
+    auto model = factory();
+    model->fit(train);
+    const auto predicted = model->predictAll(test);
+    result.foldMae.push_back(
+        meanAbsoluteError(test.targets(), predicted));
+    result.foldMedae.push_back(
+        medianAbsoluteError(test.targets(), predicted));
+  }
+  result.meanMae = mean(result.foldMae);
+  result.meanMedae = mean(result.foldMedae);
+  return result;
+}
+
+}  // namespace hcp::ml

@@ -1,0 +1,593 @@
+#include "rtl/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace hcp::rtl {
+
+using hls::FuInstance;
+using hls::SynthesizedDesign;
+using hls::SynthesizedFunction;
+using ir::Function;
+using ir::kInvalidOp;
+using ir::Op;
+using ir::Opcode;
+using ir::OpId;
+
+namespace {
+
+/// True if a memory op's address operand is a compile-time constant.
+bool constIndex(const Function& fn, const Op& op) {
+  return !op.operands.empty() &&
+         fn.op(op.operands[0].producer).opcode == Opcode::Const;
+}
+
+/// Bank a constant-index access resolves to (cyclic partitioning).
+std::uint32_t bankOfConstIndex(const Function& fn, const Op& op,
+                               std::uint32_t banks) {
+  const std::int64_t v = fn.op(op.operands[0].producer).constValue;
+  const std::uint64_t u = static_cast<std::uint64_t>(v < 0 ? -v : v);
+  return static_cast<std::uint32_t>(u % banks);
+}
+
+class Generator {
+ public:
+  explicit Generator(const SynthesizedDesign& design)
+      : design_(design), out_{Netlist(design.module->name()), {}} {}
+
+  GeneratedRtl run() {
+    const Function& top = design_.module->top();
+    std::vector<CellId> noArgs;
+    // Top-level input pads become the "argument drivers" of the top instance.
+    const InstanceId topInst = out_.netlist.addInstance(
+        Instance{"top", design_.module->topIndex(),
+                 std::numeric_limits<InstanceId>::max()});
+    std::vector<CellId> padOfPort(top.numPorts(), kInvalidCell);
+    for (ir::PortId p = 0; p < top.numPorts(); ++p) {
+      Cell pad;
+      pad.type = CellType::Pad;
+      pad.name = "pad_" + top.portInfo(p).name;
+      pad.width = top.portInfo(p).bitwidth;
+      pad.instance = topInst;
+      padOfPort[p] = out_.netlist.addCell(std::move(pad));
+    }
+    emitInstance(design_.module->topIndex(), topInst, {}, padOfPort);
+    return std::move(out_);
+  }
+
+ private:
+  /// A (possibly shared) callee module instance at a caller's call unit.
+  struct CallInstance {
+    InstanceId child = 0;
+    CellId returnCell = kInvalidCell;
+    CellId provenanceCell = kInvalidCell;  ///< cell back-traced to call ops
+    std::vector<CellId> portEntry;  ///< per argument: mux (shared) or reg
+  };
+
+  struct InstanceCtx {
+    InstanceId id = 0;
+    const Function* fn = nullptr;
+    const SynthesizedFunction* syn = nullptr;
+    std::vector<CellId> producerCell;   ///< resolved value cell per op
+    std::vector<CellId> registerCell;   ///< cross-step register per op
+    std::vector<CellId> fuCellOfOp;     ///< the FU cell an op executes on
+    std::vector<CellId> muxCellOfOp;    ///< shared-FU input mux, if any
+    std::vector<std::vector<CellId>> bankCells;  ///< per array
+    std::vector<CellId> accessMux;      ///< per load op on multi-bank arrays
+    std::vector<CellId> padOfPort;      ///< top only
+    std::map<std::uint32_t, CallInstance> callFus;  ///< per call unit
+    /// Alias resolution: the cell-owning op each op's value really comes
+    /// from (casts/passthroughs chain to their source). Registers and nets
+    /// are keyed by the root so paths break correctly across control steps.
+    std::vector<ir::OpId> rootOp;
+  };
+
+  /// Creates the callee instance of one call unit: interface registers per
+  /// in-port (behind a sites:1 mux when the unit is shared), the recursive
+  /// instance body, and the handshake with the caller's FSM.
+  CallInstance emitCalleeInstance(InstanceCtx& ctx, InstanceId callerInst,
+                                  ir::OpId firstSite, std::uint32_t fuIdx,
+                                  CellId callerFsm) {
+    const hls::FuInstance& fu = ctx.syn->binding.fus[fuIdx];
+    const Function& fn = *ctx.fn;
+    const ir::Op& op = fn.op(firstSite);
+    const auto calleeIdx = design_.module->findFunction(fu.callee);
+    HCP_CHECK(calleeIdx != ir::kInvalidIndex);
+    const Function& callee = design_.module->function(calleeIdx);
+
+    CallInstance ci;
+    ci.child = out_.netlist.addInstance(
+        Instance{out_.netlist.instance(callerInst).name + "/" + fu.callee +
+                     "_u" + std::to_string(fuIdx),
+                 calleeIdx, callerInst});
+    const std::string prefix = out_.netlist.instance(ci.child).name + "/";
+    const bool shared = fu.ops.size() > 1;
+
+    std::vector<CellId> calleeArgs(callee.numPorts(), kInvalidCell);
+    for (ir::PortId p = 0; p < callee.numPorts(); ++p) {
+      if (callee.portInfo(p).direction != ir::PortDirection::In) continue;
+      const std::uint16_t width = callee.portInfo(p).bitwidth;
+      // Interface register (ap_hs-style): localizes the callee's nets.
+      Cell reg;
+      reg.type = CellType::Register;
+      reg.name = prefix + "ifreg_" + callee.portInfo(p).name;
+      reg.width = width;
+      reg.res = design_.library.registerSpec(width);
+      reg.delayNs = 0.4;
+      reg.sequential = true;
+      reg.instance = ci.child;
+      reg.ops = {firstSite};
+      reg.sourceLine = op.sourceLine;
+      const CellId regCell = out_.netlist.addCell(std::move(reg));
+      CellId entry = regCell;
+      if (shared) {
+        const hls::OperatorSpec spec = design_.library.muxSpec(
+            static_cast<std::uint32_t>(fu.ops.size()), width);
+        Cell mux;
+        mux.type = CellType::Mux;
+        mux.name = prefix + "ifmux_" + callee.portInfo(p).name;
+        mux.width = width;
+        mux.res = spec.res;
+        mux.delayNs = spec.delayNs;
+        mux.instance = ci.child;
+        mux.ops = fu.ops;
+        mux.sourceLine = op.sourceLine;
+        const CellId muxCell = out_.netlist.addCell(std::move(mux));
+        Net feed;
+        feed.name = prefix + "ifmux_" + callee.portInfo(p).name + "_q";
+        feed.width = width;
+        feed.driver = muxCell;
+        feed.sinks = {regCell};
+        out_.netlist.addNet(std::move(feed));
+        entry = muxCell;
+      }
+      calleeArgs[p] = regCell;
+      ci.portEntry.push_back(entry);
+      if (ci.provenanceCell == kInvalidCell) ci.provenanceCell = regCell;
+    }
+    const CellId rawReturn =
+        emitInstance(calleeIdx, ci.child, calleeArgs, {}, callerFsm);
+    ci.returnCell = rawReturn;
+    if (rawReturn != kInvalidCell) {
+      // Registered output interface: the return value is launched from a
+      // register, so caller paths never chain into the callee's datapath.
+      std::uint16_t width = 16;
+      for (ir::PortId p = 0; p < callee.numPorts(); ++p)
+        if (callee.portInfo(p).direction == ir::PortDirection::Out)
+          width = callee.portInfo(p).bitwidth;
+      Cell oreg;
+      oreg.type = CellType::Register;
+      oreg.name = prefix + "ifreg_out";
+      oreg.width = width;
+      oreg.res = design_.library.registerSpec(width);
+      oreg.delayNs = 0.4;
+      oreg.sequential = true;
+      oreg.instance = ci.child;
+      oreg.ops = {firstSite};
+      oreg.sourceLine = op.sourceLine;
+      const CellId oregCell = out_.netlist.addCell(std::move(oreg));
+      Net net;
+      net.name = prefix + "ifnet_out";
+      net.width = width;
+      net.driver = rawReturn;
+      net.sinks = {oregCell};
+      out_.netlist.addNet(std::move(net));
+      ci.returnCell = oregCell;
+    }
+    if (ci.provenanceCell == kInvalidCell) ci.provenanceCell = ci.returnCell;
+    return ci;
+  }
+
+  /// Emits one function instance; returns the cell driving its return value
+  /// (kInvalidCell if the function writes no out-port).
+  CellId emitInstance(std::uint32_t fnIdx, InstanceId instId,
+                      const std::vector<CellId>& argCells,
+                      const std::vector<CellId>& padOfPort,
+                      CellId parentFsm = kInvalidCell) {
+    const Function& fn = design_.module->function(fnIdx);
+    const SynthesizedFunction& syn = design_.functions[fnIdx];
+    InstanceCtx ctx;
+    ctx.id = instId;
+    ctx.fn = &fn;
+    ctx.syn = &syn;
+    ctx.producerCell.assign(fn.numOps(), kInvalidCell);
+    ctx.registerCell.assign(fn.numOps(), kInvalidCell);
+    ctx.fuCellOfOp.assign(fn.numOps(), kInvalidCell);
+    ctx.muxCellOfOp.assign(fn.numOps(), kInvalidCell);
+    ctx.accessMux.assign(fn.numOps(), kInvalidCell);
+    ctx.rootOp.assign(fn.numOps(), kInvalidOp);
+    ctx.padOfPort = padOfPort;
+    const std::string prefix = out_.netlist.instance(instId).name + "/";
+
+    // FSM controller of this instance. Every datapath cell needs enables and
+    // mux selects from it, so a flat (fully inlined) design concentrates one
+    // huge control fan-out — a classic routing-congestion source that the
+    // case study's "Not Inline" step dissolves into small per-module FSMs.
+    const std::size_t firstOwnCell = out_.netlist.numCells();
+    CellId fsmCell;
+    {
+      Cell fsm;
+      fsm.type = CellType::Fu;
+      fsm.name = prefix + "fsm";
+      fsm.width = 8;
+      fsm.res.lut = std::min(200.0, 4.0 + 0.5 * syn.schedule.numSteps);
+      fsm.res.ff = 6.0 + std::ceil(std::log2(
+                             static_cast<double>(syn.schedule.numSteps) + 2));
+      fsm.delayNs = 0.9;
+      fsm.sequential = true;
+      fsm.instance = instId;
+      fsmCell = out_.netlist.addCell(std::move(fsm));
+    }
+    if (parentFsm != kInvalidCell) {
+      // ap_start / ap_done handshake with the caller's controller.
+      Net start;
+      start.name = prefix + "ap_start";
+      start.width = 2;
+      start.driver = parentFsm;
+      start.sinks = {fsmCell};
+      out_.netlist.addNet(std::move(start));
+      Net done;
+      done.name = prefix + "ap_done";
+      done.width = 2;
+      done.driver = fsmCell;
+      done.sinks = {parentFsm};
+      out_.netlist.addNet(std::move(done));
+    }
+
+    // --- functional units + binding muxes ---------------------------------
+    for (std::size_t f = 0; f < syn.binding.fus.size(); ++f) {
+      const FuInstance& fu = syn.binding.fus[f];
+      // Call units materialize as recursive callee instances, not cells.
+      if (fu.opcode == Opcode::Call) continue;
+      const hls::OperatorSpec spec =
+          design_.library.query(fu.opcode, fu.width);
+      Cell cell;
+      cell.type = CellType::Fu;
+      cell.name = prefix + std::string(ir::opcodeName(fu.opcode)) + "_fu" +
+                  std::to_string(f);
+      cell.width = fu.width;
+      cell.res = fu.unitRes;
+      cell.delayNs = spec.delayNs;
+      cell.sequential = spec.latency > 0;
+      cell.instance = instId;
+      cell.ops = fu.ops;
+      cell.sourceLine = fn.op(fu.ops.front()).sourceLine;
+      const CellId fuCell = out_.netlist.addCell(std::move(cell));
+      CellId muxCell = kInvalidCell;
+      if (fu.ops.size() > 1) {
+        Cell mux;
+        mux.type = CellType::Mux;
+        mux.name = prefix + "bindmux_fu" + std::to_string(f);
+        mux.width = fu.width;
+        mux.res = fu.muxRes;
+        mux.delayNs =
+            design_.library.muxSpec(fu.muxInputs, fu.width).delayNs;
+        mux.instance = instId;
+        mux.ops = fu.ops;
+        mux.sourceLine = fn.op(fu.ops.front()).sourceLine;
+        muxCell = out_.netlist.addCell(std::move(mux));
+        // Mux feeds the unit.
+        Net feed;
+        feed.name = prefix + "bindmux" + std::to_string(f) + "_to_fu";
+        feed.width = fu.width;
+        feed.driver = muxCell;
+        feed.sinks = {fuCell};
+        out_.netlist.addNet(std::move(feed));
+      }
+      for (OpId op : fu.ops) {
+        ctx.fuCellOfOp[op] = fuCell;
+        ctx.muxCellOfOp[op] = muxCell;
+        out_.provenance.opCells.emplace_back(Provenance::key(instId, op),
+                                             fuCell);
+      }
+    }
+
+    // --- memory banks ------------------------------------------------------
+    ctx.bankCells.resize(fn.numArrays());
+    for (ir::ArrayId a = 0; a < fn.numArrays(); ++a) {
+      const ir::ArrayInfo& info = fn.array(a);
+      const hls::Resource memRes =
+          design_.library.memorySpec(info.words, info.bitwidth, info.banks);
+      const auto banks = std::max<std::uint32_t>(1, info.banks);
+      for (std::uint32_t b = 0; b < banks; ++b) {
+        Cell bank;
+        bank.type = CellType::MemoryBank;
+        bank.name = prefix + info.name + "_bank" + std::to_string(b);
+        bank.width = info.bitwidth;
+        bank.res = memRes * (1.0 / banks);
+        bank.delayNs = 2.1;      // registered BRAM/LUTRAM access
+        bank.sequential = true;
+        bank.instance = instId;
+        bank.sourceLine = info.sourceLine;
+        bank.array = a;
+        bank.bankIndex = b;
+        ctx.bankCells[a].push_back(out_.netlist.addCell(std::move(bank)));
+      }
+    }
+
+    // --- per-op value cells, aliases, registers, call recursion -----------
+    for (OpId id = 0; id < fn.numOps(); ++id) {
+      const Op& op = fn.op(id);
+      switch (op.opcode) {
+        case Opcode::ReadPort:
+          if (!ctx.padOfPort.empty()) {
+            ctx.producerCell[id] = ctx.padOfPort[op.port];  // top level
+          } else {
+            HCP_CHECK(op.port < argCells.size());
+            ctx.producerCell[id] = argCells[op.port];  // caller's arg driver
+          }
+          break;
+        case Opcode::Call: {
+          // Call sites bound to the same unit share one callee instance
+          // (serialized by the scheduler); the instance is created at the
+          // first site and later sites only wire their arguments into the
+          // interface muxes.
+          const std::uint32_t fuIdx = syn.binding.fuOfOp[id];
+          HCP_CHECK(fuIdx != ir::kInvalidIndex);
+          auto state = ctx.callFus.find(fuIdx);
+          if (state == ctx.callFus.end()) {
+            state = ctx.callFus
+                        .emplace(fuIdx, emitCalleeInstance(ctx, instId, id,
+                                                           fuIdx, fsmCell))
+                        .first;
+          }
+          const CallInstance& ci = state->second;
+          // Wire this site's arguments into the interface entries.
+          for (std::size_t a = 0; a < op.operands.size(); ++a) {
+            const CellId src = ctx.producerCell[op.operands[a].producer];
+            const CellId entry = ci.portEntry[a];
+            if (src == kInvalidCell || entry == kInvalidCell ||
+                src == entry)
+              continue;
+            Net net;
+            net.name = out_.netlist.instance(ci.child).name + "/arg" +
+                       std::to_string(a) + "_site" + std::to_string(id);
+            net.width = out_.netlist.cell(entry).width;
+            net.driver = src;
+            net.sinks = {entry};
+            out_.netlist.addNet(std::move(net));
+          }
+          out_.provenance.opCells.emplace_back(Provenance::key(instId, id),
+                                               ci.provenanceCell);
+          ctx.producerCell[id] = ci.returnCell;
+          break;
+        }
+        default: {
+          if (ctx.fuCellOfOp[id] != kInvalidCell) {
+            ctx.producerCell[id] = ctx.fuCellOfOp[id];
+          } else if (!op.operands.empty()) {
+            // Wiring alias (casts, passthrough, phi, concat-like zero-area).
+            ctx.producerCell[id] =
+                ctx.producerCell[op.operands[0].producer];
+            ctx.rootOp[id] = ctx.rootOp[op.operands[0].producer];
+          }
+          break;
+        }
+      }
+      if (ctx.rootOp[id] == kInvalidOp) ctx.rootOp[id] = id;
+
+      // Bank-access mux for loads over multi-banked arrays — only when the
+      // index is not a compile-time constant. A constant index resolves to
+      // one bank at synthesis time and wires directly (this is why complete
+      // partitioning turns BRAM into plain registers with no select logic).
+      if (op.opcode == Opcode::Load && fn.array(op.array).banks > 1 &&
+          !constIndex(fn, op)) {
+        const ir::ArrayInfo& info = fn.array(op.array);
+        Cell mux;
+        mux.type = CellType::Mux;
+        mux.name = prefix + info.name + "_amux_op" + std::to_string(id);
+        mux.width = info.bitwidth;
+        const hls::OperatorSpec amux = design_.library.muxSpec(
+            std::max<std::uint32_t>(2, info.banks), info.bitwidth);
+        mux.res = amux.res;
+        mux.delayNs = amux.delayNs;
+        mux.instance = instId;
+        mux.ops = {id};
+        mux.sourceLine = op.sourceLine;
+        ctx.accessMux[id] = out_.netlist.addCell(std::move(mux));
+        out_.provenance.opCells.emplace_back(Provenance::key(instId, id),
+                                             ctx.accessMux[id]);
+      }
+    }
+
+    // Cross-step registers (second pass: alias roots are now final). A value
+    // consumed — possibly through cast aliases — in a later control step
+    // than it is produced needs a holding register; multi-cycle units
+    // register their outputs internally.
+    for (OpId id = 0; id < fn.numOps(); ++id) {
+      const Op& op = fn.op(id);
+      if (op.bitwidth == 0 || ctx.producerCell[id] == kInvalidCell ||
+          ctx.fuCellOfOp[id] == kInvalidCell ||
+          syn.schedule.ops[id].latency > 0)
+        continue;
+      bool needsReg = false;
+      for (OpId c = id + 1; c < fn.numOps() && !needsReg; ++c) {
+        for (const ir::Operand& use : fn.op(c).operands) {
+          if (ctx.rootOp[use.producer] == id &&
+              syn.schedule.ops[c].startStep > syn.schedule.ops[id].endStep) {
+            needsReg = true;
+            break;
+          }
+        }
+      }
+      if (!needsReg) continue;
+      Cell reg;
+      reg.type = CellType::Register;
+      reg.name = prefix + "reg_op" + std::to_string(id);
+      reg.width = op.bitwidth;
+      reg.res = design_.library.registerSpec(op.bitwidth);
+      reg.delayNs = 0.4;  // clk-to-q
+      reg.sequential = true;
+      reg.instance = instId;
+      reg.ops = {id};
+      reg.sourceLine = op.sourceLine;
+      ctx.registerCell[id] = out_.netlist.addCell(std::move(reg));
+      out_.provenance.opCells.emplace_back(Provenance::key(instId, id),
+                                           ctx.registerCell[id]);
+    }
+
+    emitNets(ctx, prefix);
+
+    // Control distribution: the FSM drives enables/selects of every datapath
+    // cell it owns, in bundles of 16 (shared decode per region of logic).
+    {
+      std::vector<CellId> controlled;
+      for (CellId c = static_cast<CellId>(firstOwnCell);
+           c < out_.netlist.numCells(); ++c) {
+        const Cell& cell = out_.netlist.cell(c);
+        if (cell.instance != instId || c == fsmCell) continue;
+        if (cell.type == CellType::Pad) continue;
+        controlled.push_back(c);
+      }
+      constexpr std::size_t kBundle = 32;
+      for (std::size_t g = 0; g * kBundle < controlled.size(); ++g) {
+        Net ctrl;
+        ctrl.name = prefix + "ctrl" + std::to_string(g);
+        ctrl.width = 2;
+        ctrl.driver = fsmCell;
+        const std::size_t lo = g * kBundle;
+        const std::size_t hi = std::min(controlled.size(), lo + kBundle);
+        ctrl.sinks.assign(controlled.begin() + static_cast<std::ptrdiff_t>(lo),
+                          controlled.begin() + static_cast<std::ptrdiff_t>(hi));
+        out_.netlist.addNet(std::move(ctrl));
+      }
+    }
+
+    // Return-value cell: driver of the first out-port write.
+    for (OpId id = 0; id < fn.numOps(); ++id) {
+      const Op& op = fn.op(id);
+      if (op.opcode == Opcode::WritePort) {
+        const CellId v = ctx.producerCell[op.operands[0].producer];
+        if (v != kInvalidCell) return v;
+      }
+    }
+    return kInvalidCell;
+  }
+
+  /// Builds the value nets of one instance: for every cell-owning producer,
+  /// one net to its same-step consumers (plus its register), and one net from
+  /// the register to later-step consumers. Memory data nets are added per
+  /// bank and per access mux.
+  void emitNets(const InstanceCtx& ctx, const std::string& prefix) {
+    const Function& fn = *ctx.fn;
+    const auto& sched = ctx.syn->schedule;
+
+    // Gather consumers per producer cell, split by register need.
+    struct Sinks {
+      std::set<CellId> direct;
+      std::set<CellId> viaRegister;
+    };
+    std::map<CellId, Sinks> byProducer;
+    std::map<CellId, std::uint16_t> widthOf;
+
+    for (OpId c = 0; c < fn.numOps(); ++c) {
+      const Op& cop = fn.op(c);
+      // Target cell receiving this consumer's inputs.
+      CellId target = kInvalidCell;
+      if (ctx.muxCellOfOp[c] != kInvalidCell) {
+        target = ctx.muxCellOfOp[c];
+      } else if (ctx.fuCellOfOp[c] != kInvalidCell) {
+        target = ctx.fuCellOfOp[c];
+      } else if (cop.opcode == Opcode::WritePort && !ctx.padOfPort.empty()) {
+        target = ctx.padOfPort[cop.port];
+      } else if (cop.opcode == Opcode::Call) {
+        // Handled through the callee's ReadPort aliases.
+        continue;
+      } else {
+        continue;  // aliases and void structural ops
+      }
+      for (const ir::Operand& use : cop.operands) {
+        const OpId p = ctx.rootOp[use.producer];
+        const CellId src = ctx.producerCell[p];
+        if (src == kInvalidCell || src == target) continue;
+        const bool later = p < fn.numOps() &&
+                           sched.ops[c].startStep > sched.ops[p].endStep &&
+                           ctx.registerCell[p] != kInvalidCell;
+        auto& sinks = byProducer[src];
+        widthOf[src] = std::max(widthOf[src], use.bitsUsed);
+        if (later) {
+          sinks.viaRegister.insert(ctx.registerCell[p]);
+          byProducer[ctx.registerCell[p]].direct.insert(target);
+          widthOf[ctx.registerCell[p]] =
+              std::max(widthOf[ctx.registerCell[p]], use.bitsUsed);
+        } else {
+          sinks.direct.insert(target);
+        }
+      }
+    }
+
+    // Memory data paths.
+    for (OpId id = 0; id < fn.numOps(); ++id) {
+      const Op& op = fn.op(id);
+      if (op.opcode == Opcode::Load) {
+        const auto& banks = ctx.bankCells[op.array];
+        const CellId loadCell = ctx.fuCellOfOp[id];
+        if (loadCell == kInvalidCell) continue;
+        if (banks.size() == 1) {
+          byProducer[banks[0]].direct.insert(loadCell);
+          widthOf[banks[0]] =
+              std::max(widthOf[banks[0]], fn.array(op.array).bitwidth);
+        } else if (constIndex(fn, op)) {
+          // Synthesis-time bank resolution: direct wire from one bank.
+          const CellId bank = banks[bankOfConstIndex(
+              fn, op, static_cast<std::uint32_t>(banks.size()))];
+          byProducer[bank].direct.insert(loadCell);
+          widthOf[bank] =
+              std::max(widthOf[bank], fn.array(op.array).bitwidth);
+        } else {
+          const CellId mux = ctx.accessMux[id];
+          for (CellId bank : banks) {
+            byProducer[bank].direct.insert(mux);
+            widthOf[bank] =
+                std::max(widthOf[bank], fn.array(op.array).bitwidth);
+          }
+          byProducer[mux].direct.insert(loadCell);
+          widthOf[mux] =
+              std::max(widthOf[mux], fn.array(op.array).bitwidth);
+        }
+      } else if (op.opcode == Opcode::Store) {
+        const CellId storeCell = ctx.fuCellOfOp[id];
+        if (storeCell == kInvalidCell) continue;
+        const auto& banks = ctx.bankCells[op.array];
+        if (banks.size() > 1 && constIndex(fn, op)) {
+          // Constant index: the write targets exactly one bank.
+          byProducer[storeCell].direct.insert(banks[bankOfConstIndex(
+              fn, op, static_cast<std::uint32_t>(banks.size()))]);
+        } else {
+          // Variable index: data + enables broadcast to every bank.
+          for (CellId bank : banks) byProducer[storeCell].direct.insert(bank);
+        }
+        widthOf[storeCell] =
+            std::max(widthOf[storeCell], fn.array(op.array).bitwidth);
+      }
+    }
+
+    std::size_t netIdx = 0;
+    for (auto& [src, sinks] : byProducer) {
+      std::set<CellId> all = sinks.direct;
+      for (CellId r : sinks.viaRegister) all.insert(r);
+      all.erase(src);
+      if (all.empty()) continue;
+      Net net;
+      net.name = prefix + "net" + std::to_string(netIdx++);
+      net.width = std::max<std::uint16_t>(1, widthOf[src]);
+      net.driver = src;
+      net.sinks.assign(all.begin(), all.end());
+      out_.netlist.addNet(std::move(net));
+    }
+  }
+
+  const SynthesizedDesign& design_;
+  GeneratedRtl out_;
+};
+
+}  // namespace
+
+GeneratedRtl generateRtl(const SynthesizedDesign& design) {
+  Generator gen(design);
+  return gen.run();
+}
+
+}  // namespace hcp::rtl

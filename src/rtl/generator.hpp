@@ -1,0 +1,46 @@
+// RTL generation: flattens a SynthesizedDesign into a single placeable
+// netlist. The hierarchy (top + one instance per non-inlined call site,
+// recursively) is preserved in cell provenance so congestion metrics can be
+// back-traced to the IR operation and source line that produced each cell.
+//
+// Emitted cells:
+//  - one Fu cell per bound functional unit (shared units carry all their ops)
+//  - one Mux cell per shared unit (the binder's operand muxes)
+//  - one MemoryBank cell per array bank, plus a bank-access Mux per load of a
+//    multi-banked array (reading an arbitrary word needs a banks:1 mux — this
+//    is the interconnect hotspot behind the paper's Face Detection case study)
+//  - Register cells for values crossing control-step boundaries
+//  - Pad cells for top-level ports
+//
+// Zero-area combinational ops (casts, passthroughs, concat/extract, phi) are
+// wiring aliases: their consumers connect straight to the underlying
+// producer cell, crossing instance boundaries where a call argument or
+// return value is involved.
+#pragma once
+
+#include "hls/design.hpp"
+#include "rtl/netlist.hpp"
+
+namespace hcp::rtl {
+
+/// Mapping from hardware back to IR, produced alongside the netlist.
+/// For every (instance, op) that owns at least one cell, lists those cells.
+struct Provenance {
+  /// cellsOf[instance][op] -> cells realizing that op (empty if aliased).
+  /// Flat map keyed by (instance << 32 | op) to keep it dense-friendly.
+  std::vector<std::pair<std::uint64_t, CellId>> opCells;
+
+  static std::uint64_t key(InstanceId inst, ir::OpId op) {
+    return (static_cast<std::uint64_t>(inst) << 32) | op;
+  }
+};
+
+struct GeneratedRtl {
+  Netlist netlist;
+  Provenance provenance;
+};
+
+/// Generates the flattened netlist of `design`'s top function.
+GeneratedRtl generateRtl(const hls::SynthesizedDesign& design);
+
+}  // namespace hcp::rtl

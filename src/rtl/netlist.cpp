@@ -1,0 +1,32 @@
+#include "rtl/netlist.hpp"
+
+namespace hcp::rtl {
+
+hls::Resource Netlist::totalResource() const {
+  hls::Resource total;
+  for (const Cell& c : cells_) total += c.res;
+  return total;
+}
+
+std::vector<std::string> Netlist::validate() const {
+  std::vector<std::string> out;
+  for (NetId n = 0; n < nets_.size(); ++n) {
+    const Net& net = nets_[n];
+    if (net.driver >= cells_.size())
+      out.push_back("net " + net.name + ": bad driver");
+    if (net.sinks.empty()) out.push_back("net " + net.name + ": no sinks");
+    for (CellId s : net.sinks) {
+      if (s >= cells_.size()) out.push_back("net " + net.name + ": bad sink");
+      if (s == net.driver)
+        out.push_back("net " + net.name + ": driver is also a sink");
+    }
+    if (net.width == 0) out.push_back("net " + net.name + ": zero width");
+  }
+  for (CellId c = 0; c < cells_.size(); ++c) {
+    if (cells_[c].instance >= instances_.size())
+      out.push_back("cell " + cells_[c].name + ": bad instance");
+  }
+  return out;
+}
+
+}  // namespace hcp::rtl

@@ -1,0 +1,125 @@
+// Gate-level-ish netlist: the hand-off between HLS and the physical flow.
+//
+// Cells are placeable units (functional units, registers, muxes, memory
+// banks, I/O pads) carrying their resource footprint and provenance back to
+// the IR (function index, module instance, op ids, source line). Nets are
+// driver -> sinks connections with a bit width; the router expands them into
+// routing demand. The back-tracing flow of the paper (Fig 3: congestion per
+// CLB -> cell -> net names -> HDL -> IR operation) walks exactly this
+// provenance chain in reverse.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "hls/charlib.hpp"
+#include "ir/function.hpp"
+#include "support/error.hpp"
+
+namespace hcp::rtl {
+
+using CellId = std::uint32_t;
+using NetId = std::uint32_t;
+using InstanceId = std::uint32_t;
+inline constexpr CellId kInvalidCell = std::numeric_limits<CellId>::max();
+inline constexpr NetId kInvalidNet = std::numeric_limits<NetId>::max();
+
+enum class CellType : std::uint8_t {
+  Fu,         ///< a bound functional unit (possibly shared by several ops)
+  Register,   ///< cross-control-step value register
+  Mux,        ///< binding mux or memory bank-access mux
+  MemoryBank, ///< one bank of an array (BRAM / LUTRAM / register bank)
+  Pad,        ///< top-level I/O pad (pinned to the device edge)
+};
+
+/// A module instance in the flattened hierarchy (the top function plus one
+/// instance per non-inlined call site, recursively).
+struct Instance {
+  std::string name;                 ///< hierarchical, e.g. "top/cls_i3"
+  std::uint32_t functionIndex = 0;  ///< into the ir::Module
+  InstanceId parent = std::numeric_limits<InstanceId>::max();
+};
+
+struct Cell {
+  CellType type = CellType::Fu;
+  std::string name;
+  std::uint16_t width = 0;
+  hls::Resource res;
+  double delayNs = 0.0;     ///< combinational delay through the cell
+  bool sequential = false;  ///< registers its output (timing path endpoint)
+
+  // Provenance.
+  InstanceId instance = 0;
+  std::vector<ir::OpId> ops;    ///< IR ops realized by this cell
+  std::int32_t sourceLine = 0;
+  ir::ArrayId array = ir::kInvalidIndex;  ///< MemoryBank: source array
+  std::uint32_t bankIndex = 0;            ///< MemoryBank: which bank
+};
+
+struct Net {
+  std::string name;
+  std::uint16_t width = 0;
+  CellId driver = kInvalidCell;
+  std::vector<CellId> sinks;
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  InstanceId addInstance(Instance inst) {
+    instances_.push_back(std::move(inst));
+    return static_cast<InstanceId>(instances_.size() - 1);
+  }
+  CellId addCell(Cell cell) {
+    cells_.push_back(std::move(cell));
+    return static_cast<CellId>(cells_.size() - 1);
+  }
+  NetId addNet(Net net) {
+    HCP_CHECK(net.driver != kInvalidCell);
+    nets_.push_back(std::move(net));
+    return static_cast<NetId>(nets_.size() - 1);
+  }
+
+  const Instance& instance(InstanceId id) const {
+    HCP_CHECK(id < instances_.size());
+    return instances_[id];
+  }
+  const Cell& cell(CellId id) const {
+    HCP_CHECK(id < cells_.size());
+    return cells_[id];
+  }
+  Cell& cell(CellId id) {
+    HCP_CHECK(id < cells_.size());
+    return cells_[id];
+  }
+  const Net& net(NetId id) const {
+    HCP_CHECK(id < nets_.size());
+    return nets_[id];
+  }
+
+  std::size_t numInstances() const { return instances_.size(); }
+  std::size_t numCells() const { return cells_.size(); }
+  std::size_t numNets() const { return nets_.size(); }
+  const std::vector<Cell>& cells() const { return cells_; }
+  const std::vector<Net>& nets() const { return nets_; }
+
+  /// Total resource footprint over all cells.
+  hls::Resource totalResource() const;
+
+  /// Sanity checks: net endpoints valid, no empty nets, instances resolve.
+  std::vector<std::string> validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Instance> instances_;
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+};
+
+}  // namespace hcp::rtl

@@ -1,0 +1,28 @@
+// Structural Verilog emission: writes the generated netlist as a flat
+// module of cell instantiations and wire declarations. The output is not
+// meant for simulation (cells are black boxes with behavioural stubs) but
+// gives the RTL hand-off a concrete artifact — inspectable, greppable, and
+// usable as a golden file in tests.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "rtl/netlist.hpp"
+
+namespace hcp::rtl {
+
+struct VerilogOptions {
+  bool emitCellStubs = true;   ///< append `module` stubs for each cell kind
+  bool provenanceComments = true;  ///< per-instance IR-op / line comments
+};
+
+/// Writes `netlist` as a single structural Verilog module.
+void writeVerilog(const Netlist& netlist, std::ostream& os,
+                  const VerilogOptions& options = {});
+
+/// Convenience: renders to a string.
+std::string toVerilog(const Netlist& netlist,
+                      const VerilogOptions& options = {});
+
+}  // namespace hcp::rtl

@@ -1,0 +1,49 @@
+// Error handling for the hcp libraries.
+//
+// Internal invariants and user-facing precondition violations both surface as
+// hcp::Error (derived from std::runtime_error) so callers can catch one type.
+// The HCP_CHECK macro is used for preconditions that remain active in release
+// builds; failures carry the failing expression and source location.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hcp {
+
+/// Exception type thrown by all hcp libraries on precondition or invariant
+/// violation. Carries a human-readable message including source location.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void checkFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "HCP_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace hcp
+
+/// Precondition check active in all build types. Throws hcp::Error on failure.
+#define HCP_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::hcp::detail::checkFailed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Like HCP_CHECK but with a streamed message: HCP_CHECK_MSG(x > 0, "x=" << x).
+#define HCP_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream hcp_check_os_;                              \
+      hcp_check_os_ << msg;                                          \
+      ::hcp::detail::checkFailed(#expr, __FILE__, __LINE__,          \
+                                 hcp_check_os_.str());               \
+    }                                                                \
+  } while (0)

@@ -1,0 +1,102 @@
+#include "support/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace hcp {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::setHeader(std::vector<std::string> header) {
+  HCP_CHECK(rows_.empty());
+  header_ = std::move(header);
+}
+
+void Table::addRow(std::vector<std::string> row) {
+  HCP_CHECK_MSG(row.size() == header_.size(),
+                "row arity " << row.size() << " != header " << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::toAscii() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto renderRow = [&](const std::vector<std::string>& row) {
+    std::ostringstream os;
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << " " << std::left << std::setw(static_cast<int>(width[c]))
+         << row[c] << " |";
+    os << "\n";
+    return os.str();
+  };
+  auto rule = [&]() {
+    std::ostringstream os;
+    os << "+";
+    for (std::size_t w : width) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+    return os.str();
+  };
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+  os << rule() << renderRow(header_) << rule();
+  for (const auto& row : rows_) os << renderRow(row);
+  os << rule();
+  return os.str();
+}
+
+namespace {
+std::string csvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+std::string Table::toCsv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << (c ? "," : "") << csvEscape(header_[c]);
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c ? "," : "") << csvEscape(row[c]);
+    os << "\n";
+  }
+  return os.str();
+}
+
+void Table::writeCsv(const std::string& path) const {
+  std::ofstream f(path);
+  HCP_CHECK_MSG(f.good(), "cannot open " << path);
+  f << toCsv();
+  HCP_CHECK_MSG(f.good(), "write failed: " << path);
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmtSci(double v) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(2) << v;
+  return os.str();
+}
+
+}  // namespace hcp

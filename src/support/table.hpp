@@ -1,0 +1,46 @@
+// ASCII table and CSV rendering used by the bench harnesses that regenerate
+// the paper's tables. Cells are strings; formatting helpers produce fixed
+// precision so tables are diffable across runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hcp {
+
+/// Accumulates rows and renders them as an aligned ASCII table or CSV.
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  /// Sets the header row. Must be called before addRow.
+  void setHeader(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void addRow(std::vector<std::string> row);
+
+  /// Renders an aligned, boxed ASCII table (with title if non-empty).
+  std::string toAscii() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string toCsv() const;
+
+  /// Writes toCsv() to `path`, throwing hcp::Error on I/O failure.
+  void writeCsv(const std::string& path) const;
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (default 2 decimals).
+std::string fmt(double v, int precision = 2);
+
+/// Formats a double in scientific notation with 2 decimals (e.g. 1.08e+06),
+/// matching the paper's latency rows.
+std::string fmtSci(double v);
+
+}  // namespace hcp

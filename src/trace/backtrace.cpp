@@ -1,0 +1,139 @@
+#include "trace/backtrace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/stats.hpp"
+
+namespace hcp::trace {
+
+using fpga::Implementation;
+using fpga::TileXY;
+using rtl::CellId;
+using rtl::GeneratedRtl;
+
+BackTraceResult backTrace(const GeneratedRtl& rtl, const Implementation& impl,
+                          const fpga::Device& device,
+                          const ir::Module& module) {
+  BackTraceResult result;
+
+  // Labels come from the regionally-smoothed map: Vivado's congestion
+  // report is a windowed estimate, and the learning target should be the
+  // congestion of the op's neighbourhood, not single-tile routing noise.
+  const fpga::CongestionMap smoothMap = impl.routing.map.smoothed(2);
+
+  // Group provenance records by (instance, op).
+  struct Acc {
+    double v = 0.0, h = 0.0, radius = 0.0;
+    std::size_t cells = 0;
+  };
+  std::map<std::uint64_t, Acc> acc;
+  for (const auto& [key, cell] : rtl.provenance.opCells) {
+    const TileXY tile = impl.tileOfCell(cell);
+    Acc& a = acc[key];
+    a.v += smoothMap.vUtil(tile.x, tile.y);
+    a.h += smoothMap.hUtil(tile.x, tile.y);
+    a.radius += device.centreRadius(tile.x, tile.y);
+    ++a.cells;
+    ++result.cellsTraced;
+  }
+
+  for (const auto& [key, a] : acc) {
+    const auto instance = static_cast<rtl::InstanceId>(key >> 32);
+    const auto op = static_cast<ir::OpId>(key & 0xffffffffu);
+    Sample s;
+    s.instance = instance;
+    s.functionIndex = rtl.netlist.instance(instance).functionIndex;
+    s.op = op;
+    s.vCongestion = a.v / static_cast<double>(a.cells);
+    s.hCongestion = a.h / static_cast<double>(a.cells);
+    s.avgCongestion = 0.5 * (s.vCongestion + s.hCongestion);
+    s.centreRadius = a.radius / static_cast<double>(a.cells);
+    s.numCells = a.cells;
+    result.samples.push_back(s);
+  }
+
+  // Fill per-sample IR metadata (unroll origin + source line).
+  for (Sample& s : result.samples) {
+    const ir::Function& fn = module.function(s.functionIndex);
+    s.originOp = fn.op(s.op).originOp;
+    s.sourceLine = fn.op(s.op).sourceLine;
+  }
+  result.cellsWithoutOps = rtl.netlist.numCells() -
+                           std::min(rtl.netlist.numCells(),
+                                    result.cellsTraced);
+  return result;
+}
+
+std::string describeCell(const GeneratedRtl& rtl, const Implementation& impl,
+                         const ir::Module& module, CellId cell) {
+  const rtl::Cell& c = rtl.netlist.cell(cell);
+  const TileXY tile = impl.tileOfCell(cell);
+  std::ostringstream os;
+  os << "tile(" << tile.x << "," << tile.y << ") "
+     << "V=" << impl.routing.map.vUtil(tile.x, tile.y) << "% "
+     << "H=" << impl.routing.map.hUtil(tile.x, tile.y) << "%"
+     << " <- cell '" << c.name << "'";
+  // Nets touching this cell (first few).
+  std::size_t listed = 0;
+  for (rtl::NetId n = 0; n < rtl.netlist.numNets() && listed < 3; ++n) {
+    const rtl::Net& net = rtl.netlist.net(n);
+    const bool touches =
+        net.driver == cell ||
+        std::find(net.sinks.begin(), net.sinks.end(), cell) !=
+            net.sinks.end();
+    if (touches) {
+      os << (listed == 0 ? " <- nets [" : ", ") << net.name;
+      ++listed;
+    }
+  }
+  if (listed) os << "]";
+  const rtl::Instance& inst = rtl.netlist.instance(c.instance);
+  os << " <- instance '" << inst.name << "' ("
+     << module.function(inst.functionIndex).name() << ")";
+  if (!c.ops.empty()) {
+    const ir::Function& fn = module.function(inst.functionIndex);
+    os << " <- IR op %" << c.ops.front() << " ("
+       << ir::opcodeName(fn.op(c.ops.front()).opcode) << ")"
+       << " <- source line " << fn.op(c.ops.front()).sourceLine;
+  }
+  return os.str();
+}
+
+FilterStats filterMarginal(std::vector<Sample>& samples,
+                           const FilterConfig& config) {
+  FilterStats stats;
+  stats.total = samples.size();
+
+  // Group replicas: same function, same instance, same origin op.
+  std::map<std::tuple<std::uint32_t, rtl::InstanceId, ir::OpId>,
+           std::vector<std::size_t>>
+      groups;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].originOp == ir::kInvalidOp) continue;
+    groups[{samples[i].functionIndex, samples[i].instance,
+            samples[i].originOp}]
+        .push_back(i);
+  }
+
+  for (const auto& [key, members] : groups) {
+    if (members.size() < config.minGroupSize) continue;
+    std::vector<double> labels;
+    labels.reserve(members.size());
+    for (std::size_t i : members) labels.push_back(samples[i].avgCongestion);
+    const double med = hcp::median(labels);
+    if (med <= 0.0) continue;
+    for (std::size_t i : members) {
+      Sample& s = samples[i];
+      if (s.avgCongestion < config.labelFraction * med &&
+          s.centreRadius >= config.minRadius) {
+        s.marginal = true;
+        ++stats.marginal;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace hcp::trace

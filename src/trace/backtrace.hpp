@@ -1,0 +1,81 @@
+// Back-tracing (paper §III-A1, Fig 3): connects post-PAR physical metrics
+// back to HLS IR operations.
+//
+// Forward chain: IR op -> RTL cell(s) (via the generator's provenance) ->
+// cluster -> tile -> per-tile V/H congestion. Back-tracing inverts it: every
+// (module instance, IR op) that owns placed cells becomes one dataset sample
+// whose labels are the congestion percentages of the CLBs its cells landed
+// in (averaged when an op spans several cells). The sample also records the
+// source line and the normalized distance from the device centre — the
+// latter drives the marginal-operation filter (§III-C1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/par.hpp"
+#include "rtl/generator.hpp"
+
+namespace hcp::trace {
+
+struct Sample {
+  std::uint32_t functionIndex = 0;
+  rtl::InstanceId instance = 0;
+  ir::OpId op = ir::kInvalidOp;
+  ir::OpId originOp = ir::kInvalidOp;  ///< unroll-replica group key
+  std::int32_t sourceLine = 0;
+
+  // Labels (%).
+  double vCongestion = 0.0;
+  double hCongestion = 0.0;
+  double avgCongestion = 0.0;
+
+  double centreRadius = 0.0;  ///< 0 = device centre, 1 = corner
+  std::size_t numCells = 0;
+  bool marginal = false;      ///< set by filterMarginal
+};
+
+struct BackTraceResult {
+  std::vector<Sample> samples;
+  std::size_t cellsTraced = 0;
+  std::size_t cellsWithoutOps = 0;  ///< pads/banks not tied to a single op
+};
+
+/// Labels every (instance, op) with the congestion of its cells' tiles.
+BackTraceResult backTrace(const rtl::GeneratedRtl& rtl,
+                          const fpga::Implementation& impl,
+                          const fpga::Device& device,
+                          const ir::Module& module);
+
+/// Human-readable Fig-3 style chain for one cell:
+/// tile(x,y) V/H% -> cell -> nets -> instance -> IR op -> source line.
+std::string describeCell(const rtl::GeneratedRtl& rtl,
+                         const fpga::Implementation& impl,
+                         const ir::Module& module, rtl::CellId cell);
+
+struct FilterConfig {
+  /// Replica groups smaller than this are never filtered.
+  std::size_t minGroupSize = 4;
+  /// A replica is marginal if its average label is below this fraction of
+  /// its group's median...
+  double labelFraction = 0.65;
+  /// ...and it sits beyond this centre radius (outer ring of the device).
+  double minRadius = 0.55;
+};
+
+struct FilterStats {
+  std::size_t total = 0;
+  std::size_t marginal = 0;
+  double fraction() const {
+    return total ? static_cast<double>(marginal) / total : 0.0;
+  }
+};
+
+/// Marks marginal unroll replicas (paper §III-C1: replicas of the same
+/// pre-unroll op placed at the device margin with labels far below the rest
+/// of their group — ~3.4% of ops in the paper's benchmarks).
+FilterStats filterMarginal(std::vector<Sample>& samples,
+                           const FilterConfig& config = {});
+
+}  // namespace hcp::trace

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "apps/digit_spam.hpp"
+#include "apps/face_detection.hpp"
+#include "apps/vision_suite.hpp"
+#include "hls/design.hpp"
+#include "ir/verifier.hpp"
+
+namespace hcp::apps {
+namespace {
+
+TEST(FaceDetection, ModuleVerifies) {
+  const auto app = faceDetection({});
+  EXPECT_TRUE(ir::verify(*app.module).empty());
+  EXPECT_EQ(app.module->top().name(), "face_detect");
+}
+
+TEST(FaceDetection, StagesAreDistinctFunctions) {
+  FaceDetectionConfig cfg;
+  cfg.stages = 6;
+  const auto app = faceDetection(cfg);
+  // weak_0..5, stage_0..5, cascade, top.
+  EXPECT_EQ(app.module->numFunctions(), 2u * 6 + 1 + 1);
+  EXPECT_NE(app.module->findFunction("stage_3"), ir::kInvalidIndex);
+}
+
+TEST(FaceDetection, DirectivesMatchConfig) {
+  FaceDetectionConfig cfg;
+  const auto app = faceDetection(cfg);
+  EXPECT_TRUE(app.directives.shouldInline("stage_0"));
+  EXPECT_TRUE(app.directives.shouldInline("cascade_classifier"));
+  const auto loop = app.directives.loopDirective("face_detect", "windows");
+  ASSERT_TRUE(loop.has_value());
+  EXPECT_EQ(loop->unrollFactor, cfg.windowUnroll);
+  const auto arr = app.directives.arrayDirective("face_detect", "window");
+  ASSERT_TRUE(arr.has_value());
+  EXPECT_TRUE(arr->complete);
+}
+
+TEST(FaceDetection, WithoutDirectivesHasNone) {
+  FaceDetectionConfig cfg;
+  cfg.withDirectives = false;
+  const auto app = faceDetection(cfg);
+  EXPECT_TRUE(app.directives.empty());
+}
+
+TEST(FaceDetection, NotInlineKeepsModules) {
+  FaceDetectionConfig cfg;
+  cfg.inlineClassifiers = false;
+  const auto app = faceDetection(cfg);
+  EXPECT_FALSE(app.directives.shouldInline("stage_0"));
+  // Unroll/partition directives remain.
+  EXPECT_TRUE(
+      app.directives.loopDirective("face_detect", "windows").has_value());
+}
+
+TEST(FaceDetection, ReplicationCreatesArrayCopies) {
+  FaceDetectionConfig cfg;
+  cfg.inlineClassifiers = false;
+  cfg.replicateWindowArray = true;
+  cfg.replicationCopies = 4;
+  const auto app = faceDetection(cfg);
+  EXPECT_EQ(app.module->top().numArrays(), 4u);
+  EXPECT_NE(app.module->findFunction("cascade_part2"), ir::kInvalidIndex);
+}
+
+TEST(FaceDetection, InlineFlattensCompletely) {
+  FaceDetectionConfig cfg;
+  cfg.stages = 4;
+  cfg.windowTrip = 32;
+  auto app = faceDetection(cfg);
+  const auto design =
+      hls::synthesize(std::move(app.module), app.directives, {});
+  const auto& top = design.topFunction();
+  for (ir::OpId id = 0; id < top.numOps(); ++id)
+    EXPECT_NE(top.op(id).opcode, ir::Opcode::Call);
+}
+
+TEST(DigitRecognition, StructureAndDirectives) {
+  const auto app = digitRecognition({});
+  EXPECT_TRUE(ir::verify(*app.module).empty());
+  const auto loop = app.directives.loopDirective("digitrec", "distance");
+  ASSERT_TRUE(loop.has_value());
+  EXPECT_TRUE(loop->pipeline);
+  // Popcount-heavy kernel.
+  std::size_t pops = 0;
+  const auto& fn = app.module->top();
+  for (ir::OpId id = 0; id < fn.numOps(); ++id)
+    if (fn.op(id).opcode == ir::Opcode::PopCount) ++pops;
+  EXPECT_GE(pops, 1u);
+}
+
+TEST(SpamFilter, StructureVerifies) {
+  const auto app = spamFilter({});
+  EXPECT_TRUE(ir::verify(*app.module).empty());
+  EXPECT_EQ(app.module->top().numArrays(), 2u);  // weights + features
+}
+
+TEST(DigitSpam, CombinedTopCallsBoth) {
+  const auto app = digitSpamCombined();
+  EXPECT_TRUE(ir::verify(*app.module).empty());
+  const auto& top = app.module->top();
+  std::size_t calls = 0;
+  for (ir::OpId id = 0; id < top.numOps(); ++id)
+    if (top.op(id).opcode == ir::Opcode::Call) ++calls;
+  EXPECT_EQ(calls, 2u);
+}
+
+TEST(VisionSuite, IndividualAppsVerify) {
+  EXPECT_TRUE(ir::verify(*bnn({}).module).empty());
+  EXPECT_TRUE(ir::verify(*rendering3d({}).module).empty());
+  EXPECT_TRUE(ir::verify(*opticalFlow({}).module).empty());
+}
+
+TEST(VisionSuite, OpticalFlowUsesFloatingPoint) {
+  const auto app = opticalFlow({});
+  const auto& fn = app.module->top();
+  std::size_t fp = 0;
+  for (ir::OpId id = 0; id < fn.numOps(); ++id) {
+    const auto op = fn.op(id).opcode;
+    if (op == ir::Opcode::FMul || op == ir::Opcode::FAdd ||
+        op == ir::Opcode::FDiv)
+      ++fp;
+  }
+  EXPECT_GE(fp, 10u);
+}
+
+TEST(VisionSuite, CombinedCallsAllThree) {
+  const auto app = visionCombined();
+  EXPECT_TRUE(ir::verify(*app.module).empty());
+  EXPECT_EQ(app.module->numFunctions(), 4u);
+}
+
+TEST(AllApps, SynthesizeWithinDeviceBudget) {
+  // Every evaluated design must fit the XC7Z020-class budgets.
+  std::vector<AppDesign> designs;
+  designs.push_back(faceDetection({}));
+  designs.push_back(digitSpamCombined());
+  designs.push_back(visionCombined());
+  for (auto& app : designs) {
+    const auto design =
+        hls::synthesize(std::move(app.module), app.directives, {});
+    const auto& res = design.top().report.totalRes;
+    EXPECT_LT(res.lut, 53200.0 * 0.95) << app.name;
+    EXPECT_LT(res.dsp, 246.0) << app.name;
+    EXPECT_LT(res.bram, 328.0) << app.name;
+  }
+}
+
+/// Parameterized scaling: unroll factors scale design size monotonically.
+class FaceDetScaling : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FaceDetScaling, OpsGrowWithUnroll) {
+  FaceDetectionConfig small;
+  small.windowUnroll = 1;
+  FaceDetectionConfig big;
+  big.windowUnroll = GetParam();
+  auto appSmall = faceDetection(small);
+  auto appBig = faceDetection(big);
+  const auto dSmall =
+      hls::synthesize(std::move(appSmall.module), appSmall.directives, {});
+  const auto dBig =
+      hls::synthesize(std::move(appBig.module), appBig.directives, {});
+  EXPECT_GT(dBig.topFunction().numOps(), dSmall.topFunction().numOps());
+}
+
+INSTANTIATE_TEST_SUITE_P(Unrolls, FaceDetScaling, ::testing::Values(2u, 3u));
+
+}  // namespace
+}  // namespace hcp::apps

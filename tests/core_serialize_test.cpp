@@ -1,0 +1,116 @@
+// Predictor persistence and dataset enrichment (paper §III: enrich the
+// training data with one flow of the target design when few applications
+// are available).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "apps/digit_spam.hpp"
+#include "apps/face_detection.hpp"
+#include "core/dataset_builder.hpp"
+#include "core/flow.hpp"
+#include "core/predictor.hpp"
+#include "ml/metrics.hpp"
+
+namespace hcp::core {
+namespace {
+
+class CoreSerializeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    device_ = new fpga::Device(fpga::Device::xc7z020like());
+    apps::FaceDetectionConfig cfg;
+    cfg.stages = 4;
+    cfg.windowTrip = 64;
+    cfg.fillTrip = 64;
+    faceFlow_ = new FlowResult(
+        runFlow(apps::faceDetection(cfg), *device_, {}));
+    apps::DigitRecognitionConfig digitCfg;
+    digitCfg.trainingSize = 128;
+    digitCfg.unroll = 8;
+    digitFlow_ = new FlowResult(
+        runFlow(apps::digitRecognition(digitCfg), *device_, {}));
+  }
+  static void TearDownTestSuite() {
+    delete faceFlow_;
+    delete digitFlow_;
+    delete device_;
+  }
+
+  static fpga::Device* device_;
+  static FlowResult* faceFlow_;
+  static FlowResult* digitFlow_;
+};
+
+fpga::Device* CoreSerializeTest::device_ = nullptr;
+FlowResult* CoreSerializeTest::faceFlow_ = nullptr;
+FlowResult* CoreSerializeTest::digitFlow_ = nullptr;
+
+TEST_F(CoreSerializeTest, PredictorSaveLoadBitIdentical) {
+  const auto data = buildDataset(*faceFlow_, {});
+  PredictorOptions opts;
+  opts.gbrt.numEstimators = 30;
+  CongestionPredictor predictor(opts);
+  predictor.train(data);
+
+  const std::string path = "predictor_test.hcp";
+  predictor.save(path);
+  const auto restored = CongestionPredictor::load(path);
+  std::remove(path.c_str());
+  EXPECT_TRUE(restored.trained());
+
+  features::FeatureExtractor extractor(faceFlow_->design, {});
+  for (std::size_t i = 0; i < std::min<std::size_t>(20, data.samples.size());
+       ++i) {
+    const auto& s = data.samples[i];
+    const auto a = predictor.predictOp(extractor, s.functionIndex, s.op);
+    const auto b = restored.predictOp(extractor, s.functionIndex, s.op);
+    EXPECT_DOUBLE_EQ(a.vertical, b.vertical);
+    EXPECT_DOUBLE_EQ(a.horizontal, b.horizontal);
+    EXPECT_DOUBLE_EQ(a.average, b.average);
+  }
+}
+
+TEST_F(CoreSerializeTest, SaveUntrainedThrows) {
+  CongestionPredictor predictor{PredictorOptions{}};
+  EXPECT_THROW(predictor.save("nope.hcp"), hcp::Error);
+}
+
+TEST_F(CoreSerializeTest, EnrichmentAppendsRows) {
+  auto base = buildDataset(*faceFlow_, {});
+  const auto extra = buildDataset(*digitFlow_, {});
+  const std::size_t before = base.vertical.size();
+  enrichDataset(base, extra);
+  EXPECT_EQ(base.vertical.size(), before + extra.vertical.size());
+  EXPECT_EQ(base.samples.size(), base.vertical.size());
+}
+
+TEST_F(CoreSerializeTest, EnrichmentImprovesTargetAccuracy) {
+  // Paper §III: with few training apps, one flow of the target design
+  // enriches the dataset and improves its estimation accuracy.
+  auto trainData = buildDataset(*faceFlow_, {});
+  const auto targetData = buildDataset(*digitFlow_, {});
+
+  PredictorOptions opts;
+  opts.gbrt.numEstimators = 60;
+  auto evalOnTarget = [&](const LabeledDataset& train) {
+    CongestionPredictor predictor(opts);
+    predictor.train(train);
+    features::FeatureExtractor extractor(digitFlow_->design, {});
+    std::vector<double> actual, predicted;
+    for (const auto& s : targetData.samples) {
+      actual.push_back(s.avgCongestion);
+      predicted.push_back(
+          predictor.predictOp(extractor, s.functionIndex, s.op).average);
+    }
+    return ml::meanAbsoluteError(actual, predicted);
+  };
+
+  const double before = evalOnTarget(trainData);
+  enrichDataset(trainData, targetData);
+  const double after = evalOnTarget(trainData);
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace hcp::core

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/face_detection.hpp"
+#include "core/dataset_builder.hpp"
+#include "core/flow.hpp"
+#include "core/predictor.hpp"
+#include "core/resolver.hpp"
+
+namespace hcp::core {
+namespace {
+
+/// Shared small flow + dataset (expensive, built once for the suite).
+class CoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    device_ = new fpga::Device(fpga::Device::xc7z020like());
+    apps::FaceDetectionConfig cfg;
+    cfg.windowTrip = 64;
+    cfg.fillTrip = 64;
+    cfg.stages = 6;
+    flow_ = new FlowResult(runFlow(apps::faceDetection(cfg), *device_, {}));
+    data_ = new LabeledDataset(buildDataset(*flow_, {}));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete flow_;
+    delete device_;
+  }
+
+  static fpga::Device* device_;
+  static FlowResult* flow_;
+  static LabeledDataset* data_;
+};
+
+fpga::Device* CoreTest::device_ = nullptr;
+FlowResult* CoreTest::flow_ = nullptr;
+LabeledDataset* CoreTest::data_ = nullptr;
+
+TEST_F(CoreTest, FlowProducesHeadlineMetrics) {
+  EXPECT_GT(flow_->maxFrequencyMhz, 0.0);
+  EXPECT_GT(flow_->latencyCycles, 0u);
+  EXPECT_GT(flow_->maxVCongestion, 0.0);
+  EXPECT_GT(flow_->maxHCongestion, 0.0);
+  EXPECT_LT(flow_->wnsNs, flow_->design.constraints.clockPeriodNs);
+}
+
+TEST_F(CoreTest, DatasetAlignment) {
+  EXPECT_EQ(data_->vertical.size(), data_->horizontal.size());
+  EXPECT_EQ(data_->vertical.size(), data_->average.size());
+  EXPECT_EQ(data_->vertical.size(), data_->samples.size());
+  EXPECT_EQ(data_->vertical.numFeatures(), 302u);
+  for (std::size_t i = 0; i < data_->samples.size(); ++i) {
+    EXPECT_NEAR(data_->average.target(i),
+                0.5 * (data_->vertical.target(i) +
+                       data_->horizontal.target(i)),
+                1e-9);
+  }
+}
+
+TEST_F(CoreTest, FilterReducesSamples) {
+  DatasetOptions noFilter;
+  noFilter.applyMarginalFilter = false;
+  const auto unfiltered = buildDataset(*flow_, noFilter);
+  EXPECT_GE(unfiltered.vertical.size(), data_->vertical.size());
+  EXPECT_EQ(data_->filterStats.total,
+            unfiltered.vertical.size());
+}
+
+TEST_F(CoreTest, PredictorTrainsAndPredicts) {
+  PredictorOptions opts;
+  opts.kind = ModelKind::Gbrt;
+  opts.gbrt.numEstimators = 40;
+  CongestionPredictor predictor(opts);
+  EXPECT_FALSE(predictor.trained());
+  predictor.train(*data_);
+  EXPECT_TRUE(predictor.trained());
+
+  features::FeatureExtractor extractor(flow_->design, {});
+  const auto& sample = data_->samples.front();
+  const OpPrediction p =
+      predictor.predictOp(extractor, sample.functionIndex, sample.op);
+  EXPECT_TRUE(std::isfinite(p.vertical));
+  EXPECT_TRUE(std::isfinite(p.horizontal));
+  EXPECT_TRUE(std::isfinite(p.average));
+  // Predictions live in a plausible congestion range.
+  EXPECT_GT(p.average, 0.0);
+  EXPECT_LT(p.average, 400.0);
+}
+
+TEST_F(CoreTest, PredictionsTrackLabelsOnTrainingData) {
+  PredictorOptions opts;
+  opts.gbrt.numEstimators = 80;
+  CongestionPredictor predictor(opts);
+  predictor.train(*data_);
+  features::FeatureExtractor extractor(flow_->design, {});
+  // Mean prediction over training samples is close to the label mean.
+  double predSum = 0.0, labelSum = 0.0;
+  for (const auto& s : data_->samples) {
+    predSum += predictor.predictOp(extractor, s.functionIndex, s.op).average;
+    labelSum += s.avgCongestion;
+  }
+  const double n = static_cast<double>(data_->samples.size());
+  EXPECT_NEAR(predSum / n, labelSum / n, 10.0);
+}
+
+TEST_F(CoreTest, HotspotsRankedAndBounded) {
+  CongestionPredictor predictor{PredictorOptions{}};
+  predictor.train(*data_);
+  const auto hotspots = predictor.findHotspots(flow_->design, {}, 5);
+  ASSERT_LE(hotspots.size(), 5u);
+  ASSERT_FALSE(hotspots.empty());
+  for (std::size_t i = 1; i < hotspots.size(); ++i)
+    EXPECT_GE(hotspots[i - 1].meanPredicted, hotspots[i].meanPredicted);
+  for (const auto& h : hotspots) {
+    EXPECT_FALSE(h.functionName.empty());
+    EXPECT_GT(h.numOps, 0u);
+  }
+}
+
+TEST_F(CoreTest, UntrainedPredictorThrows) {
+  CongestionPredictor predictor{PredictorOptions{}};
+  features::FeatureExtractor extractor(flow_->design, {});
+  EXPECT_THROW(predictor.predictOp(extractor, 0, 0), hcp::Error);
+  EXPECT_THROW(predictor.findHotspots(flow_->design, {}, 3), hcp::Error);
+}
+
+TEST_F(CoreTest, FeatureImportanceOnlyForGbrt) {
+  CongestionPredictor gbrt{PredictorOptions{}};
+  gbrt.train(*data_);
+  EXPECT_EQ(gbrt.featureImportance().size(), 302u);
+
+  PredictorOptions linOpts;
+  linOpts.kind = ModelKind::Linear;
+  CongestionPredictor linear(linOpts);
+  linear.train(*data_);
+  EXPECT_TRUE(linear.featureImportance().empty());
+}
+
+TEST_F(CoreTest, ResolverSuggestsRemovingInline) {
+  CongestionPredictor predictor{PredictorOptions{}};
+  predictor.train(*data_);
+  const auto hotspots = predictor.findHotspots(flow_->design, {}, 10);
+  const auto hints = adviseResolution(flow_->design, hotspots, {});
+  ASSERT_FALSE(hints.empty());
+  bool sawInlineHint = false;
+  for (const auto& h : hints) {
+    if (h.kind == ResolutionKind::RemoveInline) {
+      sawInlineHint = true;
+      // Target must be a real function of the design.
+      EXPECT_NE(flow_->design.module->findFunction(h.target),
+                ir::kInvalidIndex);
+    }
+    EXPECT_FALSE(h.message.empty());
+  }
+  EXPECT_TRUE(sawInlineHint);
+}
+
+TEST_F(CoreTest, ResolverHintsSortedBySeverity) {
+  CongestionPredictor predictor{PredictorOptions{}};
+  predictor.train(*data_);
+  const auto hints = adviseResolution(
+      flow_->design, predictor.findHotspots(flow_->design, {}, 10), {});
+  for (std::size_t i = 1; i < hints.size(); ++i)
+    EXPECT_GE(hints[i - 1].severity, hints[i].severity);
+}
+
+TEST(ModelKindNames, AllNamed) {
+  EXPECT_EQ(modelKindName(ModelKind::Linear), "Linear");
+  EXPECT_EQ(modelKindName(ModelKind::Ann), "ANN");
+  EXPECT_EQ(modelKindName(ModelKind::Gbrt), "GBRT");
+  EXPECT_EQ(resolutionKindName(ResolutionKind::ReplicateInputs),
+            "replicate-inputs");
+}
+
+}  // namespace
+}  // namespace hcp::core

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "apps/digit_spam.hpp"
+#include "features/extractor.hpp"
+#include "features/feature_registry.hpp"
+#include "hls/design.hpp"
+#include "ir/builder.hpp"
+
+namespace hcp::features {
+namespace {
+
+TEST(Registry, ExactlyThreeHundredTwo) {
+  // The paper extracts 302 features (§III-B).
+  EXPECT_EQ(FeatureRegistry::instance().size(), 302u);
+  EXPECT_EQ(kNumFeatures, 302u);
+}
+
+TEST(Registry, CategoryDecomposition) {
+  const auto counts = FeatureRegistry::instance().categoryCounts();
+  EXPECT_EQ(counts[static_cast<std::size_t>(Category::Bitwidth)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Category::Interconnection)],
+            18u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Category::Resource)], 100u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Category::Timing)], 2u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Category::ResourcePerDt)], 48u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Category::OperatorType)], 107u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Category::GlobalInfo)], 26u);
+}
+
+TEST(Registry, NamesUnique) {
+  const auto& reg = FeatureRegistry::instance();
+  std::set<std::string> names;
+  for (const auto& f : reg.all())
+    EXPECT_TRUE(names.insert(f.name).second) << "duplicate " << f.name;
+}
+
+TEST(Registry, IndexOfRoundTrips) {
+  const auto& reg = FeatureRegistry::instance();
+  EXPECT_EQ(reg.indexOf("bitwidth"), 0u);
+  EXPECT_EQ(reg.info(reg.indexOf("delay_ns")).category, Category::Timing);
+  EXPECT_THROW(reg.indexOf("no_such_feature"), hcp::Error);
+}
+
+// --- extractor on a hand-built design ------------------------------------
+
+class ExtractorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto mod = std::make_unique<ir::Module>("m");
+    auto fn = std::make_unique<ir::Function>("top");
+    {
+      ir::Builder b(*fn);
+      const auto in = b.inPort("i", 16);
+      const auto out = b.outPort("o", 32);
+      x_ = b.readPort(in);
+      mul_ = b.mul(x_, x_);
+      add_ = b.add(mul_, mul_);
+      b.writePort(out, add_);
+      b.ret();
+    }
+    mod->addFunction(std::move(fn));
+    mod->setTop("top");
+    design_ = new hls::SynthesizedDesign(
+        hls::synthesize(std::move(mod), {}, {}));
+    extractor_ = new FeatureExtractor(*design_, DeviceCaps{});
+  }
+  static void TearDownTestSuite() {
+    delete extractor_;
+    delete design_;
+  }
+
+  static hls::SynthesizedDesign* design_;
+  static FeatureExtractor* extractor_;
+  static ir::OpId x_, mul_, add_;
+
+  double feat(ir::OpId op, const std::string& name) {
+    const auto v = extractor_->extract(design_->module->topIndex(), op);
+    return v[FeatureRegistry::instance().indexOf(name)];
+  }
+};
+
+hls::SynthesizedDesign* ExtractorTest::design_ = nullptr;
+FeatureExtractor* ExtractorTest::extractor_ = nullptr;
+ir::OpId ExtractorTest::x_, ExtractorTest::mul_, ExtractorTest::add_;
+
+TEST_F(ExtractorTest, VectorHas302Entries) {
+  const auto v = extractor_->extract(design_->module->topIndex(), mul_);
+  EXPECT_EQ(v.size(), kNumFeatures);
+  for (double f : v) EXPECT_TRUE(std::isfinite(f));
+}
+
+TEST_F(ExtractorTest, BitwidthFeature) {
+  EXPECT_DOUBLE_EQ(feat(mul_, "bitwidth"), 32.0);
+  EXPECT_DOUBLE_EQ(feat(x_, "bitwidth"), 16.0);
+}
+
+TEST_F(ExtractorTest, FanInOutWires) {
+  // mul reads x twice (2x16 = 32 wires in) and feeds add twice (2x32 out).
+  EXPECT_DOUBLE_EQ(feat(mul_, "fan_in.1hop"), 32.0);
+  EXPECT_DOUBLE_EQ(feat(mul_, "fan_out.1hop"), 64.0);
+  EXPECT_DOUBLE_EQ(feat(mul_, "fan_sum.1hop"), 96.0);
+  EXPECT_DOUBLE_EQ(feat(mul_, "num_preds.1hop"), 1.0);
+}
+
+TEST_F(ExtractorTest, OneHotOperatorType) {
+  EXPECT_DOUBLE_EQ(feat(mul_, "op.is.mul"), 1.0);
+  EXPECT_DOUBLE_EQ(feat(mul_, "op.is.add"), 0.0);
+  // mul's neighbours: the readport (pred) and the add (succ).
+  EXPECT_DOUBLE_EQ(feat(mul_, "op.nbr_count.add"), 1.0);
+  EXPECT_DOUBLE_EQ(feat(mul_, "op.nbr_count.readport"), 1.0);
+  EXPECT_DOUBLE_EQ(feat(mul_, "op.nbr_distinct_kinds"), 2.0);
+}
+
+TEST_F(ExtractorTest, TimingFeaturesMatchSchedule) {
+  const auto& sched = design_->top().schedule;
+  EXPECT_DOUBLE_EQ(feat(mul_, "delay_ns"), sched.ops[mul_].delayNs);
+  EXPECT_DOUBLE_EQ(feat(mul_, "latency_cycles"), sched.ops[mul_].latency);
+  EXPECT_GT(feat(mul_, "latency_cycles"), 0.0);  // 32-bit mul is multi-cycle
+}
+
+TEST_F(ExtractorTest, ResourceSelfUsage) {
+  // The mul op owns its DSP unit entirely (no sharing here).
+  EXPECT_GT(feat(mul_, "res.dsp.usage"), 0.0);
+  EXPECT_DOUBLE_EQ(feat(mul_, "res.dsp.util_device"),
+                   feat(mul_, "res.dsp.usage") / 220.0);
+}
+
+TEST_F(ExtractorTest, NeighbourResourceAggregates) {
+  // add's one-hop pred set = {mul node}; its DSP usage appears there.
+  EXPECT_DOUBLE_EQ(feat(add_, "res.dsp.usage.preds.1hop"),
+                   feat(mul_, "res.dsp.usage"));
+  EXPECT_DOUBLE_EQ(feat(add_, "res.dsp.usage.succs.1hop"), 0.0);
+}
+
+TEST_F(ExtractorTest, ResourcePerDtPositive) {
+  EXPECT_GT(feat(add_, "res_dt.dsp.usage.preds.1hop"), 0.0);
+}
+
+TEST_F(ExtractorTest, GlobalFeaturesConstantAcrossOps) {
+  EXPECT_DOUBLE_EQ(feat(mul_, "global.ftop.lut"),
+                   feat(add_, "global.ftop.lut"));
+  EXPECT_DOUBLE_EQ(feat(mul_, "global.fop.target_clock_ns"), 10.0);
+}
+
+TEST(ExtractorIntegration, WholeAppExtractsFiniteVectors) {
+  auto app = apps::digitRecognition({.trainingSize = 64, .unroll = 4});
+  auto design = hls::synthesize(std::move(app.module), app.directives, {});
+  FeatureExtractor ex(design, DeviceCaps{});
+  const auto f = design.module->topIndex();
+  for (ir::OpId op = 0; op < design.module->function(f).numOps(); ++op) {
+    const auto v = ex.extract(f, op);
+    ASSERT_EQ(v.size(), kNumFeatures);
+    for (double val : v) ASSERT_TRUE(std::isfinite(val));
+  }
+}
+
+}  // namespace
+}  // namespace hcp::features

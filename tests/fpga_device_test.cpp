@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "fpga/device.hpp"
+
+namespace hcp::fpga {
+namespace {
+
+TEST(Device, Xc7z020Budgets) {
+  const Device dev = Device::xc7z020like();
+  // LUT budget within 10% of the real part's 53,200.
+  EXPECT_NEAR(dev.totalLut(), 53200.0, 5320.0);
+  EXPECT_GE(dev.totalDsp(), 220.0);
+  EXPECT_GE(dev.totalBram(), 280.0);
+}
+
+TEST(Device, IoRingOnBorder) {
+  const Device dev = Device::xc7z020like();
+  EXPECT_EQ(dev.tileType(0, 0), TileType::Io);
+  EXPECT_EQ(dev.tileType(dev.width() - 1, 5), TileType::Io);
+  EXPECT_EQ(dev.tileType(5, dev.height() - 1), TileType::Io);
+}
+
+TEST(Device, ColumnsPlacedAsConfigured) {
+  const Device dev = Device::xc7z020like();
+  EXPECT_EQ(dev.tileType(18, 10), TileType::Dsp);
+  EXPECT_EQ(dev.tileType(9, 10), TileType::Bram);
+  EXPECT_EQ(dev.tileType(12, 10), TileType::Clb);
+}
+
+TEST(Device, TilesOfTypePartitionTheGrid) {
+  const Device dev = Device::xc7z020like();
+  std::size_t total = 0;
+  for (int t = 0; t < 4; ++t)
+    total += dev.tilesOfType(static_cast<TileType>(t)).size();
+  EXPECT_EQ(total, dev.numTiles());
+}
+
+TEST(Device, CapacityMatchesType) {
+  const Device dev = Device::xc7z020like();
+  const auto clb = dev.tileCapacity(12, 10);
+  EXPECT_GT(clb.lut, 0.0);
+  EXPECT_EQ(clb.dsp, 0.0);
+  const auto dsp = dev.tileCapacity(18, 10);
+  EXPECT_GT(dsp.dsp, 0.0);
+  EXPECT_EQ(dsp.lut, 0.0);
+}
+
+TEST(Device, ChannelBoostNearColumns) {
+  const Device dev = Device::xc7z020like();
+  // Next to the DSP column at x=18.
+  EXPECT_GT(dev.vTracksAt(17, 10), dev.vTracks());
+  EXPECT_GT(dev.hTracksAt(19, 10), dev.hTracks());
+  // Far from any column.
+  EXPECT_DOUBLE_EQ(dev.vTracksAt(13, 10), dev.vTracks());
+}
+
+TEST(Device, HorizontalCapacityBelowVertical) {
+  // The paper's benchmarks saturate horizontal routing first (Table III);
+  // the device model encodes that asymmetry.
+  const Device dev = Device::xc7z020like();
+  EXPECT_LT(dev.hTracks(), dev.vTracks());
+}
+
+TEST(Device, CentreRadius) {
+  const Device dev = Device::xc7z020like();
+  const double centre =
+      dev.centreRadius(dev.width() / 2, dev.height() / 2);
+  const double corner = dev.centreRadius(0, 0);
+  EXPECT_LT(centre, 0.1);
+  EXPECT_GT(corner, 0.9);
+  EXPECT_LE(corner, 1.0);
+}
+
+TEST(Device, ManhattanDistance) {
+  EXPECT_EQ(Device::manhattan(3, 4, 7, 1), 7u);
+  EXPECT_EQ(Device::manhattan(5, 5, 5, 5), 0u);
+}
+
+TEST(Device, OutOfRangeIndexThrows) {
+  const Device dev = Device::xc7z020like();
+  EXPECT_THROW(dev.index(dev.width(), 0), hcp::Error);
+}
+
+TEST(Device, TinyDeviceRejected) {
+  Device::Config c;
+  c.width = 4;
+  c.height = 4;
+  EXPECT_THROW(Device dev(std::move(c)), hcp::Error);
+}
+
+}  // namespace
+}  // namespace hcp::fpga

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fpga/packer.hpp"
+
+namespace hcp::fpga {
+namespace {
+
+using rtl::Cell;
+using rtl::CellId;
+using rtl::CellType;
+using rtl::Netlist;
+
+/// Builds a netlist of `n` small LUT cells in a chain, plus optional extras.
+Netlist chainNetlist(std::size_t n, double lutPerCell = 2.0) {
+  Netlist nl("t");
+  const auto inst = nl.addInstance({"top", 0, 0});
+  CellId prev = rtl::kInvalidCell;
+  for (std::size_t i = 0; i < n; ++i) {
+    Cell c;
+    c.name = "c" + std::to_string(i);
+    c.type = CellType::Fu;
+    c.width = 8;
+    c.res.lut = lutPerCell;
+    c.instance = inst;
+    const CellId id = nl.addCell(std::move(c));
+    if (prev != rtl::kInvalidCell) {
+      rtl::Net net;
+      net.name = "n" + std::to_string(i);
+      net.width = 8;
+      net.driver = prev;
+      net.sinks = {id};
+      nl.addNet(std::move(net));
+    }
+    prev = id;
+  }
+  return nl;
+}
+
+TEST(Packer, ConnectedSmallCellsCluster) {
+  const auto nl = chainNetlist(8, 2.0);
+  const auto packing = pack(nl, Device::xc7z020like());
+  // 8 cells x 2 LUT = 16 LUT; a CLB holds 8 -> at least 2, at most 8
+  // clusters, and clustering should do better than 1 per cell.
+  EXPECT_LT(packing.clusters.size(), 8u);
+  EXPECT_GE(packing.clusters.size(), 2u);
+}
+
+TEST(Packer, EveryCellAssigned) {
+  const auto nl = chainNetlist(10);
+  const auto packing = pack(nl, Device::xc7z020like());
+  for (CellId c = 0; c < nl.numCells(); ++c)
+    EXPECT_FALSE(packing.clustersOfCell[c].empty());
+}
+
+TEST(Packer, OversizedCellSplitsIntoParts) {
+  Netlist nl("t");
+  const auto inst = nl.addInstance({"top", 0, 0});
+  Cell big;
+  big.name = "big";
+  big.type = CellType::Fu;
+  big.width = 64;
+  big.res.lut = 40.0;  // 5 CLBs worth
+  big.instance = inst;
+  nl.addCell(std::move(big));
+  const auto packing = pack(nl, Device::xc7z020like());
+  EXPECT_EQ(packing.clustersOfCell[0].size(), 5u);
+  // Parts are chained so placement keeps them together.
+  EXPECT_EQ(packing.nets.size(), 4u);
+}
+
+TEST(Packer, SiteClassesRespected) {
+  Netlist nl("t");
+  const auto inst = nl.addInstance({"top", 0, 0});
+  Cell dsp;
+  dsp.name = "dsp";
+  dsp.res.dsp = 1.0;
+  dsp.instance = inst;
+  nl.addCell(std::move(dsp));
+  Cell bram;
+  bram.name = "bram";
+  bram.type = CellType::MemoryBank;
+  bram.res.bram = 1.0;
+  bram.instance = inst;
+  nl.addCell(std::move(bram));
+  Cell pad;
+  pad.name = "pad";
+  pad.type = CellType::Pad;
+  pad.instance = inst;
+  nl.addCell(std::move(pad));
+  const auto packing = pack(nl, Device::xc7z020like());
+  std::multiset<TileType> sites;
+  for (const auto& c : packing.clusters) sites.insert(c.site);
+  EXPECT_EQ(sites.count(TileType::Dsp), 1u);
+  EXPECT_EQ(sites.count(TileType::Bram), 1u);
+  EXPECT_EQ(sites.count(TileType::Io), 1u);
+}
+
+TEST(Packer, PinCapLimitsClusterFanConcentration) {
+  // Star: one hub cell driving 60 tiny sinks. Without a pin cap, all sinks
+  // would fuse into the hub's cluster.
+  Netlist nl("t");
+  const auto inst = nl.addInstance({"top", 0, 0});
+  Cell hub;
+  hub.name = "hub";
+  hub.res.lut = 1.0;
+  hub.instance = inst;
+  const CellId h = nl.addCell(std::move(hub));
+  for (int i = 0; i < 60; ++i) {
+    Cell c;
+    c.name = "s" + std::to_string(i);
+    c.res.lut = 0.1;
+    c.instance = inst;
+    const CellId id = nl.addCell(std::move(c));
+    rtl::Net net;
+    net.name = "n" + std::to_string(i);
+    net.width = 16;
+    net.driver = h;
+    net.sinks = {id};
+    nl.addNet(std::move(net));
+  }
+  const auto packing = pack(nl, Device::xc7z020like());
+  for (const auto& cluster : packing.clusters)
+    EXPECT_LE(cluster.cells.size(), 12u)
+        << "pin cap should stop unbounded absorption";
+  EXPECT_GT(packing.clusters.size(), 5u);
+}
+
+TEST(Packer, IntraClusterNetsAbsorbed) {
+  const auto nl = chainNetlist(4, 1.0);  // all fit one CLB
+  const auto packing = pack(nl, Device::xc7z020like());
+  if (packing.clusters.size() == 1) {
+    EXPECT_TRUE(packing.nets.empty());
+  } else {
+    EXPECT_LT(packing.nets.size(), nl.numNets());
+  }
+}
+
+TEST(Packer, OverCapacityThrows) {
+  // More DSP cells than DSP tiles.
+  Netlist nl("t");
+  const auto inst = nl.addInstance({"top", 0, 0});
+  const auto dev = Device::xc7z020like();
+  const std::size_t dspTiles = dev.tilesOfType(TileType::Dsp).size();
+  for (std::size_t i = 0; i < dspTiles + 1; ++i) {
+    Cell c;
+    c.name = "d" + std::to_string(i);
+    c.res.dsp = 1.0;
+    c.instance = inst;
+    nl.addCell(std::move(c));
+  }
+  EXPECT_THROW(pack(nl, dev), hcp::Error);
+}
+
+TEST(Packer, ClusterResourcesWithinTileCapacity) {
+  const auto nl = chainNetlist(40, 3.0);
+  const auto dev = Device::xc7z020like();
+  const auto packing = pack(nl, dev);
+  const auto clbCap = dev.tileCapacity(12, 10);
+  for (const auto& cluster : packing.clusters) {
+    if (cluster.site != TileType::Clb) continue;
+    EXPECT_LE(cluster.lut, clbCap.lut + 1e-9);
+    EXPECT_LE(cluster.ff, clbCap.ff + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace hcp::fpga

@@ -1,0 +1,153 @@
+// Randomized property tests: generate random-but-valid IR designs and push
+// them through the entire pipeline (passes -> directives -> schedule -> bind
+// -> RTL -> pack -> place -> route -> STA -> back-trace -> features),
+// asserting structural invariants at every stage. Catches interactions no
+// hand-written case covers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dataset_builder.hpp"
+#include "core/flow.hpp"
+#include "features/extractor.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "support/rng.hpp"
+
+namespace hcp {
+namespace {
+
+/// Generates a random valid dataflow function: a few loops, arrays, a mix of
+/// opcodes, everything wired to earlier values.
+apps::AppDesign randomDesign(std::uint64_t seed) {
+  Rng rng(seed);
+  apps::AppDesign design;
+  design.name = "fuzz_" + std::to_string(seed);
+  design.module = std::make_unique<ir::Module>(design.name);
+
+  auto fn = std::make_unique<ir::Function>("fuzz_top");
+  ir::Builder b(*fn);
+  const auto in = b.inPort("in", 16);
+  const auto out = b.outPort("out", 32);
+  const auto arr = b.array("mem", 16 + rng.uniformInt(48), 16);
+
+  std::vector<ir::OpId> values;
+  values.push_back(b.readPort(in));
+
+  const int numLoops = 1 + static_cast<int>(rng.uniformInt(3));
+  for (int l = 0; l < numLoops; ++l) {
+    b.atLine(100 + l * 10);
+    b.beginLoop("loop" + std::to_string(l), 4 + rng.uniformInt(60));
+    const int bodyOps = 3 + static_cast<int>(rng.uniformInt(12));
+    for (int i = 0; i < bodyOps; ++i) {
+      const ir::OpId a = values[rng.uniformInt(values.size())];
+      const ir::OpId c = values[rng.uniformInt(values.size())];
+      ir::OpId v = ir::kInvalidOp;
+      switch (rng.uniformInt(8)) {
+        case 0: v = b.add(a, c); break;
+        case 1: v = b.mul(b.trunc(a, std::min<std::uint16_t>(
+                                         9, fn->op(a).bitwidth)),
+                          b.constant(3, 4));
+                break;
+        case 2: v = b.xor_(a, c); break;
+        case 3: v = b.select(b.icmpGt(a, c), a, c); break;
+        case 4: v = b.min(a, c); break;
+        case 5: {
+          const auto idx = b.constant(
+              static_cast<std::int64_t>(rng.uniformInt(16)), 8);
+          v = b.load(arr, idx);
+          break;
+        }
+        case 6: {
+          const auto idx = b.constant(
+              static_cast<std::int64_t>(rng.uniformInt(16)), 8);
+          b.store(arr, idx, a);
+          v = a;
+          break;
+        }
+        default: v = b.sub(a, c); break;
+      }
+      if (fn->op(v).bitwidth > 32) v = b.trunc(v, 16);
+      values.push_back(v);
+    }
+    b.endLoop();
+  }
+  b.writePort(out, b.zext(values.back(), 32));
+  b.ret();
+  design.module->addFunction(std::move(fn));
+  design.module->setTop("fuzz_top");
+
+  // Random directives on the generated loops.
+  for (int l = 0; l < numLoops; ++l) {
+    const std::string loop = "loop" + std::to_string(l);
+    if (rng.bernoulli(0.5))
+      design.directives.unroll("fuzz_top", loop,
+                               2 + static_cast<std::uint32_t>(
+                                       rng.uniformInt(6)));
+    if (rng.bernoulli(0.4)) design.directives.pipeline("fuzz_top", loop, 1);
+  }
+  if (rng.bernoulli(0.5))
+    design.directives.partition("fuzz_top", "mem",
+                                1u << rng.uniformInt(4));
+  return design;
+}
+
+class FuzzPipeline : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzPipeline, FullFlowInvariantsHold) {
+  const auto device = fpga::Device::xc7z020like();
+  auto design = randomDesign(GetParam());
+  ASSERT_TRUE(ir::verify(*design.module).empty());
+
+  const auto flow = core::runFlow(std::move(design), device, {});
+
+  // Schedule causality.
+  const auto& fn = flow.design.topFunction();
+  const auto& sched = flow.design.top().schedule;
+  for (ir::OpId id = 0; id < fn.numOps(); ++id) {
+    for (const auto& use : fn.op(id).operands) {
+      const auto& p = sched.ops[use.producer];
+      if (p.latency > 0)
+        ASSERT_GT(sched.ops[id].startStep, p.endStep);
+      else
+        ASSERT_GE(sched.ops[id].startStep, p.startStep);
+    }
+  }
+
+  // Netlist validity and placement legality.
+  ASSERT_TRUE(flow.rtl.netlist.validate().empty());
+  for (std::size_t c = 0; c < flow.impl.packing.clusters.size(); ++c) {
+    const auto t = flow.impl.placement.tileOfCluster[c];
+    ASSERT_LT(t.x, device.width());
+    ASSERT_LT(t.y, device.height());
+  }
+
+  // Routing demand is non-negative and finite everywhere.
+  const auto& map = flow.impl.routing.map;
+  for (std::uint32_t y = 0; y < map.height(); ++y)
+    for (std::uint32_t x = 0; x < map.width(); ++x) {
+      ASSERT_GE(map.vDemand(x, y), -1e-9);
+      ASSERT_TRUE(std::isfinite(map.hDemand(x, y)));
+    }
+
+  // Timing is finite and WNS consistent with the critical path.
+  ASSERT_TRUE(std::isfinite(flow.impl.timing.criticalPathNs));
+  ASSERT_GT(flow.impl.timing.maxFrequencyMhz, 0.0);
+
+  // Every sample resolves and features are finite.
+  features::FeatureExtractor extractor(flow.design, {});
+  for (const auto& s : flow.traced.samples) {
+    ASSERT_LT(s.op, fn.numOps());
+    ASSERT_GE(s.vCongestion, 0.0);
+    const auto x = extractor.extract(s.functionIndex, s.op);
+    ASSERT_EQ(x.size(), features::kNumFeatures);
+    for (double v : x) ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace hcp

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hls/binder.hpp"
+#include "hls/scheduler.hpp"
+#include "ir/builder.hpp"
+
+namespace hcp::hls {
+namespace {
+
+using ir::Builder;
+using ir::Function;
+using ir::Opcode;
+using ir::OpId;
+
+class BinderTest : public ::testing::Test {
+ protected:
+  CharLibrary lib = CharLibrary::xilinx7();
+};
+
+/// Sequential chain of muls: intervals never overlap, so they share.
+TEST_F(BinderTest, SequentialMulsShare) {
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", 16);
+  const auto out = b.outPort("o", 16);
+  OpId v = b.readPort(in);
+  for (int i = 0; i < 4; ++i) v = b.trunc(b.mul(v, v), 16);
+  b.writePort(out, v);
+  b.ret();
+  const Schedule sched = schedule(fn, lib, {});
+  const Binding binding = bind(fn, sched, lib);
+  EXPECT_GE(binding.sharedUnits, 1u);
+  EXPECT_GE(binding.sharedOps, 4u);
+  // Shared units need input muxes.
+  EXPECT_GT(binding.totalMuxCount, 0u);
+  EXPECT_GT(binding.totalMuxRes.lut, 0.0);
+}
+
+/// Parallel muls: overlapping intervals cannot share.
+TEST_F(BinderTest, ParallelMulsDoNotShare) {
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", 16);
+  const auto out = b.outPort("o", 32);
+  const OpId x = b.readPort(in);
+  const OpId m1 = b.mul(x, x);
+  const OpId m2 = b.mul(x, x);
+  b.writePort(out, b.add(m1, m2));
+  b.ret();
+  const Schedule sched = schedule(fn, lib, {});
+  const Binding binding = bind(fn, sched, lib);
+  EXPECT_EQ(binding.fuOfOp[m1] == binding.fuOfOp[m2], false);
+}
+
+TEST_F(BinderTest, CheapOpsNeverShare) {
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", 16);
+  const auto out = b.outPort("o", 16);
+  OpId v = b.readPort(in);
+  for (int i = 0; i < 4; ++i) v = b.add(v, v);
+  b.writePort(out, b.trunc(v, 16));
+  b.ret();
+  const Schedule sched = schedule(fn, lib, {});
+  const Binding binding = bind(fn, sched, lib);
+  EXPECT_EQ(binding.sharedUnits, 0u);
+}
+
+TEST_F(BinderTest, PipelinedLoopDisablesSharing) {
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", 16);
+  const auto out = b.outPort("o", 16);
+  const OpId x = b.readPort(in);
+  const ir::LoopId l = b.beginLoop("L", 16);
+  OpId v = x;
+  for (int i = 0; i < 3; ++i) v = b.trunc(b.mul(v, v), 16);
+  b.endLoop();
+  fn.loop(l).pipelined = true;
+  b.writePort(out, v);
+  b.ret();
+  const Schedule sched = schedule(fn, lib, {});
+  const Binding binding = bind(fn, sched, lib);
+  EXPECT_EQ(binding.sharedUnits, 0u);
+}
+
+TEST_F(BinderTest, GroupSizeCapRespected) {
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", 16);
+  const auto out = b.outPort("o", 16);
+  OpId v = b.readPort(in);
+  for (int i = 0; i < 20; ++i) v = b.trunc(b.mul(v, v), 16);
+  b.writePort(out, v);
+  b.ret();
+  const Schedule sched = schedule(fn, lib, {});
+  BindConstraints c;
+  c.maxGroupSize = 4;
+  const Binding binding = bind(fn, sched, lib, c);
+  for (const FuInstance& fu : binding.fus)
+    EXPECT_LE(fu.ops.size(), 4u);
+}
+
+TEST_F(BinderTest, EveryFunctionalOpBound) {
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", 16);
+  const auto out = b.outPort("o", 16);
+  const auto arr = b.array("m", 16, 16);
+  const OpId x = b.readPort(in);
+  const OpId s = b.add(x, b.constant(1, 8));
+  b.store(arr, b.constant(0, 4), s);
+  const OpId l = b.load(arr, b.constant(0, 4));
+  b.writePort(out, l);
+  b.ret();
+  const Schedule sched = schedule(fn, lib, {});
+  const Binding binding = bind(fn, sched, lib);
+  for (OpId id = 0; id < fn.numOps(); ++id) {
+    if (ir::isFunctionalUnit(fn.op(id).opcode)) {
+      EXPECT_NE(binding.fuOfOp[id], ir::kInvalidIndex)
+          << ir::opcodeName(fn.op(id).opcode);
+    }
+  }
+}
+
+TEST_F(BinderTest, SerializedCallsShareCalleeInstance) {
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", 8);
+  const auto out = b.outPort("o", 8);
+  const OpId x = b.readPort(in);
+  std::vector<OpId> calls;
+  for (int i = 0; i < 4; ++i) calls.push_back(b.call("leaf", {x}, 8));
+  OpId acc = calls[0];
+  for (int i = 1; i < 4; ++i) acc = b.add(acc, calls[i]);
+  b.writePort(out, acc);
+  b.ret();
+
+  ScheduleConstraints sc;
+  sc.callInstanceLimit = 2;
+  const Schedule sched = schedule(fn, lib, sc, {{"leaf", 6}});
+  std::map<std::string, Resource> calleeRes{
+      {"leaf", Resource{100, 50, 0, 0}}};
+  const Binding binding = bind(fn, sched, lib, {}, calleeRes);
+
+  std::set<std::uint32_t> callFus;
+  for (OpId c : calls) callFus.insert(binding.fuOfOp[c]);
+  EXPECT_EQ(callFus.size(), 2u);  // two shared instances
+  for (std::uint32_t f : callFus) {
+    EXPECT_EQ(binding.fus[f].callee, "leaf");
+    EXPECT_DOUBLE_EQ(binding.fus[f].unitRes.lut, 100.0);
+  }
+}
+
+TEST_F(BinderTest, CallsToDifferentCalleesNeverShare) {
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", 8);
+  const auto out = b.outPort("o", 8);
+  const OpId x = b.readPort(in);
+  const OpId c1 = b.call("a", {x}, 8);
+  const OpId c2 = b.call("b", {c1}, 8);
+  b.writePort(out, c2);
+  b.ret();
+  const Schedule sched = schedule(fn, lib, {}, {{"a", 4}, {"b", 4}});
+  const Binding binding = bind(fn, sched, lib);
+  EXPECT_NE(binding.fuOfOp[c1], binding.fuOfOp[c2]);
+}
+
+TEST_F(BinderTest, MergeIntoGraphCollapsesSharedOps) {
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", 16);
+  const auto out = b.outPort("o", 16);
+  OpId v = b.readPort(in);
+  std::vector<OpId> muls;
+  for (int i = 0; i < 3; ++i) {
+    v = b.mul(v, v);
+    muls.push_back(v);
+    v = b.trunc(v, 16);
+  }
+  b.writePort(out, v);
+  b.ret();
+  const Schedule sched = schedule(fn, lib, {});
+  const Binding binding = bind(fn, sched, lib);
+  auto graph = ir::DependencyGraph::build(fn);
+  const std::size_t aliveBefore = graph.numAliveNodes();
+  const std::size_t merges = mergeIntoGraph(graph, binding);
+  if (binding.sharedUnits > 0) {
+    EXPECT_GE(merges, 1u);
+    EXPECT_LT(graph.numAliveNodes(), aliveBefore);
+    EXPECT_EQ(graph.nodeOf(muls[0]), graph.nodeOf(muls[1]));
+  }
+}
+
+}  // namespace
+}  // namespace hcp::hls

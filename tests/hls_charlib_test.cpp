@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "hls/charlib.hpp"
+#include "support/error.hpp"
+
+namespace hcp::hls {
+namespace {
+
+using ir::Opcode;
+
+class CharLibTest : public ::testing::Test {
+ protected:
+  CharLibrary lib = CharLibrary::xilinx7();
+};
+
+TEST_F(CharLibTest, AdderScalesWithWidth) {
+  const auto a8 = lib.query(Opcode::Add, 8);
+  const auto a32 = lib.query(Opcode::Add, 32);
+  EXPECT_LT(a8.res.lut, a32.res.lut);
+  EXPECT_LT(a8.delayNs, a32.delayNs);
+  EXPECT_EQ(a8.latency, 0u);  // combinational
+}
+
+TEST_F(CharLibTest, WideMultiplierUsesDsp) {
+  const auto m16 = lib.query(Opcode::Mul, 16);
+  EXPECT_GT(m16.res.dsp, 0.0);
+  EXPECT_GT(m16.latency, 0u);  // pipelined macro
+}
+
+TEST_F(CharLibTest, NarrowMultiplierUsesLuts) {
+  const auto m8 = lib.query(Opcode::Mul, 8);
+  EXPECT_EQ(m8.res.dsp, 0.0);
+  EXPECT_GT(m8.res.lut, 0.0);
+}
+
+TEST_F(CharLibTest, DividerIsIterative) {
+  const auto d = lib.query(Opcode::Div, 16);
+  EXPECT_EQ(d.latency, 16u);  // one cycle per bit
+  EXPECT_GT(d.res.lut, lib.query(Opcode::Add, 16).res.lut);
+}
+
+TEST_F(CharLibTest, WiringOpsAreFree) {
+  for (Opcode op : {Opcode::Trunc, Opcode::ZExt, Opcode::SExt,
+                    Opcode::BitCast, Opcode::Passthrough}) {
+    const auto s = lib.query(op, 32);
+    EXPECT_EQ(s.res.total(), 0.0) << ir::opcodeName(op);
+    EXPECT_EQ(s.delayNs, 0.0) << ir::opcodeName(op);
+  }
+}
+
+TEST_F(CharLibTest, FloatingPointIsExpensive) {
+  const auto fadd = lib.query(Opcode::FAdd, 32);
+  const auto add = lib.query(Opcode::Add, 32);
+  EXPECT_GT(fadd.res.lut, add.res.lut);
+  EXPECT_GT(fadd.latency, add.latency);
+  EXPECT_GT(lib.query(Opcode::FMul, 32).res.dsp, 0.0);
+}
+
+TEST_F(CharLibTest, MuxGrowsWithInputsAndWidth) {
+  const auto m2 = lib.muxSpec(2, 16);
+  const auto m8 = lib.muxSpec(8, 16);
+  const auto m8w = lib.muxSpec(8, 32);
+  EXPECT_LT(m2.res.lut, m8.res.lut);
+  EXPECT_LT(m8.res.lut, m8w.res.lut);
+  EXPECT_LT(m2.delayNs, m8.delayNs);
+}
+
+TEST_F(CharLibTest, MuxNeedsAtLeastTwoInputs) {
+  EXPECT_THROW(lib.muxSpec(1, 8), hcp::Error);
+}
+
+TEST_F(CharLibTest, MemoryMapping) {
+  // Fully partitioned: registers.
+  const auto regs = lib.memorySpec(16, 8, 16);
+  EXPECT_GT(regs.ff, 0.0);
+  EXPECT_EQ(regs.bram, 0.0);
+  // Shallow: LUTRAM.
+  const auto lutram = lib.memorySpec(32, 16, 1);
+  EXPECT_GT(lutram.lut, 0.0);
+  EXPECT_EQ(lutram.bram, 0.0);
+  // Deep: block RAM.
+  const auto bram = lib.memorySpec(4096, 32, 1);
+  EXPECT_GT(bram.bram, 0.0);
+}
+
+TEST_F(CharLibTest, MemoryBanksSplitCost) {
+  const auto one = lib.memorySpec(4096, 32, 1);
+  const auto four = lib.memorySpec(4096, 32, 4);
+  // Banking cannot reduce total BRAM below the single-bank amount.
+  EXPECT_GE(four.bram, one.bram);
+}
+
+TEST_F(CharLibTest, RegisterCostIsWidth) {
+  EXPECT_DOUBLE_EQ(lib.registerSpec(24).ff, 24.0);
+}
+
+TEST_F(CharLibTest, ResourceArithmetic) {
+  Resource a{1, 2, 3, 4}, b{10, 20, 30, 40};
+  const Resource sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.lut, 11);
+  EXPECT_DOUBLE_EQ(sum.bram, 44);
+  const Resource scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.ff, 4);
+  EXPECT_DOUBLE_EQ(a.total(), 10.0);
+}
+
+/// Property sweep: every opcode at several widths yields sane numbers.
+class CharLibSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(CharLibSweep, SpecIsSane) {
+  const auto lib = CharLibrary::xilinx7();
+  const auto opcode = ir::opcodeFromIndex(std::get<0>(GetParam()));
+  const auto width = static_cast<std::uint16_t>(std::get<1>(GetParam()));
+  const auto s = lib.query(opcode, width);
+  EXPECT_GE(s.delayNs, 0.0);
+  EXPECT_LT(s.delayNs, 10.0);
+  EXPECT_GE(s.res.lut, 0.0);
+  EXPECT_GE(s.res.ff, 0.0);
+  EXPECT_GE(s.res.dsp, 0.0);
+  EXPECT_GE(s.res.bram, 0.0);
+  EXPECT_LT(s.latency, 80u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, CharLibSweep,
+    ::testing::Combine(::testing::Range<std::size_t>(0, ir::kNumOpcodes),
+                       ::testing::Values(1, 8, 16, 32, 64)));
+
+}  // namespace
+}  // namespace hcp::hls

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "hls/scheduler.hpp"
+#include "ir/builder.hpp"
+
+namespace hcp::hls {
+namespace {
+
+using ir::Builder;
+using ir::Function;
+using ir::Opcode;
+using ir::OpId;
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  CharLibrary lib = CharLibrary::xilinx7();
+  ScheduleConstraints constraints;
+};
+
+TEST_F(SchedulerTest, DependenciesRespected) {
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", 16);
+  const auto out = b.outPort("o", 32);
+  const OpId x = b.readPort(in);
+  const OpId m = b.mul(x, x);      // multi-cycle DSP op
+  const OpId s = b.add(m, m);      // must start after the mul ends
+  b.writePort(out, s);
+  b.ret();
+  const Schedule sched = schedule(fn, lib, constraints);
+  EXPECT_GT(sched.ops[s].startStep, sched.ops[m].endStep);
+}
+
+TEST_F(SchedulerTest, ChainingPacksShortOps) {
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", 8);
+  const auto out = b.outPort("o", 8);
+  const OpId x = b.readPort(in);
+  const OpId a = b.xor_(x, x);  // ~0.45ns each: several chain in one step
+  const OpId c = b.xor_(a, x);
+  b.writePort(out, c);
+  b.ret();
+  const Schedule sched = schedule(fn, lib, constraints);
+  EXPECT_EQ(sched.ops[a].startStep, sched.ops[c].startStep);
+  EXPECT_GT(sched.ops[c].startOffsetNs, sched.ops[a].startOffsetNs);
+}
+
+TEST_F(SchedulerTest, ChainBudgetSplitsLongChains) {
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", 32);
+  const auto out = b.outPort("o", 32);
+  OpId v = b.readPort(in);
+  // 32-bit adds are ~2ns; a chain of 8 cannot fit one 4.8ns chain budget.
+  for (int i = 0; i < 8; ++i) v = b.add(v, v);
+  b.writePort(out, v);
+  b.ret();
+  const Schedule sched = schedule(fn, lib, constraints);
+  EXPECT_GT(sched.numSteps, 1u);
+  EXPECT_LE(sched.estimatedClockNs,
+            (constraints.clockPeriodNs - constraints.clockUncertaintyNs));
+}
+
+TEST_F(SchedulerTest, MemoryPortsSerializeAccesses) {
+  Function fn("f");
+  Builder b(fn);
+  const auto out = b.outPort("o", 16);
+  const auto arr = b.array("m", 64, 16);  // 1 bank -> 2 ports
+  std::vector<OpId> loads;
+  for (int i = 0; i < 6; ++i)
+    loads.push_back(b.load(arr, b.constant(i, 8)));
+  OpId acc = loads[0];
+  for (int i = 1; i < 6; ++i) acc = b.add(acc, loads[i]);
+  b.writePort(out, acc);
+  b.ret();
+  const Schedule sched = schedule(fn, lib, constraints);
+  // 6 loads over 2 ports need at least 3 distinct start steps.
+  std::set<std::uint32_t> starts;
+  for (OpId l : loads) starts.insert(sched.ops[l].startStep);
+  EXPECT_GE(starts.size(), 3u);
+}
+
+TEST_F(SchedulerTest, PartitioningRaisesMemoryParallelism) {
+  auto build = [](std::uint32_t banks) {
+    auto fn = std::make_unique<Function>("f");
+    Builder b(*fn);
+    const auto out = b.outPort("o", 16);
+    const auto arr = b.array("m", 64, 16);
+    fn->array(arr).banks = banks;
+    std::vector<OpId> loads;
+    for (int i = 0; i < 8; ++i)
+      loads.push_back(b.load(arr, b.constant(i, 8)));
+    OpId acc = loads[0];
+    for (int i = 1; i < 8; ++i) acc = b.add(acc, loads[i]);
+    b.writePort(out, acc);
+    b.ret();
+    return fn;
+  };
+  const auto lib = CharLibrary::xilinx7();
+  const auto narrow = schedule(*build(1), lib, {});
+  const auto wide = schedule(*build(8), lib, {});
+  EXPECT_LT(wide.totalLatency, narrow.totalLatency);
+}
+
+TEST_F(SchedulerTest, CallConcurrencySerializes) {
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", 8);
+  const auto out = b.outPort("o", 8);
+  const OpId x = b.readPort(in);
+  std::vector<OpId> calls;
+  for (int i = 0; i < 4; ++i) calls.push_back(b.call("leaf", {x}, 8));
+  OpId acc = calls[0];
+  for (int i = 1; i < 4; ++i) acc = b.add(acc, calls[i]);
+  b.writePort(out, acc);
+  b.ret();
+
+  constraints.callInstanceLimit = 2;
+  const Schedule sched =
+      schedule(fn, lib, constraints, {{"leaf", 10}});
+  std::set<std::uint32_t> starts;
+  for (OpId c : calls) starts.insert(sched.ops[c].startStep);
+  EXPECT_EQ(starts.size(), 2u);  // 4 calls / 2 instances
+  // Call latency = callee + 2 handshake cycles.
+  EXPECT_EQ(sched.ops[calls[0]].latency, 12u);
+}
+
+TEST_F(SchedulerTest, LoopLatencyMultipliesTripCount) {
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", 16);
+  const auto out = b.outPort("o", 16);
+  const OpId x = b.readPort(in);
+  b.beginLoop("L", 100);
+  const OpId y = b.mul(x, x);  // multi-cycle body
+  b.endLoop();
+  b.writePort(out, b.trunc(y, 16));
+  b.ret();
+  const Schedule sched = schedule(fn, lib, constraints);
+  // Body spans >= 3 steps (mul latency) -> latency >= 300.
+  EXPECT_GE(sched.totalLatency, 300u);
+}
+
+TEST_F(SchedulerTest, PipelinedLoopUsesInitiationInterval) {
+  auto build = [](bool pipelined) {
+    auto fn = std::make_unique<Function>("f");
+    Builder b(*fn);
+    const auto in = b.inPort("i", 16);
+    const auto out = b.outPort("o", 16);
+    const OpId x = b.readPort(in);
+    const ir::LoopId l = b.beginLoop("L", 1000);
+    const OpId y = b.mul(x, x);
+    b.endLoop();
+    if (pipelined) {
+      fn->loop(l).pipelined = true;
+      fn->loop(l).initiationInterval = 1;
+    }
+    b.writePort(out, b.trunc(y, 16));
+    b.ret();
+    return fn;
+  };
+  const auto lib = CharLibrary::xilinx7();
+  const auto seq = schedule(*build(false), lib, {});
+  const auto pipe = schedule(*build(true), lib, {});
+  EXPECT_LT(pipe.totalLatency, seq.totalLatency / 2);
+  // Pipelined: depth + (trip-1)*II ~= trip.
+  EXPECT_NEAR(static_cast<double>(pipe.totalLatency), 1000.0, 10.0);
+}
+
+TEST_F(SchedulerTest, UncertaintyMustLeaveBudget) {
+  Function fn("f");
+  Builder b(fn);
+  b.ret();
+  constraints.clockPeriodNs = 1.0;
+  constraints.clockUncertaintyNs = 2.0;
+  EXPECT_THROW(schedule(fn, lib, constraints), hcp::Error);
+}
+
+TEST_F(SchedulerTest, DeltaTcsMatchesSteps) {
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", 16);
+  const auto out = b.outPort("o", 32);
+  const OpId x = b.readPort(in);
+  const OpId m = b.mul(x, x);
+  const OpId s = b.add(m, m);
+  b.writePort(out, s);
+  b.ret();
+  const Schedule sched = schedule(fn, lib, constraints);
+  EXPECT_EQ(sched.deltaTcs(m, s),
+            static_cast<std::int64_t>(sched.ops[s].startStep) -
+                static_cast<std::int64_t>(sched.ops[m].endStep));
+  EXPECT_GE(sched.deltaTcs(m, s), 1);
+}
+
+/// Property: scheduling any of several widths/shapes never places a consumer
+/// before its producer and never exceeds the chain budget per step.
+class SchedulerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerSweep, CausalityAndBudgetInvariants) {
+  const int width = GetParam();
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", static_cast<std::uint16_t>(width));
+  const auto out = b.outPort("o", 64);
+  OpId v = b.readPort(in);
+  for (int i = 0; i < 12; ++i) {
+    v = (i % 3 == 0) ? b.mul(v, v) : b.add(v, v);
+    if (fn.op(v).bitwidth > 32) v = b.trunc(v, 16);
+  }
+  b.writePort(out, b.zext(v, 64));
+  b.ret();
+  const auto lib = CharLibrary::xilinx7();
+  const Schedule sched = schedule(fn, lib, {});
+  for (ir::OpId id = 0; id < fn.numOps(); ++id) {
+    for (const auto& use : fn.op(id).operands) {
+      const auto& p = sched.ops[use.producer];
+      const auto& c = sched.ops[id];
+      if (p.latency > 0) {
+        EXPECT_GT(c.startStep, p.endStep);
+      } else {
+        EXPECT_GE(c.startStep, p.startStep);
+      }
+    }
+    EXPECT_GE(sched.ops[id].endStep, sched.ops[id].startStep);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SchedulerSweep,
+                         ::testing::Values(4, 8, 12, 16, 24, 32));
+
+}  // namespace
+}  // namespace hcp::hls

@@ -1,0 +1,141 @@
+// End-to-end properties of the full C-to-FPGA flow: the qualitative
+// relationships the paper's evaluation rests on (Tables I and VI) must hold
+// across seeds and configurations.
+#include <gtest/gtest.h>
+
+#include "apps/digit_spam.hpp"
+#include "apps/face_detection.hpp"
+#include "core/dataset_builder.hpp"
+#include "core/flow.hpp"
+
+namespace hcp::core {
+namespace {
+
+apps::FaceDetectionConfig smallFaceDet() {
+  // Full default size: the congestion relationships of Tables I/VI need the
+  // device meaningfully loaded (a half-empty fabric is never congested).
+  return apps::FaceDetectionConfig{};
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    device_ = new fpga::Device(fpga::Device::xc7z020like());
+    auto base = smallFaceDet();
+    baseline_ = new FlowResult(
+        runFlow(apps::faceDetection(base), *device_, {}));
+    auto noDir = smallFaceDet();
+    noDir.withDirectives = false;
+    noDirectives_ = new FlowResult(
+        runFlow(apps::faceDetection(noDir), *device_, {}));
+    auto notInl = smallFaceDet();
+    notInl.inlineClassifiers = false;
+    notInline_ = new FlowResult(
+        runFlow(apps::faceDetection(notInl), *device_, {}));
+  }
+  static void TearDownTestSuite() {
+    delete baseline_;
+    delete noDirectives_;
+    delete notInline_;
+    delete device_;
+  }
+
+  static fpga::Device* device_;
+  static FlowResult* baseline_;
+  static FlowResult* noDirectives_;
+  static FlowResult* notInline_;
+};
+
+fpga::Device* IntegrationTest::device_ = nullptr;
+FlowResult* IntegrationTest::baseline_ = nullptr;
+FlowResult* IntegrationTest::noDirectives_ = nullptr;
+FlowResult* IntegrationTest::notInline_ = nullptr;
+
+// --- Table I shape: directives trade latency for congestion ---------------
+
+TEST_F(IntegrationTest, DirectivesReduceLatency) {
+  EXPECT_LT(baseline_->latencyCycles, noDirectives_->latencyCycles / 3);
+}
+
+TEST_F(IntegrationTest, DirectivesIncreaseCongestion) {
+  EXPECT_GT(baseline_->congestedTiles, 3 * noDirectives_->congestedTiles);
+  EXPECT_GT(baseline_->impl.routing.map.meanHUtil(),
+            noDirectives_->impl.routing.map.meanHUtil());
+}
+
+// --- Table VI shape: removing inlining trades cycles for congestion -------
+
+TEST_F(IntegrationTest, NotInlineReducesCongestedTiles) {
+  EXPECT_LT(notInline_->congestedTiles, baseline_->congestedTiles);
+}
+
+TEST_F(IntegrationTest, NotInlineCostsLatency) {
+  EXPECT_GT(notInline_->latencyCycles, baseline_->latencyCycles);
+}
+
+// --- general flow invariants ------------------------------------------
+
+TEST_F(IntegrationTest, DeterministicForSeed) {
+  FlowConfig cfg;
+  cfg.seed = 99;
+  const auto a = runFlow(apps::faceDetection(smallFaceDet()), *device_, cfg);
+  const auto b = runFlow(apps::faceDetection(smallFaceDet()), *device_, cfg);
+  EXPECT_DOUBLE_EQ(a.maxVCongestion, b.maxVCongestion);
+  EXPECT_DOUBLE_EQ(a.wnsNs, b.wnsNs);
+  EXPECT_EQ(a.traced.samples.size(), b.traced.samples.size());
+}
+
+TEST_F(IntegrationTest, SeedChangesPlacementNotStructure) {
+  FlowConfig cfg;
+  cfg.seed = 123;
+  const auto other =
+      runFlow(apps::faceDetection(smallFaceDet()), *device_, cfg);
+  // Same netlist, different physical outcome.
+  EXPECT_EQ(other.rtl.netlist.numCells(), baseline_->rtl.netlist.numCells());
+  EXPECT_EQ(other.latencyCycles, baseline_->latencyCycles);
+  EXPECT_NE(other.maxVCongestion, baseline_->maxVCongestion);
+}
+
+TEST_F(IntegrationTest, CongestionMapsCoverDevice) {
+  const auto& map = baseline_->impl.routing.map;
+  EXPECT_EQ(map.width(), device_->width());
+  EXPECT_EQ(map.height(), device_->height());
+  // Centre hotter than the margin (Fig 5's spatial distribution).
+  double centre = 0.0, margin = 0.0;
+  std::size_t nc = 0, nm = 0;
+  for (std::uint32_t y = 2; y < map.height() - 2; ++y) {
+    for (std::uint32_t x = 2; x < map.width() - 2; ++x) {
+      if (device_->centreRadius(x, y) < 0.3) {
+        centre += map.vUtil(x, y);
+        ++nc;
+      } else if (device_->centreRadius(x, y) > 0.8) {
+        margin += map.vUtil(x, y);
+        ++nm;
+      }
+    }
+  }
+  EXPECT_GT(centre / nc, margin / nm);
+}
+
+TEST_F(IntegrationTest, DatasetFromMultipleFlowsMerges) {
+  std::vector<FlowResult> flows;
+  flows.push_back(runFlow(apps::digitSpamCombined(), *device_, {}));
+  const auto single = buildDataset(flows[0], {});
+  std::vector<FlowResult> both;
+  both.push_back(std::move(flows[0]));
+  both.push_back(runFlow(apps::faceDetection(smallFaceDet()), *device_, {}));
+  const auto merged = buildDataset(both, {});
+  EXPECT_GT(merged.vertical.size(), single.vertical.size());
+}
+
+TEST_F(IntegrationTest, HlsEstimateVsImplementedResources) {
+  // HLS report and placed netlist agree on total LUTs within 2x (the report
+  // includes callee bookkeeping that the flat netlist distributes).
+  const double reported = baseline_->design.top().report.totalRes.lut;
+  const double placed = baseline_->rtl.netlist.totalResource().lut;
+  EXPECT_GT(placed, reported * 0.5);
+  EXPECT_LT(placed, reported * 2.0);
+}
+
+}  // namespace
+}  // namespace hcp::core

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/graph.hpp"
+
+namespace hcp::ir {
+namespace {
+
+/// chain: in -> a(add) -> b(mul) -> out, plus c(add) reading a.
+struct DiamondFixture {
+  Function fn{"f"};
+  OpId x, a, bOp, c;
+  PortId in, out;
+
+  DiamondFixture() {
+    Builder b(fn);
+    in = b.inPort("i", 16);
+    out = b.outPort("o", 32);
+    x = b.readPort(in);
+    a = b.add(x, x);
+    bOp = b.mul(a, a);
+    c = b.add(a, x);
+    b.writePort(out, bOp);
+    b.ret();
+  }
+};
+
+TEST(DependencyGraph, NodePerOpPlusPorts) {
+  DiamondFixture f;
+  auto g = DependencyGraph::build(f.fn);
+  EXPECT_EQ(g.numNodes(), f.fn.numOps() + f.fn.numPorts());
+}
+
+TEST(DependencyGraph, EdgeWeightsAreWireCounts) {
+  DiamondFixture f;
+  auto g = DependencyGraph::build(f.fn);
+  const NodeId na = g.nodeOf(f.a);
+  // a is used twice by mul (2x16) and once by c (16); fanOut sums wires.
+  EXPECT_DOUBLE_EQ(g.fanOut(na), 48.0);
+  // a's fan-in: two uses of x's 16 bits (parallel edges accumulate).
+  EXPECT_DOUBLE_EQ(g.fanIn(na), 32.0);
+  // x->a is a single neighbour entry with accumulated weight.
+  ASSERT_EQ(g.preds(na).size(), 1u);
+  EXPECT_DOUBLE_EQ(g.preds(na)[0].wires, 32.0);
+}
+
+TEST(DependencyGraph, PortNodesLinked) {
+  DiamondFixture f;
+  auto g = DependencyGraph::build(f.fn);
+  const NodeId nx = g.nodeOf(f.x);
+  // The readport op has the in-port node as predecessor.
+  ASSERT_EQ(g.preds(nx).size(), 1u);
+  EXPECT_EQ(g.node(g.preds(nx)[0].node).kind,
+            DependencyGraph::NodeKind::Port);
+}
+
+TEST(DependencyGraph, TwoHopNeighbourhoods) {
+  DiamondFixture f;
+  auto g = DependencyGraph::build(f.fn);
+  const NodeId nb = g.nodeOf(f.bOp);
+  const auto preds2 = g.twoHopPreds(nb);
+  // One hop: a. Two hops: x. => {a, x}.
+  EXPECT_EQ(preds2.size(), 2u);
+}
+
+TEST(DependencyGraph, MergePullsOpsTogether) {
+  DiamondFixture f;
+  auto g = DependencyGraph::build(f.fn);
+  const std::size_t aliveBefore = g.numAliveNodes();
+  const std::vector<OpId> group{f.bOp, f.c};
+  const NodeId merged = g.mergeOps(group);
+  EXPECT_EQ(g.numAliveNodes(), aliveBefore - 1);
+  EXPECT_EQ(g.nodeOf(f.bOp), merged);
+  EXPECT_EQ(g.nodeOf(f.c), merged);
+  EXPECT_EQ(g.node(merged).members.size(), 2u);
+  // Merged node inherits external edges: preds = {a, x}, accumulated.
+  double fanIn = g.fanIn(merged);
+  EXPECT_DOUBLE_EQ(fanIn, 32.0 + 16.0 + 16.0);  // mul reads a twice, c reads a+x
+}
+
+TEST(DependencyGraph, MergeRedirectsNeighbours) {
+  DiamondFixture f;
+  auto g = DependencyGraph::build(f.fn);
+  const NodeId na = g.nodeOf(f.a);
+  const std::size_t succsBefore = g.succs(na).size();  // mul, c
+  EXPECT_EQ(succsBefore, 2u);
+  g.mergeOps(std::vector<OpId>{f.bOp, f.c});
+  // Both successors collapse into one merged neighbour.
+  EXPECT_EQ(g.succs(na).size(), 1u);
+  EXPECT_EQ(g.node(g.succs(na)[0].node).kind,
+            DependencyGraph::NodeKind::Merged);
+}
+
+TEST(DependencyGraph, MergeOfSameNodeRejected) {
+  DiamondFixture f;
+  auto g = DependencyGraph::build(f.fn);
+  g.mergeOps(std::vector<OpId>{f.bOp, f.c});
+  // Merging ops already on one node throws.
+  EXPECT_THROW(g.mergeOps(std::vector<OpId>{f.bOp, f.c}), hcp::Error);
+}
+
+TEST(DependencyGraph, IntraGroupEdgesVanish) {
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", 8);
+  const auto out = b.outPort("o", 8);
+  const OpId x = b.readPort(in);
+  const OpId m1 = b.mul(x, x);
+  const OpId m2 = b.mul(m1, x);  // m1 -> m2 edge is inside the group
+  b.writePort(out, m2);
+  b.ret();
+  auto g = DependencyGraph::build(fn);
+  const NodeId merged = g.mergeOps(std::vector<OpId>{m1, m2});
+  for (const auto& nbr : g.preds(merged))
+    EXPECT_NE(nbr.node, merged) << "self-edge after merge";
+}
+
+}  // namespace
+}  // namespace hcp::ir

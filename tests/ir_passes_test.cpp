@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/passes.hpp"
+#include "ir/verifier.hpp"
+
+namespace hcp::ir {
+namespace {
+
+/// f(x) computed over constants — everything should fold away.
+TEST(ConstantFold, FoldsArithmetic) {
+  Function fn("f");
+  Builder b(fn);
+  const auto out = b.outPort("o", 16);
+  const OpId a = b.constant(6, 8);
+  const OpId c = b.constant(7, 8);
+  const OpId prod = b.mul(a, c);
+  const OpId sum = b.add(prod, b.constant(2, 8));
+  b.writePort(out, sum);
+  b.ret();
+
+  const PassStats stats = constantFold(fn);
+  EXPECT_GE(stats.opsFolded, 2u);
+  EXPECT_EQ(fn.op(prod).opcode, Opcode::Const);
+  EXPECT_EQ(fn.op(prod).constValue, 42);
+  EXPECT_EQ(fn.op(sum).opcode, Opcode::Const);
+  EXPECT_EQ(fn.op(sum).constValue, 44);
+  EXPECT_TRUE(verify(fn).empty());
+}
+
+TEST(ConstantFold, DivisionByZeroNotFolded) {
+  Function fn("f");
+  Builder b(fn);
+  const auto out = b.outPort("o", 8);
+  const OpId q = b.div(b.constant(8, 8), b.constant(0, 8));
+  b.writePort(out, q);
+  b.ret();
+  constantFold(fn);
+  EXPECT_EQ(fn.op(q).opcode, Opcode::Div);
+}
+
+TEST(ConstantFold, ComparisonFolds) {
+  Function fn("f");
+  Builder b(fn);
+  const auto out = b.outPort("o", 1);
+  const OpId cmp = b.icmpLt(b.constant(3, 8), b.constant(9, 8));
+  b.writePort(out, cmp);
+  b.ret();
+  constantFold(fn);
+  EXPECT_EQ(fn.op(cmp).opcode, Opcode::Const);
+  // 1-bit two's complement: true is stored as the canonical -1 (all ones).
+  EXPECT_EQ(fn.op(cmp).constValue & 1, 1);
+}
+
+TEST(ConstantFold, TruncatesToWidth) {
+  Function fn("f");
+  Builder b(fn);
+  const auto out = b.outPort("o", 4);
+  // 15 + 1 = 16 truncated to 4 bits = 0.
+  const OpId sum = b.make(Opcode::Add, 4,
+                          {b.constant(15, 4), b.constant(1, 4)});
+  b.writePort(out, sum);
+  b.ret();
+  constantFold(fn);
+  EXPECT_EQ(fn.op(sum).constValue, 0);
+}
+
+TEST(Dce, RemovesUnusedOps) {
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", 8);
+  const auto out = b.outPort("o", 8);
+  const OpId x = b.readPort(in);
+  b.add(x, b.constant(1, 8));  // dead
+  b.mul(x, x);                 // dead
+  b.writePort(out, x);
+  b.ret();
+
+  const std::size_t before = fn.numOps();
+  const PassStats stats = deadCodeElim(fn);
+  EXPECT_EQ(stats.opsRemoved, 3u);  // add + its const + mul
+  EXPECT_EQ(fn.numOps(), before - 3);
+  EXPECT_TRUE(verify(fn).empty());
+}
+
+TEST(Dce, KeepsSideEffects) {
+  Function fn("f");
+  Builder b(fn);
+  const auto arr = b.array("m", 8, 8);
+  const OpId idx = b.constant(0, 4);
+  const OpId val = b.constant(9, 8);
+  b.store(arr, idx, val);
+  b.ret();
+  deadCodeElim(fn);
+  bool hasStore = false;
+  for (OpId i = 0; i < fn.numOps(); ++i)
+    hasStore |= fn.op(i).opcode == Opcode::Store;
+  EXPECT_TRUE(hasStore);
+  EXPECT_TRUE(verify(fn).empty());
+}
+
+TEST(Dce, RemapsOperandsCorrectly) {
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", 8);
+  const auto out = b.outPort("o", 8);
+  b.constant(99, 8);  // dead, sits before live ops
+  const OpId x = b.readPort(in);
+  const OpId y = b.add(x, x);
+  b.writePort(out, y);
+  b.ret();
+  deadCodeElim(fn);
+  EXPECT_TRUE(verify(fn).empty());
+  // The add must still reference the (remapped) readport.
+  for (OpId i = 0; i < fn.numOps(); ++i) {
+    if (fn.op(i).opcode == Opcode::Add) {
+      EXPECT_EQ(fn.op(fn.op(i).operands[0].producer).opcode,
+                Opcode::ReadPort);
+    }
+  }
+}
+
+TEST(BitwidthReduce, TightensConstants) {
+  Function fn("f");
+  Builder b(fn);
+  const auto out = b.outPort("o", 32);
+  const OpId c = b.constant(3, 32);  // needs only 3 bits (two's complement)
+  const OpId d = b.add(c, c);
+  b.writePort(out, d);
+  b.ret();
+  const PassStats stats = bitwidthReduce(fn);
+  EXPECT_GT(stats.bitsSaved, 0u);
+  EXPECT_LE(fn.op(c).bitwidth, 3);
+  EXPECT_TRUE(verify(fn).empty());
+}
+
+TEST(BitwidthReduce, DemandNarrowsThroughTrunc) {
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", 32);
+  const auto out = b.outPort("o", 8);
+  const OpId x = b.readPort(in);
+  const OpId sum = b.add(x, x);     // 32-bit, but only 8 bits consumed
+  const OpId t = b.trunc(sum, 8);
+  b.writePort(out, t);
+  b.ret();
+  bitwidthReduce(fn);
+  EXPECT_EQ(fn.op(sum).bitwidth, 8);
+  EXPECT_TRUE(verify(fn).empty());
+}
+
+TEST(BitwidthReduce, DoesNotNarrowThroughShift) {
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", 32);
+  const auto out = b.outPort("o", 8);
+  const OpId x = b.readPort(in);
+  // lshr needs the high bits: its input must not be narrowed by demand.
+  const OpId sh = b.lshr(x, b.constant(24, 8));
+  const OpId t = b.trunc(sh, 8);
+  b.writePort(out, t);
+  b.ret();
+  bitwidthReduce(fn);
+  EXPECT_EQ(fn.op(x).bitwidth, 32);
+  EXPECT_TRUE(verify(fn).empty());
+}
+
+TEST(FrontendPasses, PipelineIsCleanAndIdempotent) {
+  Function fn("f");
+  Builder b(fn);
+  const auto in = b.inPort("i", 32);
+  const auto out = b.outPort("o", 16);
+  const OpId x = b.readPort(in);
+  const OpId k = b.mul(b.constant(3, 8), b.constant(5, 8));  // folds to 15
+  const OpId y = b.add(x, k);
+  b.add(y, y);  // dead
+  b.writePort(out, b.trunc(y, 16));
+  b.ret();
+
+  runFrontendPasses(fn);
+  EXPECT_TRUE(verify(fn).empty());
+  const std::size_t opsAfter = fn.numOps();
+  runFrontendPasses(fn);
+  EXPECT_EQ(fn.numOps(), opsAfter);  // second run is a no-op
+}
+
+}  // namespace
+}  // namespace hcp::ir

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/gbrt.hpp"
+#include "ml/linear.hpp"
+#include "ml/metrics.hpp"
+#include "ml/mlp.hpp"
+#include "support/rng.hpp"
+
+namespace hcp::ml {
+namespace {
+
+/// y = 2*x0 - 3*x1 + 1 + noise over d features (rest irrelevant).
+Dataset linearData(std::size_t n, std::size_t d, double noise,
+                   std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> x(d);
+    for (auto& v : x) v = rng.uniformReal(-1, 1);
+    data.add(x, 2 * x[0] - 3 * x[1] + 1 + rng.normal(0, noise));
+  }
+  return data;
+}
+
+/// y = 4*x0*x1 + x2^2 + noise — needs a nonlinear model.
+Dataset nonlinearData(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> x(d);
+    for (auto& v : x) v = rng.uniformReal(-2, 2);
+    data.add(x, 4 * x[0] * x[1] + x[2] * x[2] + rng.normal(0, 0.2));
+  }
+  return data;
+}
+
+// --- Lasso -----------------------------------------------------------------
+
+TEST(Lasso, RecoversLinearTarget) {
+  const auto data = linearData(500, 6, 0.05, 1);
+  LassoRegression model({.alpha = 0.01});
+  model.fit(data);
+  const auto pred = model.predictAll(data);
+  EXPECT_LT(meanAbsoluteError(data.targets(), pred), 0.15);
+}
+
+TEST(Lasso, AlphaControlsSparsity) {
+  const auto data = linearData(400, 20, 0.1, 2);
+  LassoRegression loose({.alpha = 0.001});
+  LassoRegression tight({.alpha = 0.8});
+  loose.fit(data);
+  tight.fit(data);
+  EXPECT_LT(tight.nonZeroWeights(), loose.nonZeroWeights());
+  // Strong regularization still keeps the two real predictors.
+  EXPECT_GE(tight.nonZeroWeights(), 1u);
+}
+
+TEST(Lasso, ConvergesBeforeIterationCap) {
+  const auto data = linearData(200, 4, 0.05, 3);
+  LassoRegression model({.alpha = 0.05, .maxIterations = 400});
+  model.fit(data);
+  EXPECT_LT(model.iterationsRun(), 400);
+}
+
+TEST(Lasso, PredictBeforeFitThrows) {
+  LassoRegression model;
+  EXPECT_THROW(model.predict({1.0}), hcp::Error);
+}
+
+// --- MLP ---------------------------------------------------------------
+
+TEST(Mlp, LearnsNonlinearTarget) {
+  const auto data = nonlinearData(1500, 8, 4);
+  MlpRegressor model({.hiddenLayers = {32, 16}, .maxEpochs = 80});
+  model.fit(data);
+  const auto pred = model.predictAll(data);
+  // Std of the target is ~5; a linear model can't get below ~3 MAE.
+  EXPECT_LT(meanAbsoluteError(data.targets(), pred), 1.5);
+}
+
+TEST(Mlp, BeatsLinearOnNonlinearData) {
+  const auto data = nonlinearData(1500, 8, 5);
+  const Split split = trainTestSplit(data.size(), 0.25, 9);
+  const auto train = data.subset(split.train);
+  const auto test = data.subset(split.test);
+  LassoRegression linear({.alpha = 0.01});
+  MlpRegressor mlp({.hiddenLayers = {32, 16}, .maxEpochs = 80});
+  linear.fit(train);
+  mlp.fit(train);
+  const double maeLinear =
+      meanAbsoluteError(test.targets(), linear.predictAll(test));
+  const double maeMlp = meanAbsoluteError(test.targets(), mlp.predictAll(test));
+  EXPECT_LT(maeMlp, maeLinear * 0.6);
+}
+
+TEST(Mlp, EarlyStoppingBoundsEpochs) {
+  const auto data = linearData(300, 4, 0.01, 6);
+  MlpRegressor model({.hiddenLayers = {16}, .maxEpochs = 200, .patience = 3});
+  model.fit(data);
+  EXPECT_LE(model.epochsRun(), 200u);
+  EXPECT_TRUE(std::isfinite(model.bestValidationLoss()));
+}
+
+TEST(Mlp, DeterministicForSeed) {
+  const auto data = linearData(200, 4, 0.1, 7);
+  MlpRegressor a({.maxEpochs = 10, .seed = 5});
+  MlpRegressor b({.maxEpochs = 10, .seed = 5});
+  a.fit(data);
+  b.fit(data);
+  EXPECT_DOUBLE_EQ(a.predict(data.row(0)), b.predict(data.row(0)));
+}
+
+// --- trees -------------------------------------------------------------
+
+TEST(Binner, QuantileBinsMonotone) {
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 100; ++i) rows.push_back({static_cast<double>(i)});
+  Binner binner;
+  binner.fit(rows, 16);
+  std::uint8_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto bin = binner.binOf(0, static_cast<double>(i));
+    EXPECT_GE(bin, prev);
+    prev = bin;
+  }
+  EXPECT_GT(prev, 10);  // uses most of the 16 bins on uniform data
+}
+
+TEST(Binner, ConstantFeatureSingleBin) {
+  std::vector<std::vector<double>> rows(50, std::vector<double>{3.0});
+  Binner binner;
+  binner.fit(rows, 16);
+  EXPECT_LE(binner.binOf(0, 3.0), 1);
+}
+
+TEST(RegressionTreeTest, FitsStepFunction) {
+  Dataset data(1);
+  for (int i = 0; i < 200; ++i) {
+    const double x = i / 200.0;
+    data.add({x}, x < 0.5 ? 1.0 : 5.0);
+  }
+  RegressionTree tree;
+  tree.fit(data, {.maxDepth = 2, .minSamplesLeaf = 5});
+  EXPECT_NEAR(tree.predict({0.2}), 1.0, 0.1);
+  EXPECT_NEAR(tree.predict({0.9}), 5.0, 0.1);
+  EXPECT_GE(tree.splitCounts()[0], 1u);
+}
+
+TEST(RegressionTreeTest, DepthLimited) {
+  const auto data = nonlinearData(500, 4, 11);
+  RegressionTree tree;
+  tree.fit(data, {.maxDepth = 3, .minSamplesLeaf = 2});
+  EXPECT_LE(tree.depth(), 4);  // root at depth 1
+}
+
+TEST(RegressionTreeTest, MinSamplesLeafRespected) {
+  Dataset data(1);
+  for (int i = 0; i < 20; ++i)
+    data.add({static_cast<double>(i)}, static_cast<double>(i));
+  RegressionTree tree;
+  tree.fit(data, {.maxDepth = 10, .minSamplesLeaf = 8});
+  // With 20 samples and >= 8 per leaf, at most 2 leaves -> <= 3 nodes.
+  EXPECT_LE(tree.numNodes(), 3u);
+}
+
+// --- GBRT ------------------------------------------------------------------
+
+TEST(GbrtTest, LearnsNonlinearTarget) {
+  const auto data = nonlinearData(1500, 8, 12);
+  Gbrt model({.numEstimators = 200, .learningRate = 0.1});
+  model.fit(data);
+  const auto pred = model.predictAll(data);
+  EXPECT_LT(meanAbsoluteError(data.targets(), pred), 1.2);
+}
+
+TEST(GbrtTest, BeatsLinearOnNonlinearData) {
+  const auto data = nonlinearData(1500, 8, 13);
+  const Split split = trainTestSplit(data.size(), 0.25, 3);
+  const auto train = data.subset(split.train);
+  const auto test = data.subset(split.test);
+  LassoRegression linear({.alpha = 0.01});
+  Gbrt gbrt;
+  linear.fit(train);
+  gbrt.fit(train);
+  EXPECT_LT(meanAbsoluteError(test.targets(), gbrt.predictAll(test)),
+            meanAbsoluteError(test.targets(), linear.predictAll(test)) * 0.6);
+}
+
+TEST(GbrtTest, MoreTreesFitBetter) {
+  const auto data = nonlinearData(800, 6, 14);
+  Gbrt few({.numEstimators = 10});
+  Gbrt many({.numEstimators = 200});
+  few.fit(data);
+  many.fit(data);
+  EXPECT_LT(many.trainLoss(), few.trainLoss());
+}
+
+TEST(GbrtTest, FeatureImportanceFindsRealPredictors) {
+  const auto data = nonlinearData(1200, 10, 15);  // only x0,x1,x2 matter
+  Gbrt model({.numEstimators = 150, .featureFraction = 1.0});
+  model.fit(data);
+  const auto imp = model.featureImportance();
+  ASSERT_EQ(imp.size(), 10u);
+  double sum = 0.0;
+  for (double v : imp) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Split counts dilute over noise features at shallow depth; the real
+  // predictors must still dominate, and gain-weighting more sharply so.
+  const double real = imp[0] + imp[1] + imp[2];
+  EXPECT_GT(real, 0.5);
+  const auto gains = model.featureImportanceByGain();
+  EXPECT_GT(gains[0] + gains[1] + gains[2], real);
+  EXPECT_GT(gains[0] + gains[1] + gains[2], 0.75);
+}
+
+TEST(GbrtTest, DeterministicForSeed) {
+  const auto data = nonlinearData(400, 5, 16);
+  Gbrt a({.numEstimators = 30, .seed = 8});
+  Gbrt b({.numEstimators = 30, .seed = 8});
+  a.fit(data);
+  b.fit(data);
+  EXPECT_DOUBLE_EQ(a.predict(data.row(1)), b.predict(data.row(1)));
+}
+
+/// Property sweep: all three models produce finite predictions across
+/// dataset shapes.
+class ModelSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ModelSweep, FinitePredictions) {
+  const std::size_t d = GetParam();
+  const auto data = linearData(120, d, 0.2, 17 + d);
+  std::vector<std::unique_ptr<Regressor>> models;
+  models.push_back(std::make_unique<LassoRegression>());
+  models.push_back(std::make_unique<MlpRegressor>(
+      MlpConfig{.hiddenLayers = {8}, .maxEpochs = 5}));
+  models.push_back(std::make_unique<Gbrt>(GbrtConfig{.numEstimators = 10}));
+  for (auto& model : models) {
+    model->fit(data);
+    for (std::size_t i = 0; i < 10; ++i)
+      EXPECT_TRUE(std::isfinite(model->predict(data.row(i))))
+          << model->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ModelSweep, ::testing::Values(2, 5, 17, 40));
+
+}  // namespace
+}  // namespace hcp::ml

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "ml/gbrt.hpp"
+#include "ml/linear.hpp"
+#include "ml/mlp.hpp"
+#include "ml/serialize.hpp"
+#include "support/rng.hpp"
+
+namespace hcp::ml {
+namespace {
+
+Dataset makeData(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(6);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> x(6);
+    for (auto& v : x) v = rng.uniformReal(-2, 2);
+    data.add(x, 3 * x[0] * x[1] - x[2] + rng.normal(0, 0.1));
+  }
+  return data;
+}
+
+/// Round-trip property: saved+loaded models predict bit-identically.
+template <typename Model>
+void roundTrip(Model&& model, const Dataset& data) {
+  model.fit(data);
+  std::stringstream buffer;
+  saveModel(model, buffer);
+  const auto restored = loadModel(buffer);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->name(), model.name());
+  for (std::size_t i = 0; i < std::min<std::size_t>(50, data.size()); ++i)
+    EXPECT_DOUBLE_EQ(restored->predict(data.row(i)),
+                     model.predict(data.row(i)));
+}
+
+TEST(Serialize, LassoRoundTrip) {
+  roundTrip(LassoRegression({.alpha = 0.05}), makeData(300, 1));
+}
+
+TEST(Serialize, MlpRoundTrip) {
+  MlpConfig cfg;
+  cfg.hiddenLayers = {16, 8};
+  cfg.maxEpochs = 15;
+  roundTrip(MlpRegressor(cfg), makeData(300, 2));
+}
+
+TEST(Serialize, GbrtRoundTrip) {
+  GbrtConfig cfg;
+  cfg.numEstimators = 40;
+  roundTrip(Gbrt(cfg), makeData(300, 3));
+}
+
+TEST(Serialize, GbrtImportanceSurvives) {
+  const auto data = makeData(400, 4);
+  Gbrt model({.numEstimators = 50});
+  model.fit(data);
+  std::stringstream buffer;
+  saveModel(model, buffer);
+  const auto restored = loadModel(buffer);
+  const auto& restoredGbrt = dynamic_cast<const Gbrt&>(*restored);
+  const auto a = model.featureImportance();
+  const auto b = restoredGbrt.featureImportance();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t f = 0; f < a.size(); ++f) EXPECT_DOUBLE_EQ(a[f], b[f]);
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream buffer("not a model at all");
+  EXPECT_THROW(loadModel(buffer), hcp::Error);
+}
+
+TEST(Serialize, RejectsTruncated) {
+  const auto data = makeData(100, 5);
+  Gbrt model({.numEstimators = 10});
+  model.fit(data);
+  std::stringstream buffer;
+  saveModel(model, buffer);
+  const std::string full = buffer.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(loadModel(cut), hcp::Error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto data = makeData(200, 6);
+  LassoRegression model;
+  model.fit(data);
+  const std::string path = "serialize_test_model.tmp";
+  saveModelToFile(model, path);
+  const auto restored = loadModelFromFile(path);
+  EXPECT_DOUBLE_EQ(restored->predict(data.row(0)), model.predict(data.row(0)));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(loadModelFromFile("/nonexistent/model.hcp"), hcp::Error);
+}
+
+}  // namespace
+}  // namespace hcp::ml

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "ml/gbrt.hpp"
+#include "ml/linear.hpp"
+#include "ml/validation.hpp"
+#include "support/rng.hpp"
+
+namespace hcp::ml {
+namespace {
+
+Dataset linearData(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> x{rng.uniformReal(-1, 1), rng.uniformReal(-1, 1),
+                          rng.uniformReal(-1, 1)};
+    data.add(x, 3 * x[0] - x[1] + rng.normal(0, 0.1));
+  }
+  return data;
+}
+
+TEST(CrossValidate, RunsAllFolds) {
+  const auto data = linearData(200, 1);
+  const CvResult cv = crossValidate(
+      [] { return std::make_unique<LassoRegression>(); }, data, 5, 42);
+  EXPECT_EQ(cv.foldMae.size(), 5u);
+  EXPECT_EQ(cv.foldMedae.size(), 5u);
+  EXPECT_GT(cv.meanMae, 0.0);
+  EXPECT_LT(cv.meanMae, 0.3);  // easy linear problem
+  EXPECT_LE(cv.meanMedae, cv.meanMae * 1.5);
+}
+
+TEST(CrossValidate, DeterministicPerSeed) {
+  const auto data = linearData(150, 2);
+  auto factory = [] { return std::make_unique<LassoRegression>(); };
+  const CvResult a = crossValidate(factory, data, 4, 7);
+  const CvResult b = crossValidate(factory, data, 4, 7);
+  EXPECT_DOUBLE_EQ(a.meanMae, b.meanMae);
+}
+
+TEST(GridSearch, PicksBestAlpha) {
+  const auto data = linearData(300, 3);
+  // Absurdly strong regularization must lose to a sensible one.
+  const std::vector<LassoConfig> grid{
+      {.alpha = 0.01}, {.alpha = 50.0}};
+  const auto result = gridSearch<LassoConfig>(
+      grid,
+      [](const LassoConfig& c) {
+        return std::make_unique<LassoRegression>(c);
+      },
+      data, 4, 11);
+  EXPECT_DOUBLE_EQ(result.bestConfig.alpha, 0.01);
+  EXPECT_EQ(result.all.size(), 2u);
+  EXPECT_LE(result.bestCv.meanMae, result.all[1].second.meanMae);
+}
+
+TEST(GridSearch, SingleCandidateWorks) {
+  const auto data = linearData(100, 4);
+  const std::vector<GbrtConfig> grid{{.numEstimators = 20}};
+  const auto result = gridSearch<GbrtConfig>(
+      grid,
+      [](const GbrtConfig& c) { return std::make_unique<Gbrt>(c); },
+      data, 3, 5);
+  EXPECT_EQ(result.bestConfig.numEstimators, 20u);
+}
+
+TEST(GridSearch, EmptyGridRejected) {
+  const auto data = linearData(50, 5);
+  EXPECT_THROW(
+      gridSearch<LassoConfig>(
+          {},
+          [](const LassoConfig& c) {
+            return std::make_unique<LassoRegression>(c);
+          },
+          data, 3, 1),
+      hcp::Error);
+}
+
+}  // namespace
+}  // namespace hcp::ml

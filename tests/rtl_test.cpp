@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/face_detection.hpp"
+#include "hls/design.hpp"
+#include "ir/builder.hpp"
+#include "rtl/generator.hpp"
+
+namespace hcp::rtl {
+namespace {
+
+using ir::Builder;
+using ir::Function;
+using ir::Module;
+using ir::Opcode;
+using ir::OpId;
+
+/// Small design: two functions, one call, one array.
+hls::SynthesizedDesign makeDesign(std::uint32_t banks = 1,
+                                  bool constIdx = true) {
+  auto mod = std::make_unique<Module>("m");
+  {
+    auto leaf = std::make_unique<Function>("leaf");
+    Builder b(*leaf);
+    const auto a = b.inPort("a", 16);
+    const auto out = b.outPort("r", 16);
+    const OpId x = b.readPort(a);
+    b.writePort(out, b.trunc(b.mul(x, x), 16));
+    b.ret();
+    mod->addFunction(std::move(leaf));
+  }
+  {
+    auto top = std::make_unique<Function>("top");
+    Builder b(*top);
+    const auto in = b.inPort("i", 16);
+    const auto out = b.outPort("o", 16);
+    const auto arr = b.array("mem", 32, 16);
+    top->array(arr).banks = banks;
+    const OpId x = b.readPort(in);
+    b.store(arr, b.constant(1, 8), x);
+    const OpId idx = constIdx ? b.constant(2, 8) : b.and_(x, b.constant(31, 8));
+    const OpId v = b.load(arr, idx);
+    const OpId r = b.call("leaf", {v}, 16);
+    b.writePort(out, b.add(r, v));
+    b.ret();
+    mod->addFunction(std::move(top));
+  }
+  mod->setTop("top");
+  return hls::synthesize(std::move(mod), {}, {});
+}
+
+TEST(Netlist, ValidateCatchesBadNets) {
+  Netlist nl("t");
+  const auto inst = nl.addInstance({"top", 0, 0});
+  Cell a;
+  a.name = "a";
+  a.instance = inst;
+  const CellId ca = nl.addCell(std::move(a));
+  Net net;
+  net.name = "n";
+  net.width = 0;       // invalid width
+  net.driver = ca;
+  net.sinks = {ca};    // driver == sink
+  nl.addNet(std::move(net));
+  const auto issues = nl.validate();
+  EXPECT_GE(issues.size(), 2u);
+}
+
+TEST(Generator, CleanNetlist) {
+  const auto design = makeDesign();
+  const auto rtl = generateRtl(design);
+  EXPECT_TRUE(rtl.netlist.validate().empty());
+  EXPECT_GT(rtl.netlist.numCells(), 0u);
+  EXPECT_GT(rtl.netlist.numNets(), 0u);
+}
+
+TEST(Generator, PadsForTopPorts) {
+  const auto design = makeDesign();
+  const auto rtl = generateRtl(design);
+  std::size_t pads = 0;
+  for (const Cell& c : rtl.netlist.cells())
+    if (c.type == CellType::Pad) ++pads;
+  EXPECT_EQ(pads, 2u);
+}
+
+TEST(Generator, OneInstancePerCallUnit) {
+  const auto design = makeDesign();
+  const auto rtl = generateRtl(design);
+  // top + 1 leaf instance.
+  EXPECT_EQ(rtl.netlist.numInstances(), 2u);
+}
+
+TEST(Generator, MemoryBanksEmitted) {
+  const auto design = makeDesign(4);
+  const auto rtl = generateRtl(design);
+  std::size_t banks = 0;
+  for (const Cell& c : rtl.netlist.cells())
+    if (c.type == CellType::MemoryBank) ++banks;
+  EXPECT_EQ(banks, 4u);
+}
+
+TEST(Generator, ConstIndexLoadHasNoAccessMux) {
+  const auto design = makeDesign(4, /*constIdx=*/true);
+  const auto rtl = generateRtl(design);
+  for (const Cell& c : rtl.netlist.cells())
+    EXPECT_EQ(c.name.find("_amux_"), std::string::npos) << c.name;
+}
+
+TEST(Generator, VariableIndexLoadGetsAccessMux) {
+  const auto design = makeDesign(4, /*constIdx=*/false);
+  const auto rtl = generateRtl(design);
+  bool sawMux = false;
+  for (const Cell& c : rtl.netlist.cells())
+    if (c.name.find("_amux_") != std::string::npos) sawMux = true;
+  EXPECT_TRUE(sawMux);
+}
+
+TEST(Generator, EveryInstanceHasFsm) {
+  const auto design = makeDesign();
+  const auto rtl = generateRtl(design);
+  std::set<InstanceId> withFsm;
+  for (const Cell& c : rtl.netlist.cells())
+    if (c.name.size() >= 4 &&
+        c.name.compare(c.name.size() - 4, 4, "/fsm") == 0)
+      withFsm.insert(c.instance);
+  EXPECT_EQ(withFsm.size(), rtl.netlist.numInstances());
+}
+
+TEST(Generator, InterfaceRegistersAtCallBoundary) {
+  const auto design = makeDesign();
+  const auto rtl = generateRtl(design);
+  bool sawIfReg = false, sawIfOut = false;
+  for (const Cell& c : rtl.netlist.cells()) {
+    if (c.name.find("ifreg_a") != std::string::npos) sawIfReg = true;
+    if (c.name.find("ifreg_out") != std::string::npos) sawIfOut = true;
+  }
+  EXPECT_TRUE(sawIfReg);
+  EXPECT_TRUE(sawIfOut);
+}
+
+TEST(Generator, ProvenanceCoversFunctionalOps) {
+  const auto design = makeDesign();
+  const auto rtl = generateRtl(design);
+  std::set<std::uint64_t> keys;
+  for (const auto& [key, cell] : rtl.provenance.opCells) {
+    keys.insert(key);
+    EXPECT_LT(cell, rtl.netlist.numCells());
+  }
+  EXPECT_FALSE(keys.empty());
+}
+
+TEST(Generator, TotalResourceMatchesCellSum) {
+  const auto design = makeDesign();
+  const auto rtl = generateRtl(design);
+  hls::Resource sum;
+  for (const Cell& c : rtl.netlist.cells()) sum += c.res;
+  const auto total = rtl.netlist.totalResource();
+  EXPECT_DOUBLE_EQ(total.lut, sum.lut);
+  EXPECT_DOUBLE_EQ(total.ff, sum.ff);
+}
+
+TEST(Generator, SharedCallSitesGetInterfaceMux) {
+  auto mod = std::make_unique<Module>("m");
+  {
+    auto leaf = std::make_unique<Function>("leaf");
+    Builder b(*leaf);
+    const auto a = b.inPort("a", 8);
+    const auto out = b.outPort("r", 8);
+    b.writePort(out, b.neg(b.readPort(a)));
+    b.ret();
+    mod->addFunction(std::move(leaf));
+  }
+  {
+    auto top = std::make_unique<Function>("top");
+    Builder b(*top);
+    const auto in = b.inPort("i", 8);
+    const auto out = b.outPort("o", 8);
+    const OpId x = b.readPort(in);
+    std::vector<OpId> calls;
+    for (int i = 0; i < 4; ++i) calls.push_back(b.call("leaf", {x}, 8));
+    OpId acc = calls[0];
+    for (int i = 1; i < 4; ++i) acc = b.add(acc, calls[i]);
+    b.writePort(out, acc);
+    b.ret();
+    mod->addFunction(std::move(top));
+  }
+  mod->setTop("top");
+  hls::SynthesisOptions opts;
+  opts.schedule.callInstanceLimit = 2;
+  const auto design = hls::synthesize(std::move(mod), {}, opts);
+  const auto rtl = generateRtl(design);
+  // 4 call sites, limit 2 -> 2 leaf instances, each with an interface mux.
+  EXPECT_EQ(rtl.netlist.numInstances(), 3u);
+  std::size_t ifmux = 0;
+  for (const Cell& c : rtl.netlist.cells())
+    if (c.name.find("ifmux_") != std::string::npos) ++ifmux;
+  EXPECT_EQ(ifmux, 2u);
+  EXPECT_TRUE(rtl.netlist.validate().empty());
+}
+
+TEST(Generator, FaceDetectionVariantsGenerate) {
+  for (bool inlined : {true, false}) {
+    apps::FaceDetectionConfig cfg;
+    cfg.inlineClassifiers = inlined;
+    cfg.windowTrip = 64;
+    cfg.fillTrip = 64;
+    auto app = apps::faceDetection(cfg);
+    const auto design =
+        hls::synthesize(std::move(app.module), app.directives, {});
+    const auto rtl = generateRtl(design);
+    EXPECT_TRUE(rtl.netlist.validate().empty());
+    if (inlined) {
+      EXPECT_EQ(rtl.netlist.numInstances(), 1u);  // everything flat
+    } else {
+      EXPECT_GT(rtl.netlist.numInstances(), 10u);  // cascade/stage/weak tree
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hcp::rtl

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "apps/digit_spam.hpp"
+#include "hls/design.hpp"
+#include "rtl/generator.hpp"
+#include "rtl/verilog.hpp"
+
+namespace hcp::rtl {
+namespace {
+
+GeneratedRtl makeRtl() {
+  auto app = apps::spamFilter({.numFeatures = 64, .unroll = 4,
+                               .partition = 4});
+  auto design = hls::synthesize(std::move(app.module), app.directives, {});
+  return generateRtl(design);
+}
+
+TEST(Verilog, ModuleStructure) {
+  const auto rtl = makeRtl();
+  const std::string v = toVerilog(rtl.netlist);
+  EXPECT_NE(v.find("module spam_filter (input wire clk);"),
+            std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // One wire per net, one instance per cell.
+  std::size_t wires = 0, instances = 0;
+  for (std::size_t pos = 0; (pos = v.find("  wire ", pos)) != std::string::npos;
+       pos += 7)
+    ++wires;
+  for (std::size_t pos = 0; (pos = v.find("hcp_", pos)) != std::string::npos;
+       pos += 4)
+    ++instances;
+  EXPECT_EQ(wires, rtl.netlist.numNets());
+  EXPECT_GE(instances, rtl.netlist.numCells());
+}
+
+TEST(Verilog, SanitizesIdentifiers) {
+  const auto rtl = makeRtl();
+  const std::string v = toVerilog(rtl.netlist);
+  // Hierarchical '/' names must not survive into identifiers.
+  const auto modEnd = v.find("endmodule");
+  for (std::size_t pos = v.find("hcp_"); pos < modEnd;
+       pos = v.find("hcp_", pos + 1)) {
+    const auto line = v.substr(pos, v.find('\n', pos) - pos);
+    const auto nameStart = line.find(") ");
+    if (nameStart == std::string::npos) continue;
+    const auto name = line.substr(nameStart + 2, line.find(" (", nameStart + 2) -
+                                                     nameStart - 2);
+    EXPECT_EQ(name.find('/'), std::string::npos) << name;
+    EXPECT_EQ(name.find('.'), std::string::npos) << name;
+  }
+}
+
+TEST(Verilog, ProvenanceCommentsOptIn) {
+  const auto rtl = makeRtl();
+  VerilogOptions with;
+  VerilogOptions without;
+  without.provenanceComments = false;
+  EXPECT_NE(toVerilog(rtl.netlist, with).find("// IR op"),
+            std::string::npos);
+  EXPECT_EQ(toVerilog(rtl.netlist, without).find("// IR op"),
+            std::string::npos);
+}
+
+TEST(Verilog, StubsEmittedOncePerKind) {
+  const auto rtl = makeRtl();
+  const std::string v = toVerilog(rtl.netlist);
+  std::size_t stubCount = 0;
+  for (std::size_t pos = 0;
+       (pos = v.find("module hcp_reg", pos)) != std::string::npos; ++pos)
+    ++stubCount;
+  EXPECT_EQ(stubCount, 1u);
+}
+
+TEST(Verilog, DeterministicOutput) {
+  const auto rtl = makeRtl();
+  EXPECT_EQ(toVerilog(rtl.netlist), toVerilog(rtl.netlist));
+}
+
+}  // namespace
+}  // namespace hcp::rtl

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/face_detection.hpp"
+#include "core/flow.hpp"
+#include "trace/backtrace.hpp"
+
+namespace hcp::trace {
+namespace {
+
+/// One shared small flow for all back-trace tests (built once).
+class TraceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    apps::FaceDetectionConfig cfg;
+    cfg.windowTrip = 64;
+    cfg.fillTrip = 64;
+    cfg.stages = 4;
+    device_ = new fpga::Device(fpga::Device::xc7z020like());
+    flow_ = new core::FlowResult(
+        core::runFlow(apps::faceDetection(cfg), *device_, {}));
+  }
+  static void TearDownTestSuite() {
+    delete flow_;
+    delete device_;
+    flow_ = nullptr;
+    device_ = nullptr;
+  }
+
+  static core::FlowResult* flow_;
+  static fpga::Device* device_;
+};
+
+core::FlowResult* TraceTest::flow_ = nullptr;
+fpga::Device* TraceTest::device_ = nullptr;
+
+TEST_F(TraceTest, ProducesSamples) {
+  EXPECT_GT(flow_->traced.samples.size(), 100u);
+  EXPECT_GT(flow_->traced.cellsTraced, 0u);
+}
+
+TEST_F(TraceTest, LabelsWithinMapRange) {
+  const auto smoothMax =
+      flow_->impl.routing.map.smoothed(2).maxVUtil() + 1e-6;
+  for (const Sample& s : flow_->traced.samples) {
+    EXPECT_GE(s.vCongestion, 0.0);
+    EXPECT_LE(s.vCongestion, smoothMax);
+    EXPECT_NEAR(s.avgCongestion, 0.5 * (s.vCongestion + s.hCongestion),
+                1e-9);
+  }
+}
+
+TEST_F(TraceTest, SamplesCarryProvenance) {
+  const auto& mod = *flow_->design.module;
+  for (const Sample& s : flow_->traced.samples) {
+    ASSERT_LT(s.functionIndex, mod.numFunctions());
+    const auto& fn = mod.function(s.functionIndex);
+    ASSERT_LT(s.op, fn.numOps());
+    EXPECT_EQ(s.sourceLine, fn.op(s.op).sourceLine);
+    EXPECT_GE(s.centreRadius, 0.0);
+    EXPECT_LE(s.centreRadius, 1.0);
+    EXPECT_GT(s.numCells, 0u);
+  }
+}
+
+TEST_F(TraceTest, SamplesUniquePerInstanceOp) {
+  std::set<std::pair<rtl::InstanceId, ir::OpId>> seen;
+  for (const Sample& s : flow_->traced.samples)
+    EXPECT_TRUE(seen.insert({s.instance, s.op}).second);
+}
+
+TEST_F(TraceTest, DescribeCellChainsToSource) {
+  // Find a cell with op provenance.
+  for (rtl::CellId c = 0; c < flow_->rtl.netlist.numCells(); ++c) {
+    if (flow_->rtl.netlist.cell(c).ops.empty()) continue;
+    const std::string chain = describeCell(
+        flow_->rtl, flow_->impl, *flow_->design.module, c);
+    EXPECT_NE(chain.find("tile("), std::string::npos);
+    EXPECT_NE(chain.find("IR op"), std::string::npos);
+    EXPECT_NE(chain.find("source line"), std::string::npos);
+    return;
+  }
+  FAIL() << "no cell with provenance";
+}
+
+TEST_F(TraceTest, FilterMarksOnlyLowMarginReplicas) {
+  auto samples = flow_->traced.samples;
+  const FilterStats stats = filterMarginal(samples);
+  EXPECT_EQ(stats.total, samples.size());
+  for (const Sample& s : samples) {
+    if (!s.marginal) continue;
+    EXPECT_GE(s.centreRadius, 0.55);
+  }
+}
+
+TEST_F(TraceTest, FilterFractionIsSmall) {
+  auto samples = flow_->traced.samples;
+  const FilterStats stats = filterMarginal(samples);
+  // The paper reports ~3.4%; anything under 15% is structurally sane here.
+  EXPECT_LT(stats.fraction(), 0.15);
+}
+
+TEST(FilterUnit, GroupsByOriginAndFiltersOutliers) {
+  std::vector<Sample> samples;
+  // Replica group of 6 sharing originOp 7: five hot in the centre, one cold
+  // at the margin.
+  for (int i = 0; i < 6; ++i) {
+    Sample s;
+    s.functionIndex = 0;
+    s.instance = 0;
+    s.op = static_cast<ir::OpId>(i);
+    s.originOp = 7;
+    s.avgCongestion = i < 5 ? 100.0 : 20.0;
+    s.centreRadius = i < 5 ? 0.2 : 0.9;
+    samples.push_back(s);
+  }
+  const FilterStats stats = filterMarginal(samples);
+  EXPECT_EQ(stats.marginal, 1u);
+  EXPECT_TRUE(samples[5].marginal);
+  EXPECT_FALSE(samples[0].marginal);
+}
+
+TEST(FilterUnit, SmallGroupsUntouched) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < 3; ++i) {  // below minGroupSize
+    Sample s;
+    s.op = static_cast<ir::OpId>(i);
+    s.originOp = 1;
+    s.avgCongestion = i == 0 ? 1.0 : 100.0;
+    s.centreRadius = 0.99;
+    samples.push_back(s);
+  }
+  const FilterStats stats = filterMarginal(samples);
+  EXPECT_EQ(stats.marginal, 0u);
+}
+
+TEST(FilterUnit, CentralReplicasKeptEvenIfLow) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < 6; ++i) {
+    Sample s;
+    s.op = static_cast<ir::OpId>(i);
+    s.originOp = 3;
+    s.avgCongestion = i < 5 ? 100.0 : 10.0;
+    s.centreRadius = 0.1;  // everything central
+    samples.push_back(s);
+  }
+  const FilterStats stats = filterMarginal(samples);
+  EXPECT_EQ(stats.marginal, 0u);
+}
+
+}  // namespace
+}  // namespace hcp::trace

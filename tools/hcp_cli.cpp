@@ -1,0 +1,222 @@
+// hcp_cli — command-line driver for the library.
+//
+//   hcp_cli flow <design> [--seed N] [--no-directives]
+//       run the full C-to-FPGA flow and print the implementation summary
+//   hcp_cli train <model.hcp> <design> [<design> ...] [--model gbrt|ann|linear]
+//       run flows, build the dataset and save a trained predictor
+//   hcp_cli predict <model.hcp> <design>
+//       HLS-synthesize the design (no PAR) and print predicted hotspots
+//   hcp_cli advise <model.hcp> <design>
+//       predict + print congestion-resolution hints
+//   hcp_cli dump-ir <design>
+//       print the post-directive IR of the design's top module
+//   hcp_cli dump-verilog <design>
+//       print the generated structural netlist as Verilog
+//   hcp_cli list
+//       list the bundled benchmark designs
+//
+// <design> is one of: face_detection, face_detection_noinline,
+// face_detection_replicated, digit_recognition, spam_filter, digit_spam,
+// bnn, rendering_3d, optical_flow, vision_combined.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/digit_spam.hpp"
+#include "apps/face_detection.hpp"
+#include "apps/vision_suite.hpp"
+#include "core/dataset_builder.hpp"
+#include "core/flow.hpp"
+#include "core/predictor.hpp"
+#include "core/resolver.hpp"
+#include "ir/printer.hpp"
+#include "rtl/verilog.hpp"
+
+using namespace hcp;
+
+namespace {
+
+const std::vector<std::string> kDesigns = {
+    "face_detection",  "face_detection_noinline", "face_detection_replicated",
+    "digit_recognition", "spam_filter", "digit_spam",
+    "bnn", "rendering_3d", "optical_flow", "vision_combined"};
+
+apps::AppDesign makeDesign(const std::string& name, bool withDirectives) {
+  auto withDir = [&](auto cfg) {
+    cfg.withDirectives = withDirectives;
+    return cfg;
+  };
+  if (name == "face_detection")
+    return apps::faceDetection(withDir(apps::FaceDetectionConfig{}));
+  if (name == "face_detection_noinline") {
+    apps::FaceDetectionConfig cfg;
+    cfg.inlineClassifiers = false;
+    cfg.withDirectives = withDirectives;
+    return apps::faceDetection(cfg);
+  }
+  if (name == "face_detection_replicated") {
+    apps::FaceDetectionConfig cfg;
+    cfg.inlineClassifiers = false;
+    cfg.replicateWindowArray = true;
+    cfg.withDirectives = withDirectives;
+    return apps::faceDetection(cfg);
+  }
+  if (name == "digit_recognition")
+    return apps::digitRecognition(withDir(apps::DigitRecognitionConfig{}));
+  if (name == "spam_filter")
+    return apps::spamFilter(withDir(apps::SpamFilterConfig{}));
+  if (name == "digit_spam") return apps::digitSpamCombined();
+  if (name == "bnn") return apps::bnn(withDir(apps::BnnConfig{}));
+  if (name == "rendering_3d")
+    return apps::rendering3d(withDir(apps::RenderingConfig{}));
+  if (name == "optical_flow")
+    return apps::opticalFlow(withDir(apps::OpticalFlowConfig{}));
+  if (name == "vision_combined") return apps::visionCombined();
+  std::fprintf(stderr, "unknown design '%s' (try: hcp_cli list)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hcp_cli <flow|train|predict|advise|dump-ir|"
+               "dump-verilog|list> ...\n(see the header of tools/hcp_cli.cpp "
+               "for details)\n");
+  return 2;
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::uint64_t seed = 42;
+  bool directives = true;
+  std::string model = "gbrt";
+};
+
+Args parse(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--seed" && i + 1 < argc) {
+      args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--no-directives") {
+      args.directives = false;
+    } else if (a == "--model" && i + 1 < argc) {
+      args.model = argv[++i];
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+core::FlowResult runNamedFlow(const std::string& design, const Args& args,
+                              const fpga::Device& device) {
+  core::FlowConfig cfg;
+  cfg.seed = args.seed;
+  std::fprintf(stderr, "[hcp] running flow for %s...\n", design.c_str());
+  return core::runFlow(makeDesign(design, args.directives), device, cfg);
+}
+
+void printSummary(const core::FlowResult& flow) {
+  std::printf("design          : %s\n", flow.name.c_str());
+  std::printf("cells / nets    : %zu / %zu\n", flow.rtl.netlist.numCells(),
+              flow.rtl.netlist.numNets());
+  std::printf("latency         : %llu cycles\n",
+              static_cast<unsigned long long>(flow.latencyCycles));
+  std::printf("WNS / Fmax      : %.3f ns / %.1f MHz\n", flow.wnsNs,
+              flow.maxFrequencyMhz);
+  std::printf("max congestion  : V %.1f%%  H %.1f%%\n", flow.maxVCongestion,
+              flow.maxHCongestion);
+  std::printf("tiles over 100%% : %zu\n", flow.congestedTiles);
+  std::printf("samples traced  : %zu\n", flow.traced.samples.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const auto device = fpga::Device::xc7z020like();
+
+  try {
+    if (cmd == "list") {
+      for (const auto& d : kDesigns) std::printf("%s\n", d.c_str());
+      return 0;
+    }
+    if (cmd == "flow") {
+      const Args args = parse(argc, argv, 2);
+      if (args.positional.size() != 1) return usage();
+      printSummary(runNamedFlow(args.positional[0], args, device));
+      return 0;
+    }
+    if (cmd == "train") {
+      const Args args = parse(argc, argv, 2);
+      if (args.positional.size() < 2) return usage();
+      const std::string modelPath = args.positional[0];
+      std::vector<core::FlowResult> flows;
+      for (std::size_t i = 1; i < args.positional.size(); ++i)
+        flows.push_back(runNamedFlow(args.positional[i], args, device));
+      const auto dataset = core::buildDataset(flows, {});
+      core::PredictorOptions opts;
+      if (args.model == "linear") opts.kind = core::ModelKind::Linear;
+      else if (args.model == "ann") opts.kind = core::ModelKind::Ann;
+      else if (args.model == "gbrt") opts.kind = core::ModelKind::Gbrt;
+      else return usage();
+      core::CongestionPredictor predictor(opts);
+      std::fprintf(stderr, "[hcp] training %s on %zu samples...\n",
+                   args.model.c_str(), dataset.vertical.size());
+      predictor.train(dataset);
+      predictor.save(modelPath);
+      std::printf("saved %s predictor to %s (%zu samples)\n",
+                  args.model.c_str(), modelPath.c_str(),
+                  dataset.vertical.size());
+      return 0;
+    }
+    if (cmd == "predict" || cmd == "advise") {
+      const Args args = parse(argc, argv, 2);
+      if (args.positional.size() != 2) return usage();
+      auto predictor = core::CongestionPredictor::load(args.positional[0]);
+      auto app = makeDesign(args.positional[1], args.directives);
+      const auto design =
+          hls::synthesize(std::move(app.module), app.directives, {});
+      const auto hotspots = predictor.findHotspots(design, {}, 10);
+      std::printf("predicted hotspots (no place-and-route was run):\n");
+      for (const auto& h : hotspots)
+        std::printf("  %-28s line %-5d %4zu ops  mean %.1f%%  max %.1f%%\n",
+                    h.functionName.c_str(), h.sourceLine, h.numOps,
+                    h.meanPredicted, h.maxPredicted);
+      if (cmd == "advise") {
+        std::printf("\nresolution hints:\n");
+        for (const auto& hint : core::adviseResolution(design, hotspots, {}))
+          std::printf("  [%s] %s\n",
+                      std::string(core::resolutionKindName(hint.kind)).c_str(),
+                      hint.message.c_str());
+      }
+      return 0;
+    }
+    if (cmd == "dump-ir") {
+      const Args args = parse(argc, argv, 2);
+      if (args.positional.size() != 1) return usage();
+      auto app = makeDesign(args.positional[0], args.directives);
+      const auto design =
+          hls::synthesize(std::move(app.module), app.directives, {});
+      std::printf("%s", ir::print(*design.module).c_str());
+      return 0;
+    }
+    if (cmd == "dump-verilog") {
+      const Args args = parse(argc, argv, 2);
+      if (args.positional.size() != 1) return usage();
+      auto app = makeDesign(args.positional[0], args.directives);
+      const auto design =
+          hls::synthesize(std::move(app.module), app.directives, {});
+      const auto rtl = rtl::generateRtl(design);
+      std::printf("%s", rtl::toVerilog(rtl.netlist).c_str());
+      return 0;
+    }
+  } catch (const hcp::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

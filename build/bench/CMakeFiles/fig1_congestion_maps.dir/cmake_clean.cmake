@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_congestion_maps.dir/fig1_congestion_maps.cpp.o"
+  "CMakeFiles/fig1_congestion_maps.dir/fig1_congestion_maps.cpp.o.d"
+  "fig1_congestion_maps"
+  "fig1_congestion_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_congestion_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

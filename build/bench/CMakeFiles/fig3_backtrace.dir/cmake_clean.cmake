@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_backtrace.dir/fig3_backtrace.cpp.o"
+  "CMakeFiles/fig3_backtrace.dir/fig3_backtrace.cpp.o.d"
+  "fig3_backtrace"
+  "fig3_backtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_backtrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_sharing.cpp" "bench/CMakeFiles/fig4_sharing.dir/fig4_sharing.cpp.o" "gcc" "bench/CMakeFiles/fig4_sharing.dir/fig4_sharing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hcp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hcp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/hcp_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/hcp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/hcp_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/hcp_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/hcp_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hcp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

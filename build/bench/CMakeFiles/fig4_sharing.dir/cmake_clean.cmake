@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sharing.dir/fig4_sharing.cpp.o"
+  "CMakeFiles/fig4_sharing.dir/fig4_sharing.cpp.o.d"
+  "fig4_sharing"
+  "fig4_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

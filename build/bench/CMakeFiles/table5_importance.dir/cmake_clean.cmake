@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_importance.dir/table5_importance.cpp.o"
+  "CMakeFiles/table5_importance.dir/table5_importance.cpp.o.d"
+  "table5_importance"
+  "table5_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_casestudy.dir/table6_casestudy.cpp.o"
+  "CMakeFiles/table6_casestudy.dir/table6_casestudy.cpp.o.d"
+  "table6_casestudy"
+  "table6_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

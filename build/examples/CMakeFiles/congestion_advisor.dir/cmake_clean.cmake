@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_advisor.dir/congestion_advisor.cpp.o"
+  "CMakeFiles/congestion_advisor.dir/congestion_advisor.cpp.o.d"
+  "congestion_advisor"
+  "congestion_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

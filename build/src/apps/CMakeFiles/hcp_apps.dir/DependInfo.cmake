@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/digit_spam.cpp" "src/apps/CMakeFiles/hcp_apps.dir/digit_spam.cpp.o" "gcc" "src/apps/CMakeFiles/hcp_apps.dir/digit_spam.cpp.o.d"
+  "/root/repo/src/apps/face_detection.cpp" "src/apps/CMakeFiles/hcp_apps.dir/face_detection.cpp.o" "gcc" "src/apps/CMakeFiles/hcp_apps.dir/face_detection.cpp.o.d"
+  "/root/repo/src/apps/vision_suite.cpp" "src/apps/CMakeFiles/hcp_apps.dir/vision_suite.cpp.o" "gcc" "src/apps/CMakeFiles/hcp_apps.dir/vision_suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hls/CMakeFiles/hcp_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hcp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

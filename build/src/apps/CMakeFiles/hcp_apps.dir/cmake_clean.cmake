@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcp_apps.dir/digit_spam.cpp.o"
+  "CMakeFiles/hcp_apps.dir/digit_spam.cpp.o.d"
+  "CMakeFiles/hcp_apps.dir/face_detection.cpp.o"
+  "CMakeFiles/hcp_apps.dir/face_detection.cpp.o.d"
+  "CMakeFiles/hcp_apps.dir/vision_suite.cpp.o"
+  "CMakeFiles/hcp_apps.dir/vision_suite.cpp.o.d"
+  "libhcp_apps.a"
+  "libhcp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcp_core.dir/dataset_builder.cpp.o"
+  "CMakeFiles/hcp_core.dir/dataset_builder.cpp.o.d"
+  "CMakeFiles/hcp_core.dir/flow.cpp.o"
+  "CMakeFiles/hcp_core.dir/flow.cpp.o.d"
+  "CMakeFiles/hcp_core.dir/predictor.cpp.o"
+  "CMakeFiles/hcp_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/hcp_core.dir/resolver.cpp.o"
+  "CMakeFiles/hcp_core.dir/resolver.cpp.o.d"
+  "libhcp_core.a"
+  "libhcp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

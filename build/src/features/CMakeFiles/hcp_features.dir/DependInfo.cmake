@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/extractor.cpp" "src/features/CMakeFiles/hcp_features.dir/extractor.cpp.o" "gcc" "src/features/CMakeFiles/hcp_features.dir/extractor.cpp.o.d"
+  "/root/repo/src/features/feature_registry.cpp" "src/features/CMakeFiles/hcp_features.dir/feature_registry.cpp.o" "gcc" "src/features/CMakeFiles/hcp_features.dir/feature_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hls/CMakeFiles/hcp_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hcp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcp_features.dir/extractor.cpp.o"
+  "CMakeFiles/hcp_features.dir/extractor.cpp.o.d"
+  "CMakeFiles/hcp_features.dir/feature_registry.cpp.o"
+  "CMakeFiles/hcp_features.dir/feature_registry.cpp.o.d"
+  "libhcp_features.a"
+  "libhcp_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcp_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/congestion.cpp" "src/fpga/CMakeFiles/hcp_fpga.dir/congestion.cpp.o" "gcc" "src/fpga/CMakeFiles/hcp_fpga.dir/congestion.cpp.o.d"
+  "/root/repo/src/fpga/device.cpp" "src/fpga/CMakeFiles/hcp_fpga.dir/device.cpp.o" "gcc" "src/fpga/CMakeFiles/hcp_fpga.dir/device.cpp.o.d"
+  "/root/repo/src/fpga/packer.cpp" "src/fpga/CMakeFiles/hcp_fpga.dir/packer.cpp.o" "gcc" "src/fpga/CMakeFiles/hcp_fpga.dir/packer.cpp.o.d"
+  "/root/repo/src/fpga/par.cpp" "src/fpga/CMakeFiles/hcp_fpga.dir/par.cpp.o" "gcc" "src/fpga/CMakeFiles/hcp_fpga.dir/par.cpp.o.d"
+  "/root/repo/src/fpga/placer.cpp" "src/fpga/CMakeFiles/hcp_fpga.dir/placer.cpp.o" "gcc" "src/fpga/CMakeFiles/hcp_fpga.dir/placer.cpp.o.d"
+  "/root/repo/src/fpga/router.cpp" "src/fpga/CMakeFiles/hcp_fpga.dir/router.cpp.o" "gcc" "src/fpga/CMakeFiles/hcp_fpga.dir/router.cpp.o.d"
+  "/root/repo/src/fpga/sta.cpp" "src/fpga/CMakeFiles/hcp_fpga.dir/sta.cpp.o" "gcc" "src/fpga/CMakeFiles/hcp_fpga.dir/sta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/hcp_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/hcp_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hcp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

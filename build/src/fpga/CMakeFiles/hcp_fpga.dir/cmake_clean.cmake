@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcp_fpga.dir/congestion.cpp.o"
+  "CMakeFiles/hcp_fpga.dir/congestion.cpp.o.d"
+  "CMakeFiles/hcp_fpga.dir/device.cpp.o"
+  "CMakeFiles/hcp_fpga.dir/device.cpp.o.d"
+  "CMakeFiles/hcp_fpga.dir/packer.cpp.o"
+  "CMakeFiles/hcp_fpga.dir/packer.cpp.o.d"
+  "CMakeFiles/hcp_fpga.dir/par.cpp.o"
+  "CMakeFiles/hcp_fpga.dir/par.cpp.o.d"
+  "CMakeFiles/hcp_fpga.dir/placer.cpp.o"
+  "CMakeFiles/hcp_fpga.dir/placer.cpp.o.d"
+  "CMakeFiles/hcp_fpga.dir/router.cpp.o"
+  "CMakeFiles/hcp_fpga.dir/router.cpp.o.d"
+  "CMakeFiles/hcp_fpga.dir/sta.cpp.o"
+  "CMakeFiles/hcp_fpga.dir/sta.cpp.o.d"
+  "libhcp_fpga.a"
+  "libhcp_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcp_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

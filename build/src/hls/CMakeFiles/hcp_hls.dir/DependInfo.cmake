@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/binder.cpp" "src/hls/CMakeFiles/hcp_hls.dir/binder.cpp.o" "gcc" "src/hls/CMakeFiles/hcp_hls.dir/binder.cpp.o.d"
+  "/root/repo/src/hls/charlib.cpp" "src/hls/CMakeFiles/hcp_hls.dir/charlib.cpp.o" "gcc" "src/hls/CMakeFiles/hcp_hls.dir/charlib.cpp.o.d"
+  "/root/repo/src/hls/design.cpp" "src/hls/CMakeFiles/hcp_hls.dir/design.cpp.o" "gcc" "src/hls/CMakeFiles/hcp_hls.dir/design.cpp.o.d"
+  "/root/repo/src/hls/directives.cpp" "src/hls/CMakeFiles/hcp_hls.dir/directives.cpp.o" "gcc" "src/hls/CMakeFiles/hcp_hls.dir/directives.cpp.o.d"
+  "/root/repo/src/hls/scheduler.cpp" "src/hls/CMakeFiles/hcp_hls.dir/scheduler.cpp.o" "gcc" "src/hls/CMakeFiles/hcp_hls.dir/scheduler.cpp.o.d"
+  "/root/repo/src/hls/transforms.cpp" "src/hls/CMakeFiles/hcp_hls.dir/transforms.cpp.o" "gcc" "src/hls/CMakeFiles/hcp_hls.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/hcp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

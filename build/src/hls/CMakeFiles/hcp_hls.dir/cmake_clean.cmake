@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcp_hls.dir/binder.cpp.o"
+  "CMakeFiles/hcp_hls.dir/binder.cpp.o.d"
+  "CMakeFiles/hcp_hls.dir/charlib.cpp.o"
+  "CMakeFiles/hcp_hls.dir/charlib.cpp.o.d"
+  "CMakeFiles/hcp_hls.dir/design.cpp.o"
+  "CMakeFiles/hcp_hls.dir/design.cpp.o.d"
+  "CMakeFiles/hcp_hls.dir/directives.cpp.o"
+  "CMakeFiles/hcp_hls.dir/directives.cpp.o.d"
+  "CMakeFiles/hcp_hls.dir/scheduler.cpp.o"
+  "CMakeFiles/hcp_hls.dir/scheduler.cpp.o.d"
+  "CMakeFiles/hcp_hls.dir/transforms.cpp.o"
+  "CMakeFiles/hcp_hls.dir/transforms.cpp.o.d"
+  "libhcp_hls.a"
+  "libhcp_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcp_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcp_ir.dir/builder.cpp.o"
+  "CMakeFiles/hcp_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/hcp_ir.dir/function.cpp.o"
+  "CMakeFiles/hcp_ir.dir/function.cpp.o.d"
+  "CMakeFiles/hcp_ir.dir/graph.cpp.o"
+  "CMakeFiles/hcp_ir.dir/graph.cpp.o.d"
+  "CMakeFiles/hcp_ir.dir/module.cpp.o"
+  "CMakeFiles/hcp_ir.dir/module.cpp.o.d"
+  "CMakeFiles/hcp_ir.dir/opcode.cpp.o"
+  "CMakeFiles/hcp_ir.dir/opcode.cpp.o.d"
+  "CMakeFiles/hcp_ir.dir/passes.cpp.o"
+  "CMakeFiles/hcp_ir.dir/passes.cpp.o.d"
+  "CMakeFiles/hcp_ir.dir/printer.cpp.o"
+  "CMakeFiles/hcp_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/hcp_ir.dir/verifier.cpp.o"
+  "CMakeFiles/hcp_ir.dir/verifier.cpp.o.d"
+  "libhcp_ir.a"
+  "libhcp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

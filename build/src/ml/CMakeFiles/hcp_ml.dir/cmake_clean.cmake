@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcp_ml.dir/dataset.cpp.o"
+  "CMakeFiles/hcp_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/hcp_ml.dir/gbrt.cpp.o"
+  "CMakeFiles/hcp_ml.dir/gbrt.cpp.o.d"
+  "CMakeFiles/hcp_ml.dir/linear.cpp.o"
+  "CMakeFiles/hcp_ml.dir/linear.cpp.o.d"
+  "CMakeFiles/hcp_ml.dir/metrics.cpp.o"
+  "CMakeFiles/hcp_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/hcp_ml.dir/mlp.cpp.o"
+  "CMakeFiles/hcp_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/hcp_ml.dir/serialize.cpp.o"
+  "CMakeFiles/hcp_ml.dir/serialize.cpp.o.d"
+  "CMakeFiles/hcp_ml.dir/tree.cpp.o"
+  "CMakeFiles/hcp_ml.dir/tree.cpp.o.d"
+  "CMakeFiles/hcp_ml.dir/validation.cpp.o"
+  "CMakeFiles/hcp_ml.dir/validation.cpp.o.d"
+  "libhcp_ml.a"
+  "libhcp_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcp_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

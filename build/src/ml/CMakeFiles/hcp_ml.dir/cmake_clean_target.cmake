@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhcp_ml.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcp_rtl.dir/generator.cpp.o"
+  "CMakeFiles/hcp_rtl.dir/generator.cpp.o.d"
+  "CMakeFiles/hcp_rtl.dir/netlist.cpp.o"
+  "CMakeFiles/hcp_rtl.dir/netlist.cpp.o.d"
+  "CMakeFiles/hcp_rtl.dir/verilog.cpp.o"
+  "CMakeFiles/hcp_rtl.dir/verilog.cpp.o.d"
+  "libhcp_rtl.a"
+  "libhcp_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcp_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcp_support.dir/rng.cpp.o"
+  "CMakeFiles/hcp_support.dir/rng.cpp.o.d"
+  "CMakeFiles/hcp_support.dir/stats.cpp.o"
+  "CMakeFiles/hcp_support.dir/stats.cpp.o.d"
+  "CMakeFiles/hcp_support.dir/strings.cpp.o"
+  "CMakeFiles/hcp_support.dir/strings.cpp.o.d"
+  "CMakeFiles/hcp_support.dir/table.cpp.o"
+  "CMakeFiles/hcp_support.dir/table.cpp.o.d"
+  "libhcp_support.a"
+  "libhcp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcp_trace.dir/backtrace.cpp.o"
+  "CMakeFiles/hcp_trace.dir/backtrace.cpp.o.d"
+  "libhcp_trace.a"
+  "libhcp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhcp_trace.a"
+)

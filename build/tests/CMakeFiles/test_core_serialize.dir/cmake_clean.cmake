@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_serialize.dir/core_serialize_test.cpp.o"
+  "CMakeFiles/test_core_serialize.dir/core_serialize_test.cpp.o.d"
+  "test_core_serialize"
+  "test_core_serialize.pdb"
+  "test_core_serialize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

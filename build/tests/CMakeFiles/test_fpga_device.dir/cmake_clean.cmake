@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpga_device.dir/fpga_device_test.cpp.o"
+  "CMakeFiles/test_fpga_device.dir/fpga_device_test.cpp.o.d"
+  "test_fpga_device"
+  "test_fpga_device.pdb"
+  "test_fpga_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpga_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

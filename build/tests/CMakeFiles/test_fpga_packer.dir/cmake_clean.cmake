@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpga_packer.dir/fpga_packer_test.cpp.o"
+  "CMakeFiles/test_fpga_packer.dir/fpga_packer_test.cpp.o.d"
+  "test_fpga_packer"
+  "test_fpga_packer.pdb"
+  "test_fpga_packer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpga_packer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpga_placer.dir/fpga_placer_test.cpp.o"
+  "CMakeFiles/test_fpga_placer.dir/fpga_placer_test.cpp.o.d"
+  "test_fpga_placer"
+  "test_fpga_placer.pdb"
+  "test_fpga_placer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpga_placer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

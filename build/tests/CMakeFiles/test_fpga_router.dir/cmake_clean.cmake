@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpga_router.dir/fpga_router_test.cpp.o"
+  "CMakeFiles/test_fpga_router.dir/fpga_router_test.cpp.o.d"
+  "test_fpga_router"
+  "test_fpga_router.pdb"
+  "test_fpga_router[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpga_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

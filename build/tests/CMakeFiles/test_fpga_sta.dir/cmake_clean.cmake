@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpga_sta.dir/fpga_sta_test.cpp.o"
+  "CMakeFiles/test_fpga_sta.dir/fpga_sta_test.cpp.o.d"
+  "test_fpga_sta"
+  "test_fpga_sta.pdb"
+  "test_fpga_sta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpga_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

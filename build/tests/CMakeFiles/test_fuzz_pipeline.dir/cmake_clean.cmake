@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_pipeline.dir/fuzz_pipeline_test.cpp.o"
+  "CMakeFiles/test_fuzz_pipeline.dir/fuzz_pipeline_test.cpp.o.d"
+  "test_fuzz_pipeline"
+  "test_fuzz_pipeline.pdb"
+  "test_fuzz_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hls_binder.dir/hls_binder_test.cpp.o"
+  "CMakeFiles/test_hls_binder.dir/hls_binder_test.cpp.o.d"
+  "test_hls_binder"
+  "test_hls_binder.pdb"
+  "test_hls_binder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hls_binder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hls_charlib.dir/hls_charlib_test.cpp.o"
+  "CMakeFiles/test_hls_charlib.dir/hls_charlib_test.cpp.o.d"
+  "test_hls_charlib"
+  "test_hls_charlib.pdb"
+  "test_hls_charlib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hls_charlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hls_design.dir/hls_design_test.cpp.o"
+  "CMakeFiles/test_hls_design.dir/hls_design_test.cpp.o.d"
+  "test_hls_design"
+  "test_hls_design.pdb"
+  "test_hls_design[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hls_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hls_scheduler.dir/hls_scheduler_test.cpp.o"
+  "CMakeFiles/test_hls_scheduler.dir/hls_scheduler_test.cpp.o.d"
+  "test_hls_scheduler"
+  "test_hls_scheduler.pdb"
+  "test_hls_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hls_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hls_transforms.dir/hls_transforms_test.cpp.o"
+  "CMakeFiles/test_hls_transforms.dir/hls_transforms_test.cpp.o.d"
+  "test_hls_transforms"
+  "test_hls_transforms.pdb"
+  "test_hls_transforms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hls_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

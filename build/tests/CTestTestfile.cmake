@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_ir[1]_include.cmake")
+include("/root/repo/build/tests/test_ir_passes[1]_include.cmake")
+include("/root/repo/build/tests/test_ir_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_hls_charlib[1]_include.cmake")
+include("/root/repo/build/tests/test_hls_transforms[1]_include.cmake")
+include("/root/repo/build/tests/test_hls_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_hls_binder[1]_include.cmake")
+include("/root/repo/build/tests/test_hls_design[1]_include.cmake")
+include("/root/repo/build/tests/test_rtl[1]_include.cmake")
+include("/root/repo/build/tests/test_fpga_device[1]_include.cmake")
+include("/root/repo/build/tests/test_fpga_packer[1]_include.cmake")
+include("/root/repo/build/tests/test_fpga_placer[1]_include.cmake")
+include("/root/repo/build/tests/test_fpga_router[1]_include.cmake")
+include("/root/repo/build/tests/test_fpga_sta[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_features[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_dataset[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_models[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_validation[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_ir_printer[1]_include.cmake")
+include("/root/repo/build/tests/test_rtl_verilog[1]_include.cmake")
+include("/root/repo/build/tests/test_core_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_pipeline[1]_include.cmake")

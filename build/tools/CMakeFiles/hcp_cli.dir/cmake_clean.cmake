@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcp_cli.dir/hcp_cli.cpp.o"
+  "CMakeFiles/hcp_cli.dir/hcp_cli.cpp.o.d"
+  "hcp_cli"
+  "hcp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,10 +1,13 @@
 // Shared helpers for the table/figure reproduction binaries: the benchmark
 // suite (the paper's three top-level combinations), dataset assembly and a
 // couple of formatting shorthands. All benches run with fixed seeds so their
-// output is reproducible bit-for-bit.
+// output is reproducible bit-for-bit — at any thread count: the parallel
+// layer (support/parallel.hpp) merges results deterministically.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -13,27 +16,47 @@
 #include "apps/vision_suite.hpp"
 #include "core/dataset_builder.hpp"
 #include "core/flow.hpp"
+#include "support/parallel.hpp"
 #include "support/table.hpp"
 
 namespace hcp::bench {
 
 inline constexpr std::uint64_t kSeed = 42;
 
+/// Applies a `--threads N` (or `--threads=N`) command-line flag to the
+/// global thread limit. Call first thing in main(); unrelated arguments are
+/// ignored. Returns the applied limit (or the default when no flag given).
+inline std::size_t parseThreads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    long n = 0;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      n = std::strtol(argv[i + 1], nullptr, 10);
+    else if (std::strncmp(argv[i], "--threads=", 10) == 0)
+      n = std::strtol(argv[i] + 10, nullptr, 10);
+    if (n >= 1) support::setThreadLimit(static_cast<std::size_t>(n));
+  }
+  return support::threadLimit();
+}
+
 /// The paper's three evaluated combinations (§IV): Face Detection alone,
 /// Digit Recognition + Spam Filtering, and BNN + 3D Rendering + Optical
-/// Flow under one top function.
+/// Flow under one top function. The three independent C-to-FPGA flows run
+/// concurrently on the thread pool; results come back in suite order and
+/// are bit-identical to serial execution.
 inline std::vector<core::FlowResult> runBenchmarkSuite(
     const fpga::Device& device, std::uint64_t seed = kSeed) {
   core::FlowConfig cfg;
   cfg.seed = seed;
-  std::vector<core::FlowResult> flows;
-  std::fprintf(stderr, "[flow] face_detection...\n");
-  flows.push_back(core::runFlow(apps::faceDetection({}), device, cfg));
-  std::fprintf(stderr, "[flow] digit_spam...\n");
-  flows.push_back(core::runFlow(apps::digitSpamCombined(), device, cfg));
-  std::fprintf(stderr, "[flow] vision_combined...\n");
-  flows.push_back(core::runFlow(apps::visionCombined(), device, cfg));
-  return flows;
+  std::vector<apps::AppDesign> designs;
+  designs.push_back(apps::faceDetection({}));
+  designs.push_back(apps::digitSpamCombined());
+  designs.push_back(apps::visionCombined());
+  std::fprintf(stderr,
+               "[flow] face_detection + digit_spam + vision_combined "
+               "(%zu thread%s)...\n",
+               support::threadLimit(),
+               support::threadLimit() == 1 ? "" : "s");
+  return core::runFlows(designs, device, cfg);
 }
 
 /// Prints a table and writes its CSV next to the binary.

@@ -2,17 +2,32 @@
 //  - throughput of each pipeline stage (synthesis, RTL gen, pack, place,
 //    route, STA, feature extraction, model training)
 //  - design-choice ablations called out in DESIGN.md: negotiated router vs
-//    RUDY estimate, placer density spreading on/off, GBRT depth/forest size.
+//    RUDY estimate, placer density spreading on/off, GBRT depth/forest size
+//  - a serial-vs-parallel speedup report per parallelized stage (grid
+//    search, GBRT fit, multi-design flow, dataset build), written to
+//    BENCH_parallel.json so the perf trajectory is machine-readable.
+//
+// Flags: --threads N caps the thread pool; --parallel-only skips the
+// google-benchmark suite and emits just the parallel report.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
 
 #include "apps/digit_spam.hpp"
 #include "apps/face_detection.hpp"
+#include "bench_common.hpp"
 #include "core/dataset_builder.hpp"
 #include "core/flow.hpp"
 #include "features/extractor.hpp"
 #include "ml/gbrt.hpp"
 #include "ml/linear.hpp"
+#include "ml/validation.hpp"
 #include "rtl/generator.hpp"
+#include "support/parallel.hpp"
 
 namespace {
 
@@ -180,4 +195,130 @@ void BM_FullFlowDigitSpam(benchmark::State& state) {
 }
 BENCHMARK(BM_FullFlowDigitSpam)->Unit(benchmark::kMillisecond);
 
+// --- serial vs parallel speedup report --------------------------------------
+
+double timeMs(const std::function<void()>& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  body();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+struct StageTiming {
+  std::string stage;
+  double serialMs = 0.0;
+  double parallelMs = 0.0;
+  double speedup() const {
+    return parallelMs > 0.0 ? serialMs / parallelMs : 0.0;
+  }
+};
+
+/// Runs each parallelized stage twice — once pinned to one thread, once at
+/// the configured limit — and writes BENCH_parallel.json. The parallel
+/// layer guarantees both runs produce bit-identical results; this report
+/// only measures the wall-clock difference (and spot-checks the guarantee
+/// on the trained GBRT).
+void runParallelReport(std::size_t threads) {
+  std::vector<StageTiming> rows;
+  const auto measure = [&](const char* stage,
+                           const std::function<void()>& body) {
+    StageTiming t;
+    t.stage = stage;
+    {
+      support::ScopedThreadLimit serial(1);
+      t.serialMs = timeMs(body);
+    }
+    t.parallelMs = timeMs(body);
+    std::fprintf(stderr,
+                 "[parallel] %-18s serial %9.1f ms   %zu threads %9.1f ms   "
+                 "speedup %.2fx\n",
+                 stage, t.serialMs, threads, t.parallelMs, t.speedup());
+    rows.push_back(t);
+  };
+
+  measure("multi_design_flow", [&] {
+    std::vector<apps::AppDesign> designs;
+    designs.push_back(apps::digitSpamCombined());
+    designs.push_back(apps::faceDetection(benchConfig()));
+    const auto flows = core::runFlows(designs, device(), {});
+    benchmark::DoNotOptimize(flows.front().maxHCongestion);
+  });
+
+  const auto flow =
+      core::runFlow(apps::faceDetection(benchConfig()), device(), {});
+  measure("dataset_build", [&] {
+    const auto data = core::buildDataset(flow, {});
+    benchmark::DoNotOptimize(data.vertical.size());
+  });
+
+  const auto data = core::buildDataset(flow, {});
+  measure("gbrt_fit", [&] {
+    ml::GbrtConfig cfg;
+    cfg.numEstimators = 150;
+    ml::Gbrt model(cfg);
+    model.fit(data.vertical);
+    benchmark::DoNotOptimize(model.trainLoss());
+  });
+
+  measure("grid_search", [&] {
+    std::vector<ml::GbrtConfig> grid;
+    ml::GbrtConfig a;
+    a.numEstimators = 60;
+    grid.push_back(a);
+    ml::GbrtConfig b;
+    b.numEstimators = 60;
+    b.maxDepth = 5;
+    grid.push_back(b);
+    const auto search = ml::gridSearch<ml::GbrtConfig>(
+        grid,
+        [](const ml::GbrtConfig& c) { return std::make_unique<ml::Gbrt>(c); },
+        data.vertical, 4, hcp::bench::kSeed);
+    benchmark::DoNotOptimize(search.bestCv.meanMae);
+  });
+
+  // Determinism spot-check: the 1-thread and N-thread GBRT must serialize
+  // to the same bytes.
+  const auto fitAndSerialize = [&] {
+    ml::Gbrt model;
+    model.fit(data.vertical);
+    std::ostringstream os;
+    model.write(os);
+    return os.str();
+  };
+  std::string serialModel;
+  {
+    support::ScopedThreadLimit serial(1);
+    serialModel = fitAndSerialize();
+  }
+  const bool bitIdentical = serialModel == fitAndSerialize();
+  std::fprintf(stderr, "[parallel] 1-thread vs %zu-thread GBRT: %s\n",
+               threads, bitIdentical ? "bit-identical" : "MISMATCH");
+
+  std::ofstream json("BENCH_parallel.json");
+  json << "{\n  \"threads\": " << threads
+       << ",\n  \"bit_identical\": " << (bitIdentical ? "true" : "false")
+       << ",\n  \"stages\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const StageTiming& t = rows[i];
+    json << "    {\"stage\": \"" << t.stage << "\", \"threads\": " << threads
+         << ", \"serial_ms\": " << t.serialMs
+         << ", \"parallel_ms\": " << t.parallelMs
+         << ", \"speedup\": " << t.speedup() << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::fprintf(stderr, "[parallel] report written to BENCH_parallel.json\n");
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t threads = hcp::bench::parseThreads(argc, argv);
+  bool runGoogleBench = true;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--parallel-only") == 0) runGoogleBench = false;
+  benchmark::Initialize(&argc, argv);
+  if (runGoogleBench) benchmark::RunSpecifiedBenchmarks();
+  runParallelReport(threads);
+  return 0;
+}

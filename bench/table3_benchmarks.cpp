@@ -6,7 +6,8 @@
 
 using namespace hcp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseThreads(argc, argv);
   const auto device = fpga::Device::xc7z020like();
   const auto flows = bench::runBenchmarkSuite(device);
 

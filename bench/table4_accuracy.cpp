@@ -91,7 +91,8 @@ Scores evalGbrt(const ml::Dataset& data) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseThreads(argc, argv);
   const auto device = fpga::Device::xc7z020like();
   const auto flows = bench::runBenchmarkSuite(device);
 

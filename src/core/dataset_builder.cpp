@@ -1,5 +1,7 @@
 #include "core/dataset_builder.hpp"
 
+#include "support/parallel.hpp"
+
 namespace hcp::core {
 
 LabeledDataset buildDataset(const FlowResult& flow,
@@ -21,9 +23,17 @@ void enrichDataset(LabeledDataset& base, const LabeledDataset& extra) {
 LabeledDataset buildDataset(std::span<const FlowResult> flows,
                             const DatasetOptions& options) {
   LabeledDataset out;
-  for (const FlowResult& flow : flows) {
-    features::FeatureExtractor extractor(flow.design, options.caps);
 
+  // Stage 1 (serial, cheap): marginal filtering per flow, keeping the
+  // surviving samples in flow order.
+  struct FlowPart {
+    std::size_t flowIdx = 0;
+    std::vector<trace::Sample> kept;
+  };
+  std::vector<FlowPart> parts;
+  parts.reserve(flows.size());
+  for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+    const FlowResult& flow = flows[fi];
     std::vector<trace::Sample> samples = flow.traced.samples;
     if (options.applyMarginalFilter) {
       const auto stats = trace::filterMarginal(samples, options.filter);
@@ -32,15 +42,50 @@ LabeledDataset buildDataset(std::span<const FlowResult> flows,
     } else {
       out.filterStats.total += samples.size();
     }
+    FlowPart part;
+    part.flowIdx = fi;
+    for (trace::Sample& s : samples)
+      if (!s.marginal) part.kept.push_back(std::move(s));
+    parts.push_back(std::move(part));
+  }
 
-    for (const trace::Sample& s : samples) {
-      if (s.marginal) continue;
-      auto x = extractor.extract(s.functionIndex, s.op);
-      out.vertical.add(x, s.vCongestion);
-      out.horizontal.add(x, s.hCongestion);
-      out.average.add(std::move(x), s.avgCongestion);
-      out.samples.push_back(s);
-    }
+  // Stage 2 (parallel): per-sample feature extraction over a flattened
+  // worklist. One extractor per flow, pre-warmed so the shared per-function
+  // caches are read-only during the concurrent extract() calls.
+  std::vector<features::FeatureExtractor> extractors;
+  extractors.reserve(flows.size());
+  for (const FlowResult& flow : flows) {
+    extractors.emplace_back(flow.design, options.caps);
+    extractors.back().prepare();
+  }
+
+  struct WorkItem {
+    std::size_t flowIdx = 0;
+    const trace::Sample* sample = nullptr;
+  };
+  std::vector<WorkItem> work;
+  for (const FlowPart& part : parts)
+    for (const trace::Sample& s : part.kept)
+      work.push_back({part.flowIdx, &s});
+
+  auto features = support::parallelMapIndex(
+      work.size(),
+      [&](std::size_t k) {
+        const WorkItem& item = work[k];
+        return extractors[item.flowIdx].extract(item.sample->functionIndex,
+                                                item.sample->op);
+      },
+      /*grainSize=*/16);
+
+  // Stage 3 (serial): ordered merge — identical row order to the serial
+  // flow-by-flow, sample-by-sample construction.
+  for (std::size_t k = 0; k < work.size(); ++k) {
+    const trace::Sample& s = *work[k].sample;
+    auto& x = features[k];
+    out.vertical.add(x, s.vCongestion);
+    out.horizontal.add(x, s.hCongestion);
+    out.average.add(std::move(x), s.avgCongestion);
+    out.samples.push_back(s);
   }
   return out;
 }

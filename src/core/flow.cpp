@@ -1,5 +1,7 @@
 #include "core/flow.hpp"
 
+#include "support/parallel.hpp"
+
 namespace hcp::core {
 
 FlowResult runFlow(apps::AppDesign&& app, const fpga::Device& device,
@@ -32,6 +34,17 @@ FlowResult runFlow(apps::AppDesign&& app, const fpga::Device& device,
   result.maxHCongestion = result.impl.routing.map.maxHUtil();
   result.congestedTiles = result.impl.routing.map.tilesOver(100.0);
   return result;
+}
+
+std::vector<FlowResult> runFlows(std::span<apps::AppDesign> apps,
+                                 const fpga::Device& device,
+                                 const FlowConfig& config) {
+  // Flows share only the immutable device model; every stochastic stage
+  // derives its stream from config.seed inside its own flow, so concurrent
+  // execution cannot perturb the per-design results.
+  return support::parallelMapIndex(apps.size(), [&](std::size_t i) {
+    return runFlow(std::move(apps[i]), device, config);
+  });
 }
 
 }  // namespace hcp::core

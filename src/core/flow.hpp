@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "apps/app_design.hpp"
 #include "fpga/par.hpp"
@@ -41,5 +43,14 @@ struct FlowResult {
 /// Consumes the AppDesign (its module moves into the result).
 FlowResult runFlow(apps::AppDesign&& app, const fpga::Device& device,
                    const FlowConfig& config = {});
+
+/// Runs independent designs' synthesize -> RTL -> PAR -> trace pipelines
+/// concurrently (one thread-pool task per design) and returns the results in
+/// input order. Each flow is internally seeded exactly as a serial
+/// runFlow(config) call, so the results are bit-identical to running the
+/// designs one by one. Consumes the AppDesigns.
+std::vector<FlowResult> runFlows(std::span<apps::AppDesign> apps,
+                                 const fpga::Device& device,
+                                 const FlowConfig& config = {});
 
 }  // namespace hcp::core

@@ -82,6 +82,10 @@ const FeatureExtractor::FunctionCtx& FeatureExtractor::ctx(
   return c;
 }
 
+void FeatureExtractor::prepare() const {
+  for (std::uint32_t f = 0; f < ctx_.size(); ++f) ctx(f);
+}
+
 hls::Resource FeatureExtractor::opResource(std::uint32_t functionIndex,
                                            ir::OpId op) const {
   const FunctionCtx& c = ctx(functionIndex);

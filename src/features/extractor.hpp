@@ -31,6 +31,11 @@ class FeatureExtractor {
   std::vector<double> extract(std::uint32_t functionIndex,
                               ir::OpId op) const;
 
+  /// Materializes every per-function context up front. extract() warms these
+  /// caches lazily, which is not thread-safe; call prepare() once before
+  /// sharing one extractor across concurrent extract() calls.
+  void prepare() const;
+
   /// Per-op resource share (unit + binding muxes split over sharers, plus
   /// bank-access muxes for loads). Exposed for tests.
   hls::Resource opResource(std::uint32_t functionIndex, ir::OpId op) const;

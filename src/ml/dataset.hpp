@@ -21,6 +21,7 @@ class Dataset {
   explicit Dataset(std::size_t numFeatures) : numFeatures_(numFeatures) {}
 
   void add(std::vector<double> row, double target) {
+    HCP_CHECK_MSG(!isView(), "cannot add rows to a subset view");
     if (numFeatures_ == 0) numFeatures_ = row.size();
     HCP_CHECK_MSG(row.size() == numFeatures_,
                   "row has " << row.size() << " features, expected "
@@ -34,9 +35,13 @@ class Dataset {
       add(other.row(i), other.target(i));
   }
 
-  std::size_t size() const { return rows_.size(); }
+  std::size_t size() const { return targets_.size(); }
   std::size_t numFeatures() const { return numFeatures_; }
   const std::vector<double>& row(std::size_t i) const {
+    if (base_ != nullptr) {
+      HCP_CHECK(i < index_.size());
+      return base_->row(index_[i]);
+    }
     HCP_CHECK(i < rows_.size());
     return rows_[i];
   }
@@ -44,16 +49,33 @@ class Dataset {
     HCP_CHECK(i < targets_.size());
     return targets_[i];
   }
-  const std::vector<std::vector<double>>& rows() const { return rows_; }
+  /// Full row storage; only valid on owning datasets (views share their
+  /// base's storage — iterate via row(i) instead).
+  const std::vector<std::vector<double>>& rows() const {
+    HCP_CHECK_MSG(!isView(), "rows() is not available on a subset view");
+    return rows_;
+  }
   const std::vector<double>& targets() const { return targets_; }
 
-  /// Subset by row indices.
+  /// Deep-copying subset by row indices.
   Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// Non-owning subset view: shares the base dataset's feature rows instead
+  /// of copying them (targets are materialized — they are cheap and keep
+  /// targets() usable). The view is valid only while the base dataset (and,
+  /// transitively, its base) outlives it; k-fold CV is the intended use.
+  Dataset subsetView(const std::vector<std::size_t>& indices) const;
+
+  bool isView() const { return base_ != nullptr; }
 
  private:
   std::size_t numFeatures_ = 0;
   std::vector<std::vector<double>> rows_;
   std::vector<double> targets_;
+  // View state: when base_ is set, rows_ stays empty and row i resolves to
+  // base_->row(index_[i]).
+  const Dataset* base_ = nullptr;
+  std::vector<std::size_t> index_;
 };
 
 struct Split {

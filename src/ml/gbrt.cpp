@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/parallel.hpp"
+
 namespace hcp::ml {
 
 void Gbrt::fit(const Dataset& data) {
@@ -10,10 +12,11 @@ void Gbrt::fit(const Dataset& data) {
   numFeatures_ = data.numFeatures();
   Rng rng(config_.seed);
 
-  binner_.fit(data.rows(), config_.numBins);
+  binner_.fit(data, config_.numBins);
   std::vector<std::vector<std::uint8_t>> binned(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i)
+  support::parallelFor(0, data.size(), 64, [&](std::size_t i) {
     binned[i] = binner_.binRow(data.row(i));
+  });
 
   // F0 = mean target.
   baseline_ = 0.0;
@@ -58,8 +61,10 @@ void Gbrt::fit(const Dataset& data) {
     tree.fitBinned(binned, residual, std::move(rows), features, binner_,
                    treeConfig);
 
-    for (std::size_t i = 0; i < data.size(); ++i)
+    // Per-row updates are independent and write disjoint slots.
+    support::parallelFor(0, data.size(), 256, [&](std::size_t i) {
       prediction[i] += config_.learningRate * tree.predictBinned(binned[i]);
+    });
     trees_.push_back(std::move(tree));
   }
 

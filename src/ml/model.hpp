@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ml/dataset.hpp"
+#include "support/parallel.hpp"
 
 namespace hcp::ml {
 
@@ -19,11 +20,11 @@ class Regressor {
   virtual double predict(const std::vector<double>& row) const = 0;
 
   std::vector<double> predictAll(const Dataset& data) const {
-    std::vector<double> out;
-    out.reserve(data.size());
-    for (std::size_t i = 0; i < data.size(); ++i)
-      out.push_back(predict(data.row(i)));
-    return out;
+    // predict() is const and rows are independent; results land by index,
+    // so the output is identical at any thread count.
+    return support::parallelMapIndex(
+        data.size(), [&](std::size_t i) { return predict(data.row(i)); },
+        /*grainSize=*/64);
   }
 
   virtual std::string name() const = 0;

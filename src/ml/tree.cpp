@@ -4,30 +4,65 @@
 #include <cmath>
 #include <limits>
 
+#include "support/parallel.hpp"
+
 namespace hcp::ml {
 
 void Binner::fit(const std::vector<std::vector<double>>& rows,
                  std::uint32_t numBins) {
   HCP_CHECK(!rows.empty());
+  fitImpl(rows.size(), rows.front().size(),
+          [&rows](std::size_t i, std::size_t f) { return rows[i][f]; },
+          numBins);
+}
+
+void Binner::fit(const Dataset& data, std::uint32_t numBins) {
+  HCP_CHECK(data.size() > 0);
+  fitImpl(data.size(), data.numFeatures(),
+          [&data](std::size_t i, std::size_t f) { return data.row(i)[f]; },
+          numBins);
+}
+
+void Binner::fitImpl(
+    std::size_t n, std::size_t d,
+    const std::function<double(std::size_t, std::size_t)>& at,
+    std::uint32_t numBins) {
+  HCP_CHECK(n > 0 && d > 0);
   HCP_CHECK(numBins >= 2 && numBins <= 256);
   numBins_ = numBins;
-  const std::size_t d = rows.front().size();
   edges_.assign(d, {});
 
-  std::vector<double> column(rows.size());
-  for (std::size_t f = 0; f < d; ++f) {
-    for (std::size_t i = 0; i < rows.size(); ++i) column[i] = rows[i][f];
-    std::sort(column.begin(), column.end());
-    auto& edges = edges_[f];
-    for (std::uint32_t b = 1; b < numBins; ++b) {
-      const std::size_t idx =
-          std::min(rows.size() - 1, b * rows.size() / numBins);
-      const double edge = column[idx];
-      if (edges.empty() || edge > edges.back()) edges.push_back(edge);
+  // Features are independent, so they fit in parallel; each chunk reuses one
+  // column buffer across its features. Per quantile edge an incremental
+  // nth_element over the not-yet-partitioned suffix replaces the former full
+  // sort: the value at sorted position idx is unique as a value, so the
+  // edges are bit-identical to the sorted version at any thread count.
+  const std::size_t numChunks =
+      std::min(d, std::max<std::size_t>(1, 4 * support::threadLimit()));
+  const std::size_t grain = (d + numChunks - 1) / numChunks;
+  support::parallelFor(0, numChunks, 1, [&](std::size_t chunk) {
+    std::vector<double> column(n);
+    const std::size_t fLo = chunk * grain;
+    const std::size_t fHi = std::min(d, fLo + grain);
+    for (std::size_t f = fLo; f < fHi; ++f) {
+      for (std::size_t i = 0; i < n; ++i) column[i] = at(i, f);
+      auto& edges = edges_[f];
+      auto partitioned = column.begin();  // [begin, partitioned) is ordered
+      for (std::uint32_t b = 1; b < numBins; ++b) {
+        const std::size_t idx = std::min(n - 1, b * n / numBins);
+        const auto nth = column.begin() + static_cast<std::ptrdiff_t>(idx);
+        if (nth >= partitioned) {
+          std::nth_element(partitioned, nth, column.end());
+          partitioned = nth;
+        }
+        const double edge = *nth;
+        if (edges.empty() || edge > edges.back()) edges.push_back(edge);
+      }
+      // Last bin is open-ended; ensure at least one edge so binOf works.
+      if (edges.empty())
+        edges.push_back(*std::max_element(column.begin(), column.end()));
     }
-    // Last bin is open-ended; ensure at least one edge so binOf works.
-    if (edges.empty()) edges.push_back(column.back());
-  }
+  });
 }
 
 std::uint8_t Binner::binOf(std::size_t feature, double value) const {
@@ -81,45 +116,88 @@ std::int32_t RegressionTree::build(
     return nodeIdx;
   }
 
-  // Best split by variance-reduction gain over binned histograms.
+  // Best split by variance-reduction gain over binned histograms. The scan
+  // over candidate features shards across threads; each shard computes its
+  // local argmax and the merge tie-breaks on the lowest position in
+  // `features` — exactly the feature the serial left-to-right scan (with its
+  // strictly-greater update) would have kept, so the chosen split is
+  // bit-identical at any thread count.
   const double parentScore = sum * sum / n;
-  double bestGain = 1e-12;
-  std::size_t bestFeature = 0;
-  std::uint32_t bestBin = 0;
-
   const std::uint32_t numBins = binner.numBins();
-  std::vector<double> histSum(numBins);
-  std::vector<std::uint32_t> histCount(numBins);
 
-  for (std::size_t f : features) {
-    std::fill(histSum.begin(), histSum.end(), 0.0);
-    std::fill(histCount.begin(), histCount.end(), 0u);
-    for (std::size_t i : rows) {
-      const std::uint8_t b = binned[i][f];
-      histSum[b] += targets[i];
-      ++histCount[b];
-    }
-    double leftSum = 0.0;
-    std::uint32_t leftCount = 0;
-    for (std::uint32_t b = 0; b + 1 < numBins; ++b) {
-      leftSum += histSum[b];
-      leftCount += histCount[b];
-      const std::uint32_t rightCount =
-          static_cast<std::uint32_t>(rows.size()) - leftCount;
-      if (leftCount < config.minSamplesLeaf ||
-          rightCount < config.minSamplesLeaf)
-        continue;
-      const double rightSum = sum - leftSum;
-      const double gain = leftSum * leftSum / leftCount +
-                          rightSum * rightSum / rightCount - parentScore;
-      if (gain > bestGain) {
-        bestGain = gain;
-        bestFeature = f;
-        bestBin = b;
+  struct SplitCandidate {
+    double gain = 1e-12;
+    std::size_t position = std::numeric_limits<std::size_t>::max();
+    std::size_t feature = 0;
+    std::uint32_t bin = 0;
+  };
+
+  // Scans feature positions [p0, p1), reusing one histogram pair.
+  const auto scanRange = [&](std::size_t p0, std::size_t p1) {
+    SplitCandidate best;
+    std::vector<double> histSum(numBins);
+    std::vector<std::uint32_t> histCount(numBins);
+    for (std::size_t p = p0; p < p1; ++p) {
+      const std::size_t f = features[p];
+      std::fill(histSum.begin(), histSum.end(), 0.0);
+      std::fill(histCount.begin(), histCount.end(), 0u);
+      for (std::size_t i : rows) {
+        const std::uint8_t b = binned[i][f];
+        histSum[b] += targets[i];
+        ++histCount[b];
+      }
+      double leftSum = 0.0;
+      std::uint32_t leftCount = 0;
+      for (std::uint32_t b = 0; b + 1 < numBins; ++b) {
+        leftSum += histSum[b];
+        leftCount += histCount[b];
+        const std::uint32_t rightCount =
+            static_cast<std::uint32_t>(rows.size()) - leftCount;
+        if (leftCount < config.minSamplesLeaf ||
+            rightCount < config.minSamplesLeaf)
+          continue;
+        const double rightSum = sum - leftSum;
+        const double gain = leftSum * leftSum / leftCount +
+                            rightSum * rightSum / rightCount - parentScore;
+        if (gain > best.gain) {
+          best.gain = gain;
+          best.position = p;
+          best.feature = f;
+          best.bin = b;
+        }
       }
     }
+    return best;
+  };
+
+  SplitCandidate best;
+  // Parallelize only when the node is worth it; deeper (smaller) nodes take
+  // the single-scan path. Either way the merged winner is identical.
+  const std::size_t work = rows.size() * features.size();
+  const std::size_t concurrency =
+      support::detail::effectiveConcurrency(features.size());
+  if (work >= 16384 && concurrency > 1) {
+    const std::size_t numShards = std::min(features.size(), concurrency);
+    const std::size_t shardSize =
+        (features.size() + numShards - 1) / numShards;
+    const auto candidates =
+        support::parallelMapIndex(numShards, [&](std::size_t s) {
+          const std::size_t p0 = s * shardSize;
+          const std::size_t p1 = std::min(features.size(), p0 + shardSize);
+          return scanRange(p0, p1);
+        });
+    for (const SplitCandidate& c : candidates) {
+      if (c.gain > best.gain ||
+          (c.gain == best.gain && c.position < best.position))
+        best = c;
+    }
+  } else {
+    best = scanRange(0, features.size());
   }
-  if (bestGain <= 1e-12) return nodeIdx;
+  if (best.gain <= 1e-12) return nodeIdx;
+  const std::size_t bestFeature = best.feature;
+  const std::uint32_t bestBin = best.bin;
+  const double bestGain = best.gain;
 
   // Partition rows in place.
   std::vector<std::size_t> leftRows, rightRows;
@@ -173,10 +251,11 @@ double RegressionTree::predictBinned(
 
 void RegressionTree::fit(const Dataset& data, const TreeConfig& config,
                          std::uint32_t numBins) {
-  ownBinner_.fit(data.rows(), numBins);
+  ownBinner_.fit(data, numBins);
   std::vector<std::vector<std::uint8_t>> binned(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i)
+  support::parallelFor(0, data.size(), 64, [&](std::size_t i) {
     binned[i] = ownBinner_.binRow(data.row(i));
+  });
   std::vector<std::size_t> rows(data.size());
   for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
   std::vector<std::size_t> features(data.numFeatures());

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "ml/model.hpp"
@@ -22,6 +23,9 @@ class Binner {
   /// Fits up to `numBins` quantile bins per feature.
   void fit(const std::vector<std::vector<double>>& rows,
            std::uint32_t numBins);
+
+  /// Same, reading rows through the dataset (works on subset views too).
+  void fit(const Dataset& data, std::uint32_t numBins);
 
   /// Bin index of a raw value for a feature.
   std::uint8_t binOf(std::size_t feature, double value) const;
@@ -37,6 +41,11 @@ class Binner {
   bool fitted() const { return !edges_.empty(); }
 
  private:
+  /// Shared fitting core over an (i, f) -> value accessor.
+  void fitImpl(std::size_t n, std::size_t d,
+               const std::function<double(std::size_t, std::size_t)>& at,
+               std::uint32_t numBins);
+
   std::uint32_t numBins_ = 0;
   /// edges_[f] holds ascending upper edges; bin i = values <= edges_[f][i].
   std::vector<std::vector<double>> edges_;

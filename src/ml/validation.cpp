@@ -4,26 +4,47 @@
 
 namespace hcp::ml {
 
-CvResult crossValidate(
+namespace detail {
+
+FoldScore evaluateFold(
     const std::function<std::unique_ptr<Regressor>()>& factory,
-    const Dataset& data, std::size_t k, std::uint64_t seed) {
-  HCP_CHECK(data.size() >= k);
+    const Dataset& data, const Split& fold) {
+  // Index views share the base feature matrix: k-fold CV no longer copies
+  // the rows k times. `data` and `fold` outlive this call by contract.
+  const Dataset train = data.subsetView(fold.train);
+  const Dataset test = data.subsetView(fold.test);
+  auto model = factory();
+  model->fit(train);
+  const auto predicted = model->predictAll(test);
+  return {meanAbsoluteError(test.targets(), predicted),
+          medianAbsoluteError(test.targets(), predicted)};
+}
+
+CvResult assemble(const std::vector<FoldScore>& scores) {
   CvResult result;
-  const auto folds = kFoldSplits(data.size(), k, seed);
-  for (const Split& fold : folds) {
-    const Dataset train = data.subset(fold.train);
-    const Dataset test = data.subset(fold.test);
-    auto model = factory();
-    model->fit(train);
-    const auto predicted = model->predictAll(test);
-    result.foldMae.push_back(
-        meanAbsoluteError(test.targets(), predicted));
-    result.foldMedae.push_back(
-        medianAbsoluteError(test.targets(), predicted));
+  result.foldMae.reserve(scores.size());
+  result.foldMedae.reserve(scores.size());
+  for (const FoldScore& s : scores) {
+    result.foldMae.push_back(s.mae);
+    result.foldMedae.push_back(s.medae);
   }
   result.meanMae = mean(result.foldMae);
   result.meanMedae = mean(result.foldMedae);
   return result;
+}
+
+}  // namespace detail
+
+CvResult crossValidate(
+    const std::function<std::unique_ptr<Regressor>()>& factory,
+    const Dataset& data, std::size_t k, std::uint64_t seed) {
+  HCP_CHECK(data.size() >= k);
+  const auto folds = kFoldSplits(data.size(), k, seed);
+  const auto scores =
+      support::parallelMapIndex(folds.size(), [&](std::size_t f) {
+        return detail::evaluateFold(factory, data, folds[f]);
+      });
+  return detail::assemble(scores);
 }
 
 }  // namespace hcp::ml

@@ -1,0 +1,214 @@
+#include "support/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace hcp::support {
+
+namespace {
+
+// Hard cap on pool workers; the limit also bounds oversubscription when a
+// test requests more threads than the machine has cores.
+constexpr std::size_t kMaxWorkers = 63;
+
+std::size_t envDefaultLimit() {
+  if (const char* env = std::getenv("HCP_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1)
+      return std::min<std::size_t>(static_cast<std::size_t>(v),
+                                   kMaxWorkers + 1);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : std::min<std::size_t>(hw, kMaxWorkers + 1);
+}
+
+std::atomic<std::size_t>& globalLimit() {
+  static std::atomic<std::size_t> limit{envDefaultLimit()};
+  return limit;
+}
+
+thread_local std::size_t tlLimitOverride = 0;  // 0 = no override
+thread_local int tlParallelDepth = 0;
+
+/// Persistent worker pool executing one batch of indexed tasks at a time.
+/// The submitting thread participates, so a batch at concurrency c uses the
+/// caller plus c-1 workers. Workers are spawned lazily up to the requested
+/// concurrency and kept for the process lifetime.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  void run(std::size_t numTasks, std::size_t concurrency,
+           const std::function<void(std::size_t)>& task) {
+    // One batch at a time; a second top-level caller queues behind the
+    // first. (Nested calls never reach here — they run inline.)
+    std::lock_guard<std::mutex> runLock(runMu_);
+    ensureWorkers(concurrency - 1);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      task_ = &task;
+      numTasks_ = numTasks;
+      nextTask_.store(0, std::memory_order_relaxed);
+      remaining_.store(numTasks, std::memory_order_relaxed);
+      activeWorkers_ = std::min(workers_.size(), concurrency - 1);
+      errorIdx_ = numTasks;
+      error_ = nullptr;
+      ++generation_;
+    }
+    cv_.notify_all();
+
+    ++tlParallelDepth;
+    workOn(&task, numTasks);
+    --tlParallelDepth;
+
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      doneCv_.wait(lk, [&] {
+        return remaining_.load(std::memory_order_acquire) == 0;
+      });
+      task_ = nullptr;
+      error = error_;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  ThreadPool() = default;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  void ensureWorkers(std::size_t want) {
+    want = std::min(want, kMaxWorkers);
+    std::lock_guard<std::mutex> lk(mu_);
+    while (workers_.size() < want) {
+      const std::size_t idx = workers_.size();
+      workers_.emplace_back([this, idx] { workerLoop(idx); });
+    }
+  }
+
+  void workerLoop(std::size_t idx) {
+    std::uint64_t seenGeneration = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* task = nullptr;
+      std::size_t numTasks = 0;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] {
+          return shutdown_ || (generation_ != seenGeneration &&
+                               task_ != nullptr && idx < activeWorkers_);
+        });
+        if (shutdown_) return;
+        seenGeneration = generation_;
+        task = task_;
+        numTasks = numTasks_;
+      }
+      ++tlParallelDepth;
+      workOn(task, numTasks);
+      --tlParallelDepth;
+    }
+  }
+
+  void workOn(const std::function<void(std::size_t)>* task,
+              std::size_t numTasks) {
+    for (;;) {
+      const std::size_t i =
+          nextTask_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= numTasks) return;
+      try {
+        (*task)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (i < errorIdx_) {
+          errorIdx_ = i;
+          error_ = std::current_exception();
+        }
+      }
+      if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lk(mu_);
+        doneCv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex runMu_;  ///< serializes top-level batches
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable doneCv_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+
+  // Current batch (guarded by mu_ except the atomics).
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t numTasks_ = 0;
+  std::size_t activeWorkers_ = 0;
+  std::uint64_t generation_ = 0;
+  std::atomic<std::size_t> nextTask_{0};
+  std::atomic<std::size_t> remaining_{0};
+  std::size_t errorIdx_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace
+
+std::size_t threadLimit() {
+  return tlLimitOverride != 0 ? tlLimitOverride
+                              : globalLimit().load(std::memory_order_relaxed);
+}
+
+void setThreadLimit(std::size_t n) {
+  HCP_CHECK(n >= 1);
+  globalLimit().store(std::min(n, kMaxWorkers + 1),
+                      std::memory_order_relaxed);
+}
+
+ScopedThreadLimit::ScopedThreadLimit(std::size_t n) : prev_(tlLimitOverride) {
+  HCP_CHECK(n >= 1);
+  tlLimitOverride = std::min(n, kMaxWorkers + 1);
+}
+
+ScopedThreadLimit::~ScopedThreadLimit() { tlLimitOverride = prev_; }
+
+namespace detail {
+
+bool inParallelRegion() { return tlParallelDepth > 0; }
+
+std::size_t effectiveConcurrency(std::size_t numTasks) {
+  if (numTasks <= 1 || inParallelRegion()) return 1;
+  return std::max<std::size_t>(1, std::min(threadLimit(), numTasks));
+}
+
+void runTasks(std::size_t numTasks, std::size_t concurrency,
+              const std::function<void(std::size_t)>& task) {
+  if (numTasks == 0) return;
+  if (concurrency <= 1 || numTasks == 1) {
+    ++tlParallelDepth;
+    try {
+      for (std::size_t i = 0; i < numTasks; ++i) task(i);
+    } catch (...) {
+      --tlParallelDepth;
+      throw;
+    }
+    --tlParallelDepth;
+    return;
+  }
+  ThreadPool::instance().run(numTasks, concurrency, task);
+}
+
+}  // namespace detail
+
+}  // namespace hcp::support

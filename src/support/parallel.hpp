@@ -1,0 +1,115 @@
+// Deterministic parallel execution primitives.
+//
+// A lazily-initialized global thread pool backs `parallelFor` and
+// `parallelMap`. Determinism is by construction, not by luck:
+//   - results are merged by index, so output ordering never depends on
+//     execution order;
+//   - each task owns its state (callers pass per-task seeds where needed);
+//   - when several tasks throw, the exception of the *lowest* task index is
+//     rethrown — exactly the one a serial run would have surfaced first.
+// Consequently `HCP_THREADS=1` (or `ScopedThreadLimit(1)`) and an N-thread
+// run produce bit-identical results for any side-effect-free body.
+//
+// Thread count resolution, in precedence order:
+//   1. `ScopedThreadLimit` (thread-local, RAII — benches and tests)
+//   2. `setThreadLimit()` (process-wide — the benches' `--threads N` flag)
+//   3. `HCP_THREADS` environment variable (read once, at first use)
+//   4. `std::thread::hardware_concurrency()`
+// A limit of 1 takes the serial inline path and never touches the pool.
+//
+// Nested parallelism is safe: a `parallelFor` issued from inside a worker
+// task runs inline on that worker, so an outer parallel grid search can call
+// code whose inner loops are themselves parallelized.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace hcp::support {
+
+/// Effective thread limit for the calling thread (override > global).
+std::size_t threadLimit();
+
+/// Sets the process-wide thread limit (>= 1). Call before heavy work; the
+/// pool grows on demand, so raising the limit later is also fine.
+void setThreadLimit(std::size_t n);
+
+/// RAII thread-local limit override; `ScopedThreadLimit(1)` forces the
+/// serial path for the current thread until the scope exits.
+class ScopedThreadLimit {
+ public:
+  explicit ScopedThreadLimit(std::size_t n);
+  ~ScopedThreadLimit();
+  ScopedThreadLimit(const ScopedThreadLimit&) = delete;
+  ScopedThreadLimit& operator=(const ScopedThreadLimit&) = delete;
+
+ private:
+  std::size_t prev_;
+};
+
+namespace detail {
+
+/// True while the calling thread is executing a parallel task (nested
+/// parallel calls then run inline).
+bool inParallelRegion();
+
+/// Concurrency that a region of `numTasks` tasks may use right now.
+std::size_t effectiveConcurrency(std::size_t numTasks);
+
+/// Runs task(i) for i in [0, numTasks) on the pool plus the calling thread,
+/// blocks until every task finished, and rethrows the exception of the
+/// lowest failing task index, if any.
+void runTasks(std::size_t numTasks, std::size_t concurrency,
+              const std::function<void(std::size_t)>& task);
+
+}  // namespace detail
+
+/// Calls fn(i) for every i in [begin, end), chunked by `grainSize`.
+/// Deterministic: identical observable results at any thread count as long
+/// as fn(i) only touches state owned by index i.
+template <typename Fn>
+void parallelFor(std::size_t begin, std::size_t end, std::size_t grainSize,
+                 Fn&& fn) {
+  if (end <= begin) return;
+  if (grainSize == 0) grainSize = 1;
+  const std::size_t n = end - begin;
+  const std::size_t numChunks = (n + grainSize - 1) / grainSize;
+  const std::size_t threads = detail::effectiveConcurrency(numChunks);
+  if (threads <= 1 || numChunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  detail::runTasks(numChunks, threads, [&](std::size_t chunk) {
+    const std::size_t lo = begin + chunk * grainSize;
+    const std::size_t hi = std::min(end, lo + grainSize);
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+/// Returns {fn(0), fn(1), ..., fn(n-1)} in index order.
+template <typename Fn>
+auto parallelMapIndex(std::size_t n, Fn&& fn, std::size_t grainSize = 1)
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+  using R = std::decay_t<decltype(fn(std::size_t{0}))>;
+  static_assert(std::is_default_constructible_v<R>,
+                "parallelMapIndex result type must be default-constructible");
+  std::vector<R> out(n);
+  parallelFor(0, n, grainSize, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// Maps fn over `items`, preserving order.
+template <typename T, typename Fn>
+auto parallelMap(const std::vector<T>& items, Fn&& fn,
+                 std::size_t grainSize = 1)
+    -> std::vector<std::decay_t<decltype(fn(items.front()))>> {
+  return parallelMapIndex(
+      items.size(), [&](std::size_t i) { return fn(items[i]); }, grainSize);
+}
+
+}  // namespace hcp::support

@@ -40,7 +40,8 @@ double gbrtMae(const ml::Dataset& data,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hcp::bench::BenchSession session("ablation_features", argc, argv);
   const auto device = fpga::Device::xc7z020like();
   const auto flows = bench::runBenchmarkSuite(device);
   const auto data = core::buildDataset(flows, {});

@@ -18,6 +18,7 @@
 #include "core/flow.hpp"
 #include "support/parallel.hpp"
 #include "support/table.hpp"
+#include "support/telemetry.hpp"
 
 namespace hcp::bench {
 
@@ -37,6 +38,39 @@ inline std::size_t parseThreads(int argc, char** argv) {
   }
   return support::threadLimit();
 }
+
+/// Per-binary session bookkeeping: applies `--threads N`, arms telemetry
+/// when `--report FILE` (or HCP_REPORT) is present, and writes the JSON run
+/// report when the bench exits normally. Instantiate first thing in main().
+class BenchSession {
+ public:
+  BenchSession(const char* tool, int argc, char** argv)
+      : tool_(tool),
+        threads_(parseThreads(argc, argv)),
+        reportPath_(support::telemetry::initReportFromArgs(argc, argv)) {}
+
+  BenchSession(const BenchSession&) = delete;
+  BenchSession& operator=(const BenchSession&) = delete;
+
+  ~BenchSession() {
+    if (reportPath_.empty()) return;
+    support::telemetry::RunReport meta;
+    meta.tool = tool_;
+    meta.command = "bench";
+    meta.seed = kSeed;
+    meta.threads = support::threadLimit();
+    support::telemetry::writeReportToFile(reportPath_, meta);
+    std::fprintf(stderr, "[hcp] run report written to %s\n",
+                 reportPath_.c_str());
+  }
+
+  std::size_t threads() const { return threads_; }
+
+ private:
+  std::string tool_;
+  std::size_t threads_;
+  std::string reportPath_;
+};
 
 /// The paper's three evaluated combinations (§IV): Face Detection alone,
 /// Digit Recognition + Spam Filtering, and BNN + 3D Rendering + Optical

@@ -7,7 +7,8 @@
 
 using namespace hcp;
 
-int main() {
+int main(int argc, char** argv) {
+  hcp::bench::BenchSession session("fig4_sharing", argc, argv);
   // A chain of sequential multipliers: left-edge binding folds them onto a
   // few shared units.
   auto mod = std::make_unique<ir::Module>("fig4");

@@ -8,7 +8,8 @@
 
 using namespace hcp;
 
-int main() {
+int main(int argc, char** argv) {
+  hcp::bench::BenchSession session("fig5_distribution", argc, argv);
   const auto device = fpga::Device::xc7z020like();
   core::FlowConfig cfg;
   cfg.seed = bench::kSeed;

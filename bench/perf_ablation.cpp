@@ -313,7 +313,8 @@ void runParallelReport(std::size_t threads) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t threads = hcp::bench::parseThreads(argc, argv);
+  hcp::bench::BenchSession session("perf_ablation", argc, argv);
+  const std::size_t threads = session.threads();
   bool runGoogleBench = true;
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--parallel-only") == 0) runGoogleBench = false;

@@ -5,7 +5,8 @@
 
 using namespace hcp;
 
-int main() {
+int main(int argc, char** argv) {
+  hcp::bench::BenchSession session("table1_motivation", argc, argv);
   const auto device = fpga::Device::xc7z020like();
   core::FlowConfig cfg;
   cfg.seed = bench::kSeed;

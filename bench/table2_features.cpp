@@ -8,7 +8,8 @@ using namespace hcp;
 using features::Category;
 using features::FeatureRegistry;
 
-int main() {
+int main(int argc, char** argv) {
+  hcp::bench::BenchSession session("table2_features", argc, argv);
   const auto& reg = FeatureRegistry::instance();
   const auto counts = reg.categoryCounts();
 

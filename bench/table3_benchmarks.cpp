@@ -7,7 +7,7 @@
 using namespace hcp;
 
 int main(int argc, char** argv) {
-  bench::parseThreads(argc, argv);
+  bench::BenchSession session("table3_benchmarks", argc, argv);
   const auto device = fpga::Device::xc7z020like();
   const auto flows = bench::runBenchmarkSuite(device);
 

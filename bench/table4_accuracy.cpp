@@ -92,7 +92,7 @@ Scores evalGbrt(const ml::Dataset& data) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::parseThreads(argc, argv);
+  bench::BenchSession session("table4_accuracy", argc, argv);
   const auto device = fpga::Device::xc7z020like();
   const auto flows = bench::runBenchmarkSuite(device);
 

@@ -44,7 +44,8 @@ std::vector<std::pair<double, Category>> categoryImportance(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hcp::bench::BenchSession session("table5_importance", argc, argv);
   const auto device = fpga::Device::xc7z020like();
   const auto flows = bench::runBenchmarkSuite(device);
   const auto data = core::buildDataset(flows, {});

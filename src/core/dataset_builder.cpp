@@ -1,6 +1,7 @@
 #include "core/dataset_builder.hpp"
 
 #include "support/parallel.hpp"
+#include "support/telemetry.hpp"
 
 namespace hcp::core {
 
@@ -22,6 +23,7 @@ void enrichDataset(LabeledDataset& base, const LabeledDataset& extra) {
 
 LabeledDataset buildDataset(std::span<const FlowResult> flows,
                             const DatasetOptions& options) {
+  HCP_SPAN("build_dataset");
   LabeledDataset out;
 
   // Stage 1 (serial, cheap): marginal filtering per flow, keeping the
@@ -68,6 +70,8 @@ LabeledDataset buildDataset(std::span<const FlowResult> flows,
     for (const trace::Sample& s : part.kept)
       work.push_back({part.flowIdx, &s});
 
+  support::telemetry::count(
+      support::telemetry::Counter::DatasetSamplesExtracted, work.size());
   auto features = support::parallelMapIndex(
       work.size(),
       [&](std::size_t k) {

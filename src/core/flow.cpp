@@ -1,11 +1,14 @@
 #include "core/flow.hpp"
 
 #include "support/parallel.hpp"
+#include "support/telemetry.hpp"
 
 namespace hcp::core {
 
 FlowResult runFlow(apps::AppDesign&& app, const fpga::Device& device,
                    const FlowConfig& config) {
+  HCP_SPAN("flow");
+  support::telemetry::count(support::telemetry::Counter::FlowsRun);
   FlowResult result;
   result.name = app.name;
 

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "ml/serialize.hpp"
+#include "support/telemetry.hpp"
 
 namespace hcp::core {
 
@@ -34,6 +35,7 @@ std::unique_ptr<ml::Regressor> CongestionPredictor::makeModel() const {
 }
 
 void CongestionPredictor::train(const LabeledDataset& data) {
+  HCP_SPAN("train");
   HCP_CHECK_MSG(data.vertical.size() > 0, "empty training dataset");
   vertical_ = makeModel();
   horizontal_ = makeModel();

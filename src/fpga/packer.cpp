@@ -5,6 +5,8 @@
 #include <map>
 #include <set>
 
+#include "support/telemetry.hpp"
+
 namespace hcp::fpga {
 
 using rtl::Cell;
@@ -58,6 +60,7 @@ std::uint32_t partsNeeded(const Cell& cell, const Device& dev) {
 }  // namespace
 
 Packing pack(const Netlist& netlist, const Device& device) {
+  HCP_SPAN("pack");
   Packing out;
   out.clustersOfCell.resize(netlist.numCells());
 

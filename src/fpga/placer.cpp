@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/telemetry.hpp"
+
 namespace hcp::fpga {
 
 namespace {
@@ -315,8 +317,15 @@ class Annealer {
 
 Placement place(const Packing& packing, const Device& device,
                 const PlacerConfig& config) {
+  HCP_SPAN("place");
   Annealer annealer(packing, device, config);
-  return annealer.run();
+  Placement result = annealer.run();
+  namespace tm = support::telemetry;
+  tm::count(tm::Counter::PlacerMovesProposed, result.movesTried);
+  tm::count(tm::Counter::PlacerMovesAccepted, result.movesAccepted);
+  tm::count(tm::Counter::PlacerMovesRejected,
+            result.movesTried - result.movesAccepted);
+  return result;
 }
 
 double totalWirelength(const Packing& packing, const Placement& placement) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <queue>
 
+#include "support/telemetry.hpp"
+
 namespace hcp::fpga {
 
 namespace {
@@ -50,6 +52,7 @@ class Router {
       if (work.empty()) break;
 
       for (std::size_t n : work) {
+        if (!routes_[n].empty()) ++ripUps_;
         ripUp(n);
         routeNet(n, presentFactor);
       }
@@ -84,6 +87,10 @@ class Router {
           static_cast<double>(packing_.nets[n].width) *
           static_cast<double>(result.routes[n].size());
     result.overflowTiles = result.map.tilesOver(100.0);
+    namespace tm = support::telemetry;
+    tm::count(tm::Counter::RouterIterations, static_cast<std::uint64_t>(iter));
+    tm::count(tm::Counter::RouterRipUps, ripUps_);
+    tm::count(tm::Counter::RouterOverflowTiles, result.overflowTiles);
     return result;
   }
 
@@ -250,12 +257,14 @@ class Router {
   CongestionMap map_;
   std::vector<double> vHistory_, hHistory_;
   std::vector<std::vector<RouteStep>> routes_;
+  std::uint64_t ripUps_ = 0;
 };
 
 }  // namespace
 
 RoutingResult route(const Packing& packing, const Placement& placement,
                     const Device& device, const RouterConfig& config) {
+  HCP_SPAN("route");
   Router router(packing, placement, device, config);
   return router.run();
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "support/telemetry.hpp"
+
 namespace hcp::fpga {
 
 using rtl::Cell;
@@ -13,6 +15,7 @@ TimingReport analyzeTiming(const Netlist& netlist, const Packing& packing,
                            const Placement& placement,
                            const RoutingResult& routing,
                            const TimingConfig& config) {
+  HCP_SPAN("sta");
   TimingReport report;
   const std::size_t numCells = netlist.numCells();
 
@@ -80,6 +83,7 @@ TimingReport analyzeTiming(const Netlist& netlist, const Packing& packing,
   }
 
   std::size_t processed = 0;
+  std::uint64_t propagations = 0;
   std::vector<std::uint32_t> remaining = inDegree;
   while (!ready.empty()) {
     const CellId u = ready.front();
@@ -92,6 +96,7 @@ TimingReport analyzeTiming(const Netlist& netlist, const Packing& packing,
         if (isEndpoint(sc)) continue;  // handled as endpoints below
         const double inArrival = arrival[u] + netDelayTo(net, nid, s);
         arrival[s] = std::max(arrival[s], inArrival + sc.delayNs);
+        ++propagations;
         if (--remaining[s] == 0) {
           resolved[s] = true;
           ready.push(s);
@@ -99,6 +104,8 @@ TimingReport analyzeTiming(const Netlist& netlist, const Packing& packing,
       }
     }
   }
+  support::telemetry::count(
+      support::telemetry::Counter::StaArrivalPropagations, propagations);
 
   // Cells stuck in combinational cycles (cross-coupled shared FUs): their
   // ops execute in different control steps, so treat them as registered —

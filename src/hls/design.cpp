@@ -6,6 +6,7 @@
 #include "hls/transforms.hpp"
 #include "ir/passes.hpp"
 #include "ir/verifier.hpp"
+#include "support/telemetry.hpp"
 
 namespace hcp::hls {
 
@@ -129,8 +130,12 @@ FunctionReport buildReport(const Function& fn, const Schedule& sched,
 SynthesizedDesign synthesize(std::unique_ptr<Module> mod,
                              const DirectiveSet& dirs,
                              const SynthesisOptions& options) {
+  HCP_SPAN("hls_synthesize");
   HCP_CHECK(mod != nullptr);
   ir::verifyOrThrow(*mod);
+  support::telemetry::count(
+      support::telemetry::Counter::HlsFunctionsSynthesized,
+      mod->numFunctions());
 
   if (options.runFrontendPasses) {
     for (std::uint32_t f = 0; f < mod->numFunctions(); ++f)

@@ -4,10 +4,12 @@
 #include <cmath>
 
 #include "support/parallel.hpp"
+#include "support/telemetry.hpp"
 
 namespace hcp::ml {
 
 void Gbrt::fit(const Dataset& data) {
+  HCP_SPAN("gbrt_fit");
   HCP_CHECK(data.size() >= 4);
   numFeatures_ = data.numFeatures();
   Rng rng(config_.seed);
@@ -67,6 +69,8 @@ void Gbrt::fit(const Dataset& data) {
     });
     trees_.push_back(std::move(tree));
   }
+  support::telemetry::count(support::telemetry::Counter::GbrtBoostingRounds,
+                            config_.numEstimators);
 
   trainLoss_ = 0.0;
   for (std::size_t i = 0; i < data.size(); ++i) {

@@ -1,6 +1,7 @@
 #include "ml/validation.hpp"
 
 #include "support/stats.hpp"
+#include "support/telemetry.hpp"
 
 namespace hcp::ml {
 
@@ -9,6 +10,7 @@ namespace detail {
 FoldScore evaluateFold(
     const std::function<std::unique_ptr<Regressor>()>& factory,
     const Dataset& data, const Split& fold) {
+  support::telemetry::count(support::telemetry::Counter::CvFoldsEvaluated);
   // Index views share the base feature matrix: k-fold CV no longer copies
   // the rows k times. `data` and `fold` outlive this call by contract.
   const Dataset train = data.subsetView(fold.train);
@@ -38,6 +40,7 @@ CvResult assemble(const std::vector<FoldScore>& scores) {
 CvResult crossValidate(
     const std::function<std::unique_ptr<Regressor>()>& factory,
     const Dataset& data, std::size_t k, std::uint64_t seed) {
+  HCP_SPAN("cross_validate");
   HCP_CHECK(data.size() >= k);
   const auto folds = kFoldSplits(data.size(), k, seed);
   const auto scores =

@@ -23,6 +23,7 @@
 #include "ml/metrics.hpp"
 #include "ml/model.hpp"
 #include "support/parallel.hpp"
+#include "support/telemetry.hpp"
 
 namespace hcp::ml {
 
@@ -70,6 +71,7 @@ GridSearchResult<Config> gridSearch(
     const std::vector<Config>& grid,
     const std::function<std::unique_ptr<Regressor>(const Config&)>& factory,
     const Dataset& data, std::size_t k, std::uint64_t seed) {
+  HCP_SPAN("grid_search");
   HCP_CHECK(!grid.empty());
   HCP_CHECK(data.size() >= k);
   const auto folds = kFoldSplits(data.size(), k, seed);

@@ -5,6 +5,8 @@
 #include <map>
 #include <set>
 
+#include "support/telemetry.hpp"
+
 namespace hcp::rtl {
 
 using hls::FuInstance;
@@ -586,6 +588,7 @@ class Generator {
 }  // namespace
 
 GeneratedRtl generateRtl(const SynthesizedDesign& design) {
+  HCP_SPAN("rtl_generate");
   Generator gen(design);
   return gen.run();
 }

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "support/telemetry.hpp"
+
 namespace hcp::support {
 
 namespace {
@@ -70,8 +72,15 @@ class ThreadPool {
     std::exception_ptr error;
     {
       std::unique_lock<std::mutex> lk(mu_);
+      // Wait until every task ran AND every woken worker has left workOn.
+      // The second condition is load-bearing: a worker that finished the
+      // final task can still be between its remaining_ decrement and its
+      // next nextTask_ fetch; tearing the batch down (or starting the next
+      // one, which resets nextTask_) while it lingers would hand it a
+      // dangling task pointer.
       doneCv_.wait(lk, [&] {
-        return remaining_.load(std::memory_order_acquire) == 0;
+        return remaining_.load(std::memory_order_acquire) == 0 &&
+               busyWorkers_ == 0;
       });
       task_ = nullptr;
       error = error_;
@@ -115,10 +124,15 @@ class ThreadPool {
         seenGeneration = generation_;
         task = task_;
         numTasks = numTasks_;
+        ++busyWorkers_;
       }
       ++tlParallelDepth;
       workOn(task, numTasks);
       --tlParallelDepth;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (--busyWorkers_ == 0) doneCv_.notify_all();
+      }
     }
   }
 
@@ -156,6 +170,7 @@ class ThreadPool {
   const std::function<void(std::size_t)>* task_ = nullptr;
   std::size_t numTasks_ = 0;
   std::size_t activeWorkers_ = 0;
+  std::size_t busyWorkers_ = 0;  ///< workers currently inside workOn
   std::uint64_t generation_ = 0;
   std::atomic<std::size_t> nextTask_{0};
   std::atomic<std::size_t> remaining_{0};
@@ -206,7 +221,27 @@ void runTasks(std::size_t numTasks, std::size_t concurrency,
     --tlParallelDepth;
     return;
   }
-  ThreadPool::instance().run(numTasks, concurrency, task);
+  if (!telemetry::enabled()) {
+    ThreadPool::instance().run(numTasks, concurrency, task);
+    return;
+  }
+  // Telemetry on: give every task its own delta frame and merge the deltas
+  // back into the submitting thread's frame in task-index order, so the
+  // recorded spans/counters are independent of which worker ran what — the
+  // same bytes a serial run would record. Spans recorded inside a task are
+  // prefixed with the submitter's currently-open span path at merge time.
+  std::vector<telemetry::detail::Frame> deltas(numTasks);
+  const std::function<void(std::size_t)> captured = [&](std::size_t i) {
+    telemetry::detail::TaskCapture capture(deltas[i]);
+    task(i);
+  };
+  try {
+    ThreadPool::instance().run(numTasks, concurrency, captured);
+  } catch (...) {
+    for (const auto& d : deltas) telemetry::detail::mergeIntoCurrent(d);
+    throw;
+  }
+  for (const auto& d : deltas) telemetry::detail::mergeIntoCurrent(d);
 }
 
 }  // namespace detail

@@ -1,0 +1,252 @@
+#include "support/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace hcp::support::telemetry {
+
+namespace {
+
+const char* const kCounterNames[kNumCounters] = {
+    "flows_run",
+    "hls_functions_synthesized",
+    "placer_moves_proposed",
+    "placer_moves_accepted",
+    "placer_moves_rejected",
+    "router_iterations",
+    "router_ripups",
+    "router_overflow_tiles",
+    "sta_arrival_propagations",
+    "trace_cells_traced",
+    "dataset_samples_extracted",
+    "gbrt_boosting_rounds",
+    "cv_folds_evaluated",
+};
+
+/// Global registry: totals flushed out of thread frames. Guarded by a
+/// mutex — it is touched only at snapshot/reset time, never on hot paths.
+struct Registry {
+  std::mutex mu;
+  std::array<std::uint64_t, kNumCounters> counters{};
+  std::map<std::string, detail::SpanStat> spans;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+thread_local detail::Frame tlRootFrame;
+thread_local detail::Frame* tlFrame = nullptr;
+
+/// Merges `from`'s counters and spans into (counters, spans), prefixing
+/// span paths with `prefix` (the receiver's active span path).
+void mergeFrameInto(std::array<std::uint64_t, kNumCounters>& counters,
+                    std::map<std::string, detail::SpanStat>& spans,
+                    const detail::Frame& from, const std::string& prefix,
+                    std::uint32_t depthShift) {
+  for (std::size_t i = 0; i < kNumCounters; ++i)
+    counters[i] += from.counters[i];
+  for (const auto& [path, stat] : from.spans) {
+    const std::string key = prefix.empty() ? path : prefix + "/" + path;
+    detail::SpanStat& dst = spans[key];
+    dst.count += stat.count;
+    dst.wallNs += stat.wallNs;
+    dst.depth = stat.depth + depthShift;
+  }
+}
+
+std::chrono::steady_clock::time_point& reportStartTime() {
+  static std::chrono::steady_clock::time_point t;
+  return t;
+}
+
+bool& reportStartValid() {
+  static bool valid = false;
+  return valid;
+}
+
+void jsonEscape(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) os << ' ';
+        else os << c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view counterName(Counter c) {
+  const auto i = static_cast<std::size_t>(c);
+  HCP_CHECK(i < kNumCounters);
+  return kCounterNames[i];
+}
+
+namespace detail {
+
+std::atomic<bool> gEnabled{false};
+
+Frame& currentFrame() { return tlFrame != nullptr ? *tlFrame : tlRootFrame; }
+
+std::size_t spanEnter(std::string_view name) {
+  Frame& f = currentFrame();
+  const std::size_t prevLen = f.path.size();
+  if (!f.path.empty()) f.path += '/';
+  f.path += name;
+  ++f.depth;
+  return prevLen;
+}
+
+void spanExit(std::size_t prevPathLen, std::uint64_t elapsedNs) {
+  Frame& f = currentFrame();
+  HCP_CHECK(f.depth > 0 && prevPathLen <= f.path.size());
+  SpanStat& stat = f.spans[f.path];
+  ++stat.count;
+  stat.wallNs += elapsedNs;
+  stat.depth = f.depth - 1;
+  f.path.resize(prevPathLen);
+  --f.depth;
+}
+
+void countSlow(Counter c, std::uint64_t delta) {
+  currentFrame().counters[static_cast<std::size_t>(c)] += delta;
+}
+
+std::uint64_t nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TaskCapture::TaskCapture(Frame& slot) : prev_(tlFrame) { tlFrame = &slot; }
+
+TaskCapture::~TaskCapture() { tlFrame = prev_; }
+
+void mergeIntoCurrent(const Frame& delta) {
+  Frame& f = currentFrame();
+  mergeFrameInto(f.counters, f.spans, delta, f.path, f.depth);
+}
+
+}  // namespace detail
+
+void setEnabled(bool on) {
+  detail::gEnabled.store(on, std::memory_order_relaxed);
+}
+
+const Snapshot::SpanEntry* Snapshot::span(std::string_view path) const {
+  for (const SpanEntry& e : spans)
+    if (e.path == path) return &e;
+  return nullptr;
+}
+
+Snapshot snapshot() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  detail::Frame& f = detail::currentFrame();
+  // Flush the caller's frame; keep its open-span path/depth so spans that
+  // straddle the snapshot still close correctly.
+  mergeFrameInto(reg.counters, reg.spans, f, "", 0);
+  f.counters.fill(0);
+  f.spans.clear();
+
+  Snapshot snap;
+  snap.counters = reg.counters;
+  snap.spans.reserve(reg.spans.size());
+  for (const auto& [path, stat] : reg.spans)
+    snap.spans.push_back({path, stat.depth, stat.count, stat.wallNs});
+  return snap;
+}
+
+void reset() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  reg.counters.fill(0);
+  reg.spans.clear();
+  detail::Frame& f = detail::currentFrame();
+  f.counters.fill(0);
+  f.spans.clear();
+}
+
+void writeReport(std::ostream& os, const RunReport& meta,
+                 const Snapshot& snap) {
+  os << "{\n";
+  os << "  \"tool\": \"";
+  jsonEscape(os, meta.tool);
+  os << "\",\n  \"command\": \"";
+  jsonEscape(os, meta.command);
+  os << "\",\n  \"designs\": [";
+  for (std::size_t i = 0; i < meta.designs.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << '"';
+    jsonEscape(os, meta.designs[i]);
+    os << '"';
+  }
+  os << "],\n";
+  os << "  \"seed\": " << meta.seed << ",\n";
+  os << "  \"threads\": " << meta.threads << ",\n";
+  os << "  \"total_wall_ms\": " << meta.totalWallMs << ",\n";
+  os << "  \"spans\": [\n";
+  for (std::size_t i = 0; i < snap.spans.size(); ++i) {
+    const auto& e = snap.spans[i];
+    os << "    {\"path\": \"";
+    jsonEscape(os, e.path);
+    os << "\", \"depth\": " << e.depth << ", \"count\": " << e.count
+       << ", \"wall_ms\": " << static_cast<double>(e.wallNs) / 1e6 << "}"
+       << (i + 1 < snap.spans.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"counters\": {\n";
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    os << "    \"" << kCounterNames[i] << "\": " << snap.counters[i]
+       << (i + 1 < kNumCounters ? "," : "") << "\n";
+  }
+  os << "  }\n}\n";
+}
+
+void writeReportToFile(const std::string& path, RunReport meta) {
+  if (meta.totalWallMs == 0.0 && reportStartValid()) {
+    meta.totalWallMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - reportStartTime())
+            .count();
+  }
+  const Snapshot snap = snapshot();
+  std::ofstream os(path);
+  HCP_CHECK_MSG(os.good(), "cannot open report file " << path);
+  writeReport(os, meta, snap);
+  HCP_CHECK_MSG(os.good(), "report write failed: " << path);
+}
+
+std::string initReportFromArgs(int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc)
+      path = argv[i + 1];
+    else if (std::strncmp(argv[i], "--report=", 9) == 0)
+      path = argv[i] + 9;
+  }
+  if (path.empty()) {
+    if (const char* env = std::getenv("HCP_REPORT")) path = env;
+  }
+  if (!path.empty()) {
+    setEnabled(true);
+    reportStartTime() = std::chrono::steady_clock::now();
+    reportStartValid() = true;
+  }
+  return path;
+}
+
+}  // namespace hcp::support::telemetry

@@ -1,0 +1,209 @@
+// Flow-wide telemetry: scoped spans, monotone counters, JSON run reports.
+//
+// The paper's pitch is that prediction is cheap *relative to the full PAR
+// flow* (Table III times each stage); this facility makes that measurable on
+// every run instead of inside one hand-timed bench. Three pieces:
+//
+//   - `HCP_SPAN("place")` opens a scoped wall-clock span. Spans nest; a
+//     span's key is its path from the outermost open span, e.g.
+//     "flow/place". Identical paths aggregate (count + total wall time).
+//   - `count(Counter::PlacerMovesAccepted, n)` bumps a named monotone
+//     counter. Counters only ever add, so totals are order-independent.
+//   - `writeReport(...)` emits a RunReport JSON document with per-span wall
+//     times, counter totals, thread count, seed and design names.
+//
+// Zero-cost when disabled: collection is off by default, every entry point
+// checks one relaxed atomic flag inline and does nothing else. Enabling
+// telemetry observes the pipeline but never perturbs it — no RNG draws, no
+// reordering — so flow outputs are bit-identical with telemetry on or off.
+//
+// Threading: each thread accumulates into a thread-local frame. The
+// parallel layer (support/parallel.cpp) gives every pool task its own
+// delta frame and merges completed deltas back into the submitting thread's
+// frame in task-index order, so the registry contents after a parallel
+// region are independent of scheduling — the same guarantee at any thread
+// count, including 1. Span paths recorded inside a task are prefixed with
+// the submitter's active span path at merge time, exactly as if the task
+// body had run inline.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hcp::support::telemetry {
+
+/// Monotone counters. Extend freely; every counter is reported.
+enum class Counter : std::size_t {
+  FlowsRun,
+  HlsFunctionsSynthesized,
+  PlacerMovesProposed,
+  PlacerMovesAccepted,
+  PlacerMovesRejected,
+  RouterIterations,
+  RouterRipUps,
+  RouterOverflowTiles,
+  StaArrivalPropagations,
+  TraceCellsTraced,
+  DatasetSamplesExtracted,
+  GbrtBoostingRounds,
+  CvFoldsEvaluated,
+  kCount,
+};
+
+inline constexpr std::size_t kNumCounters =
+    static_cast<std::size_t>(Counter::kCount);
+
+/// Stable snake_case name used as the JSON key.
+std::string_view counterName(Counter c);
+
+namespace detail {
+
+extern std::atomic<bool> gEnabled;
+
+/// Aggregated statistics of one span path.
+struct SpanStat {
+  std::uint64_t count = 0;   ///< completed spans with this path
+  std::uint64_t wallNs = 0;  ///< summed wall time
+  std::uint32_t depth = 0;   ///< nesting depth (0 = outermost)
+};
+
+/// Per-thread (or per-task) accumulation buffer.
+struct Frame {
+  std::array<std::uint64_t, kNumCounters> counters{};
+  std::map<std::string, SpanStat> spans;
+  std::string path;          ///< '/'-joined names of the open spans
+  std::uint32_t depth = 0;   ///< number of open spans
+};
+
+Frame& currentFrame();
+
+/// Opens a span on the current frame; returns the previous path length
+/// (needed to close it).
+std::size_t spanEnter(std::string_view name);
+/// Closes the innermost span, recording `elapsedNs` under its full path.
+void spanExit(std::size_t prevPathLen, std::uint64_t elapsedNs);
+
+void countSlow(Counter c, std::uint64_t delta);
+std::uint64_t nowNs();
+
+/// Redirects the calling thread's frame to `slot` for the capture's
+/// lifetime. Used by the parallel layer to give each task its own delta.
+class TaskCapture {
+ public:
+  explicit TaskCapture(Frame& slot);
+  ~TaskCapture();
+  TaskCapture(const TaskCapture&) = delete;
+  TaskCapture& operator=(const TaskCapture&) = delete;
+
+ private:
+  Frame* prev_;
+};
+
+/// Merges a completed task delta into the calling thread's current frame,
+/// prefixing span paths with the frame's active span path.
+void mergeIntoCurrent(const Frame& delta);
+
+}  // namespace detail
+
+/// True when collection is on. One relaxed atomic load; safe to call from
+/// any thread at any time.
+inline bool enabled() {
+  return detail::gEnabled.load(std::memory_order_relaxed);
+}
+
+/// Turns collection on/off process-wide. Existing data is kept.
+void setEnabled(bool on);
+
+/// Adds `delta` to a counter. No-op (one branch) when disabled.
+inline void count(Counter c, std::uint64_t delta = 1) {
+  if (enabled() && delta != 0) detail::countSlow(c, delta);
+}
+
+/// RAII wall-clock span. Construct via HCP_SPAN; does nothing when
+/// telemetry is disabled at construction time.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name) {
+    if (!enabled()) return;
+    active_ = true;
+    prevPathLen_ = detail::spanEnter(name);
+    startNs_ = detail::nowNs();
+  }
+  ~ScopedSpan() {
+    if (active_) detail::spanExit(prevPathLen_, detail::nowNs() - startNs_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_ = false;
+  std::size_t prevPathLen_ = 0;
+  std::uint64_t startNs_ = 0;
+};
+
+/// Point-in-time totals: the global registry plus the calling thread's
+/// frame (which is flushed into the registry by the call).
+struct Snapshot {
+  std::array<std::uint64_t, kNumCounters> counters{};
+  struct SpanEntry {
+    std::string path;
+    std::uint32_t depth = 0;
+    std::uint64_t count = 0;
+    std::uint64_t wallNs = 0;
+  };
+  std::vector<SpanEntry> spans;  ///< sorted by path
+
+  std::uint64_t counter(Counter c) const {
+    return counters[static_cast<std::size_t>(c)];
+  }
+  /// The entry for `path`, or nullptr.
+  const SpanEntry* span(std::string_view path) const;
+};
+
+/// Flushes the calling thread's frame into the registry and returns the
+/// accumulated totals. Totals are monotone across snapshots until reset().
+Snapshot snapshot();
+
+/// Clears the registry and the calling thread's frame (tests).
+void reset();
+
+/// Run metadata recorded alongside the measurements.
+struct RunReport {
+  std::string tool;                   ///< binary name, e.g. "hcp_cli"
+  std::string command;                ///< subcommand, may be empty
+  std::vector<std::string> designs;   ///< design names this run touched
+  std::uint64_t seed = 0;
+  std::size_t threads = 1;
+  double totalWallMs = 0.0;           ///< 0 = fill from initReportFromArgs
+};
+
+/// Writes the report JSON (meta + `snap`) to `os`.
+void writeReport(std::ostream& os, const RunReport& meta,
+                 const Snapshot& snap);
+
+/// Snapshots and writes to `path`. Throws hcp::Error if the file cannot be
+/// written. If meta.totalWallMs is 0 and initReportFromArgs ran, the elapsed
+/// time since that call is filled in.
+void writeReportToFile(const std::string& path, RunReport meta);
+
+/// Resolves the report destination: `--report <path>` / `--report=<path>`
+/// on the command line, else the HCP_REPORT environment variable. Enables
+/// collection and records the start time when a path is found. Returns the
+/// path ("" = reporting off). Unrelated arguments are ignored.
+std::string initReportFromArgs(int argc, char** argv);
+
+}  // namespace hcp::support::telemetry
+
+#define HCP_TELEMETRY_CONCAT2(a, b) a##b
+#define HCP_TELEMETRY_CONCAT(a, b) HCP_TELEMETRY_CONCAT2(a, b)
+
+/// Opens a wall-clock span covering the rest of the enclosing scope.
+#define HCP_SPAN(name)                               \
+  ::hcp::support::telemetry::ScopedSpan HCP_TELEMETRY_CONCAT( \
+      hcpSpan_, __LINE__)(name)

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/stats.hpp"
+#include "support/telemetry.hpp"
 
 namespace hcp::trace {
 
@@ -16,6 +17,7 @@ using rtl::GeneratedRtl;
 BackTraceResult backTrace(const GeneratedRtl& rtl, const Implementation& impl,
                           const fpga::Device& device,
                           const ir::Module& module) {
+  HCP_SPAN("backtrace");
   BackTraceResult result;
 
   // Labels come from the regionally-smoothed map: Vivado's congestion
@@ -63,6 +65,8 @@ BackTraceResult backTrace(const GeneratedRtl& rtl, const Implementation& impl,
   result.cellsWithoutOps = rtl.netlist.numCells() -
                            std::min(rtl.netlist.numCells(),
                                     result.cellsTraced);
+  support::telemetry::count(support::telemetry::Counter::TraceCellsTraced,
+                            result.cellsTraced);
   return result;
 }
 

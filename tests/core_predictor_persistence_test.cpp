@@ -1,0 +1,163 @@
+// Persistence failure paths: every trained model kind must round-trip
+// through CongestionPredictor::save/load bit-identically, and malformed
+// files (truncated, wrong magic, bad version, unknown kind) must be
+// rejected with hcp::Error by both ml::loadModelFromFile and
+// CongestionPredictor::load — never crash or silently misload.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "ml/serialize.hpp"
+#include "support/error.hpp"
+
+namespace hcp::core {
+namespace {
+
+/// A unique scratch path per test, removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& stem)
+      : path_(std::string(::testing::TempDir()) + stem) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// A small deterministic regression problem (same rows for V/H/avg).
+LabeledDataset makeDataset() {
+  LabeledDataset data;
+  for (std::size_t i = 0; i < 48; ++i) {
+    const double a = static_cast<double>(i % 7);
+    const double b = static_cast<double>((i * 5) % 11);
+    const double c = static_cast<double>(i) / 48.0;
+    const std::vector<double> row = {a, b, c};
+    data.vertical.add(row, 0.4 * a + 0.1 * b);
+    data.horizontal.add(row, 0.2 * b + c);
+    data.average.add(row, 0.3 * a + 0.1 * b + 0.5 * c);
+  }
+  return data;
+}
+
+PredictorOptions smallOptions(ModelKind kind) {
+  PredictorOptions options;
+  options.kind = kind;
+  options.gbrt.numEstimators = 12;
+  options.gbrt.maxDepth = 3;
+  options.gbrt.minSamplesLeaf = 2;
+  options.mlp.hiddenLayers = {8};
+  options.mlp.maxEpochs = 12;
+  options.mlp.batchSize = 16;
+  options.lasso.maxIterations = 100;
+  return options;
+}
+
+class PredictorPersistenceTest : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(PredictorPersistenceTest, RoundTripPredictsIdentically) {
+  const LabeledDataset data = makeDataset();
+  CongestionPredictor predictor(smallOptions(GetParam()));
+  predictor.train(data);
+
+  TempFile file(std::string("predictor_roundtrip_") +
+                std::string(modelKindName(GetParam())) + ".hcp");
+  predictor.save(file.path());
+  const CongestionPredictor restored = CongestionPredictor::load(file.path());
+  EXPECT_TRUE(restored.trained());
+
+  for (std::size_t i = 0; i < data.vertical.size(); ++i) {
+    const auto row = data.vertical.row(i);
+    EXPECT_EQ(predictor.verticalModel().predict(row),
+              restored.verticalModel().predict(row));
+    EXPECT_EQ(predictor.horizontalModel().predict(row),
+              restored.horizontalModel().predict(row));
+    EXPECT_EQ(predictor.averageModel().predict(row),
+              restored.averageModel().predict(row));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PredictorPersistenceTest,
+                         ::testing::Values(ModelKind::Linear, ModelKind::Ann,
+                                           ModelKind::Gbrt),
+                         [](const auto& info) {
+                           return std::string(modelKindName(info.param));
+                         });
+
+TEST(PredictorPersistenceFailures, SaveUntrainedThrows) {
+  CongestionPredictor predictor;
+  TempFile file("predictor_untrained.hcp");
+  EXPECT_THROW(predictor.save(file.path()), hcp::Error);
+}
+
+TEST(PredictorPersistenceFailures, MissingFileThrows) {
+  EXPECT_THROW(CongestionPredictor::load("/nonexistent/predictor.hcp"),
+               hcp::Error);
+  EXPECT_THROW(ml::loadModelFromFile("/nonexistent/model.hcp"), hcp::Error);
+}
+
+TEST(PredictorPersistenceFailures, TruncatedFileThrows) {
+  const LabeledDataset data = makeDataset();
+  CongestionPredictor predictor(smallOptions(ModelKind::Gbrt));
+  predictor.train(data);
+  TempFile file("predictor_truncated.hcp");
+  predictor.save(file.path());
+
+  std::string bytes;
+  {
+    std::ifstream is(file.path(), std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is), {});
+  }
+  ASSERT_GT(bytes.size(), 2u);
+  TempFile cut("predictor_truncated_half.hcp");
+  {
+    std::ofstream os(cut.path(), std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW(CongestionPredictor::load(cut.path()), hcp::Error);
+  EXPECT_THROW(ml::loadModelFromFile(cut.path()), hcp::Error);
+}
+
+TEST(PredictorPersistenceFailures, WrongMagicThrows) {
+  TempFile file("predictor_wrong_magic.hcp");
+  {
+    std::ofstream os(file.path());
+    os << "not-a-predictor 1 GBRT\n";
+  }
+  EXPECT_THROW(CongestionPredictor::load(file.path()), hcp::Error);
+  EXPECT_THROW(ml::loadModelFromFile(file.path()), hcp::Error);
+}
+
+TEST(PredictorPersistenceFailures, UnsupportedVersionThrows) {
+  TempFile file("predictor_bad_version.hcp");
+  {
+    std::ofstream os(file.path());
+    os << "hcp-predictor 99 GBRT\n";
+  }
+  EXPECT_THROW(CongestionPredictor::load(file.path()), hcp::Error);
+}
+
+TEST(PredictorPersistenceFailures, UnknownKindThrows) {
+  TempFile file("predictor_unknown_kind.hcp");
+  {
+    std::ofstream os(file.path());
+    os << "hcp-predictor 1 SVM\n";
+  }
+  EXPECT_THROW(CongestionPredictor::load(file.path()), hcp::Error);
+}
+
+TEST(PredictorPersistenceFailures, UnknownModelTagThrows) {
+  TempFile file("model_unknown_tag.hcp");
+  {
+    std::ofstream os(file.path());
+    os << "hcp-model svm 1\n";
+  }
+  EXPECT_THROW(ml::loadModelFromFile(file.path()), hcp::Error);
+}
+
+}  // namespace
+}  // namespace hcp::core

@@ -1,9 +1,9 @@
 // hcp_cli — command-line driver for the library.
 //
-//   hcp_cli flow <design> [--seed N] [--no-directives]
+//   hcp_cli flow <design> [options]
 //       run the full C-to-FPGA flow and print the implementation summary
 //   hcp_cli train <model.hcp> <design> [<design> ...] [--model gbrt|ann|linear]
-//       run flows, build the dataset and save a trained predictor
+//       run flows (concurrently), build the dataset and save a predictor
 //   hcp_cli predict <model.hcp> <design>
 //       HLS-synthesize the design (no PAR) and print predicted hotspots
 //   hcp_cli advise <model.hcp> <design>
@@ -15,10 +15,23 @@
 //   hcp_cli list
 //       list the bundled benchmark designs
 //
+// Common options:
+//   --seed N          master seed for the stochastic stages (default 42)
+//   --threads N       cap the thread pool (default: HCP_THREADS or all cores)
+//   --report FILE     write a JSON run report (spans, counters, metadata);
+//                     the HCP_REPORT environment variable is the fallback
+//   --no-directives   synthesize without the paper's pragma set
+//   --model KIND      predictor kind for `train`: gbrt (default), ann, linear
+//
+// Exit codes: 0 success, 1 flow/model error (hcp::Error), 2 usage error,
+// 3 unexpected internal error (any other std::exception).
+//
 // <design> is one of: face_detection, face_detection_noinline,
 // face_detection_replicated, digit_recognition, spam_filter, digit_spam,
 // bnn, rendering_3d, optical_flow, vision_combined.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -32,6 +45,8 @@
 #include "core/resolver.hpp"
 #include "ir/printer.hpp"
 #include "rtl/verilog.hpp"
+#include "support/parallel.hpp"
+#include "support/telemetry.hpp"
 
 using namespace hcp;
 
@@ -86,26 +101,60 @@ int usage() {
   return 2;
 }
 
+[[noreturn]] void usageError(const std::string& message) {
+  std::fprintf(stderr, "hcp_cli: %s\n", message.c_str());
+  std::exit(2);
+}
+
+/// Strict unsigned parse for flag values: the whole token must be digits.
+/// `--seed abc` or `--threads 4x` is a usage error, not silently zero.
+std::uint64_t parseUint(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE)
+    usageError(std::string(flag) + " expects a non-negative integer, got '" +
+               text + "'");
+  return static_cast<std::uint64_t>(v);
+}
+
 struct Args {
   std::vector<std::string> positional;
   std::uint64_t seed = 42;
   bool directives = true;
   std::string model = "gbrt";
+  std::size_t threads = 0;  ///< 0 = leave the default limit in place
+  std::string report;       ///< empty = no run report
 };
 
 Args parse(int argc, char** argv, int first) {
   Args args;
+  auto value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) usageError(std::string(flag) + " expects a value");
+    return argv[++i];
+  };
   for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--seed" && i + 1 < argc) {
-      args.seed = std::strtoull(argv[++i], nullptr, 10);
+    if (a == "--seed") {
+      args.seed = parseUint("--seed", value(i, "--seed"));
+    } else if (a == "--threads") {
+      args.threads =
+          static_cast<std::size_t>(parseUint("--threads", value(i, "--threads")));
+      if (args.threads == 0) usageError("--threads expects N >= 1");
+    } else if (a == "--report") {
+      args.report = value(i, "--report");
     } else if (a == "--no-directives") {
       args.directives = false;
-    } else if (a == "--model" && i + 1 < argc) {
-      args.model = argv[++i];
+    } else if (a == "--model") {
+      args.model = value(i, "--model");
+    } else if (a.rfind("--", 0) == 0) {
+      usageError("unknown option '" + a + "' (see hcp_cli usage)");
     } else {
       args.positional.push_back(a);
     }
+  }
+  if (args.report.empty()) {
+    if (const char* env = std::getenv("HCP_REPORT")) args.report = env;
   }
   return args;
 }
@@ -132,91 +181,129 @@ void printSummary(const core::FlowResult& flow) {
   std::printf("samples traced  : %zu\n", flow.traced.samples.size());
 }
 
+int run(int argc, char** argv) {
+  const std::string cmd = argv[1];
+  const auto device = fpga::Device::xc7z020like();
+
+  if (cmd == "list") {
+    for (const auto& d : kDesigns) std::printf("%s\n", d.c_str());
+    return 0;
+  }
+
+  const Args args = parse(argc, argv, 2);
+  if (args.threads > 0) support::setThreadLimit(args.threads);
+  if (!args.report.empty()) support::telemetry::setEnabled(true);
+  const auto start = support::telemetry::detail::nowNs();
+
+  std::vector<std::string> reportDesigns;
+  int code = -1;  // -1 = unknown command
+
+  if (cmd == "flow") {
+    if (args.positional.size() != 1) return usage();
+    reportDesigns = {args.positional[0]};
+    printSummary(runNamedFlow(args.positional[0], args, device));
+    code = 0;
+  } else if (cmd == "train") {
+    if (args.positional.size() < 2) return usage();
+    const std::string modelPath = args.positional[0];
+    core::PredictorOptions opts;
+    if (args.model == "linear") opts.kind = core::ModelKind::Linear;
+    else if (args.model == "ann") opts.kind = core::ModelKind::Ann;
+    else if (args.model == "gbrt") opts.kind = core::ModelKind::Gbrt;
+    else return usage();
+
+    std::vector<apps::AppDesign> designs;
+    for (std::size_t i = 1; i < args.positional.size(); ++i) {
+      reportDesigns.push_back(args.positional[i]);
+      designs.push_back(makeDesign(args.positional[i], args.directives));
+    }
+    core::FlowConfig cfg;
+    cfg.seed = args.seed;
+    std::fprintf(stderr, "[hcp] running %zu flow%s (%zu thread%s)...\n",
+                 designs.size(), designs.size() == 1 ? "" : "s",
+                 support::threadLimit(),
+                 support::threadLimit() == 1 ? "" : "s");
+    const auto flows = core::runFlows(designs, device, cfg);
+    const auto dataset = core::buildDataset(flows, {});
+    core::CongestionPredictor predictor(opts);
+    std::fprintf(stderr, "[hcp] training %s on %zu samples...\n",
+                 args.model.c_str(), dataset.vertical.size());
+    predictor.train(dataset);
+    predictor.save(modelPath);
+    std::printf("saved %s predictor to %s (%zu samples)\n",
+                args.model.c_str(), modelPath.c_str(),
+                dataset.vertical.size());
+    code = 0;
+  } else if (cmd == "predict" || cmd == "advise") {
+    if (args.positional.size() != 2) return usage();
+    reportDesigns = {args.positional[1]};
+    auto predictor = core::CongestionPredictor::load(args.positional[0]);
+    auto app = makeDesign(args.positional[1], args.directives);
+    const auto design =
+        hls::synthesize(std::move(app.module), app.directives, {});
+    const auto hotspots = predictor.findHotspots(design, {}, 10);
+    std::printf("predicted hotspots (no place-and-route was run):\n");
+    for (const auto& h : hotspots)
+      std::printf("  %-28s line %-5d %4zu ops  mean %.1f%%  max %.1f%%\n",
+                  h.functionName.c_str(), h.sourceLine, h.numOps,
+                  h.meanPredicted, h.maxPredicted);
+    if (cmd == "advise") {
+      std::printf("\nresolution hints:\n");
+      for (const auto& hint : core::adviseResolution(design, hotspots, {}))
+        std::printf("  [%s] %s\n",
+                    std::string(core::resolutionKindName(hint.kind)).c_str(),
+                    hint.message.c_str());
+    }
+    code = 0;
+  } else if (cmd == "dump-ir") {
+    if (args.positional.size() != 1) return usage();
+    reportDesigns = {args.positional[0]};
+    auto app = makeDesign(args.positional[0], args.directives);
+    const auto design =
+        hls::synthesize(std::move(app.module), app.directives, {});
+    std::printf("%s", ir::print(*design.module).c_str());
+    code = 0;
+  } else if (cmd == "dump-verilog") {
+    if (args.positional.size() != 1) return usage();
+    reportDesigns = {args.positional[0]};
+    auto app = makeDesign(args.positional[0], args.directives);
+    const auto design =
+        hls::synthesize(std::move(app.module), app.directives, {});
+    const auto rtl = rtl::generateRtl(design);
+    std::printf("%s", rtl::toVerilog(rtl.netlist).c_str());
+    code = 0;
+  }
+
+  if (code == 0 && !args.report.empty()) {
+    support::telemetry::RunReport meta;
+    meta.tool = "hcp_cli";
+    meta.command = cmd;
+    meta.designs = reportDesigns;
+    meta.seed = args.seed;
+    meta.threads = support::threadLimit();
+    meta.totalWallMs =
+        static_cast<double>(support::telemetry::detail::nowNs() - start) / 1e6;
+    support::telemetry::writeReportToFile(args.report, meta);
+    std::fprintf(stderr, "[hcp] run report written to %s\n",
+                 args.report.c_str());
+  }
+  return code == -1 ? usage() : code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  const auto device = fpga::Device::xc7z020like();
-
   try {
-    if (cmd == "list") {
-      for (const auto& d : kDesigns) std::printf("%s\n", d.c_str());
-      return 0;
-    }
-    if (cmd == "flow") {
-      const Args args = parse(argc, argv, 2);
-      if (args.positional.size() != 1) return usage();
-      printSummary(runNamedFlow(args.positional[0], args, device));
-      return 0;
-    }
-    if (cmd == "train") {
-      const Args args = parse(argc, argv, 2);
-      if (args.positional.size() < 2) return usage();
-      const std::string modelPath = args.positional[0];
-      std::vector<core::FlowResult> flows;
-      for (std::size_t i = 1; i < args.positional.size(); ++i)
-        flows.push_back(runNamedFlow(args.positional[i], args, device));
-      const auto dataset = core::buildDataset(flows, {});
-      core::PredictorOptions opts;
-      if (args.model == "linear") opts.kind = core::ModelKind::Linear;
-      else if (args.model == "ann") opts.kind = core::ModelKind::Ann;
-      else if (args.model == "gbrt") opts.kind = core::ModelKind::Gbrt;
-      else return usage();
-      core::CongestionPredictor predictor(opts);
-      std::fprintf(stderr, "[hcp] training %s on %zu samples...\n",
-                   args.model.c_str(), dataset.vertical.size());
-      predictor.train(dataset);
-      predictor.save(modelPath);
-      std::printf("saved %s predictor to %s (%zu samples)\n",
-                  args.model.c_str(), modelPath.c_str(),
-                  dataset.vertical.size());
-      return 0;
-    }
-    if (cmd == "predict" || cmd == "advise") {
-      const Args args = parse(argc, argv, 2);
-      if (args.positional.size() != 2) return usage();
-      auto predictor = core::CongestionPredictor::load(args.positional[0]);
-      auto app = makeDesign(args.positional[1], args.directives);
-      const auto design =
-          hls::synthesize(std::move(app.module), app.directives, {});
-      const auto hotspots = predictor.findHotspots(design, {}, 10);
-      std::printf("predicted hotspots (no place-and-route was run):\n");
-      for (const auto& h : hotspots)
-        std::printf("  %-28s line %-5d %4zu ops  mean %.1f%%  max %.1f%%\n",
-                    h.functionName.c_str(), h.sourceLine, h.numOps,
-                    h.meanPredicted, h.maxPredicted);
-      if (cmd == "advise") {
-        std::printf("\nresolution hints:\n");
-        for (const auto& hint : core::adviseResolution(design, hotspots, {}))
-          std::printf("  [%s] %s\n",
-                      std::string(core::resolutionKindName(hint.kind)).c_str(),
-                      hint.message.c_str());
-      }
-      return 0;
-    }
-    if (cmd == "dump-ir") {
-      const Args args = parse(argc, argv, 2);
-      if (args.positional.size() != 1) return usage();
-      auto app = makeDesign(args.positional[0], args.directives);
-      const auto design =
-          hls::synthesize(std::move(app.module), app.directives, {});
-      std::printf("%s", ir::print(*design.module).c_str());
-      return 0;
-    }
-    if (cmd == "dump-verilog") {
-      const Args args = parse(argc, argv, 2);
-      if (args.positional.size() != 1) return usage();
-      auto app = makeDesign(args.positional[0], args.directives);
-      const auto design =
-          hls::synthesize(std::move(app.module), app.directives, {});
-      const auto rtl = rtl::generateRtl(design);
-      std::printf("%s", rtl::toVerilog(rtl.netlist).c_str());
-      return 0;
-    }
+    return run(argc, argv);
   } catch (const hcp::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
+  } catch (const std::exception& e) {
+    // Anything outside the library's own error type (bad_alloc, stream
+    // failures, ...) is an internal error: report it instead of aborting,
+    // with a distinct exit code so scripts can tell the cases apart.
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 3;
   }
-  return usage();
 }

@@ -40,8 +40,10 @@ double gbrtMae(const ml::Dataset& data,
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  hcp::bench::BenchSession session("ablation_features", argc, argv);
+namespace {
+
+/// The bench body; session plumbing lives in runBenchMain.
+void runBench(hcp::bench::BenchSession&) {
   const auto device = fpga::Device::xc7z020like();
   const auto flows = bench::runBenchmarkSuite(device);
   const auto data = core::buildDataset(flows, {});
@@ -113,5 +115,10 @@ int main(int argc, char** argv) {
                    std::to_string(rudy.tilesOver(100.0))});
     bench::emit(router, "ablation_router.csv");
   }
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return hcp::bench::runBenchMain("ablation_features", argc, argv, runBench);
 }

@@ -16,9 +16,11 @@
 #include "apps/vision_suite.hpp"
 #include "core/dataset_builder.hpp"
 #include "core/flow.hpp"
+#include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "support/table.hpp"
 #include "support/telemetry.hpp"
+#include "support/tracing.hpp"
 
 namespace hcp::bench {
 
@@ -40,28 +42,40 @@ inline std::size_t parseThreads(int argc, char** argv) {
 }
 
 /// Per-binary session bookkeeping: applies `--threads N`, arms telemetry
-/// when `--report FILE` (or HCP_REPORT) is present, and writes the JSON run
-/// report when the bench exits normally. Instantiate first thing in main().
+/// when `--report FILE` (or HCP_REPORT) is present and the trace sink when
+/// `--trace FILE` (or HCP_TRACE) is, then writes the JSON run report and
+/// Chrome trace timeline when the bench exits normally. Instantiated by
+/// runBenchMain — bench binaries never touch the flags themselves.
 class BenchSession {
  public:
   BenchSession(const char* tool, int argc, char** argv)
       : tool_(tool),
         threads_(parseThreads(argc, argv)),
-        reportPath_(support::telemetry::initReportFromArgs(argc, argv)) {}
+        reportPath_(support::telemetry::initReportFromArgs(argc, argv)),
+        tracePath_(support::tracing::initTraceFromArgs(argc, argv)) {}
 
   BenchSession(const BenchSession&) = delete;
   BenchSession& operator=(const BenchSession&) = delete;
 
   ~BenchSession() {
-    if (reportPath_.empty()) return;
-    support::telemetry::RunReport meta;
-    meta.tool = tool_;
-    meta.command = "bench";
-    meta.seed = kSeed;
-    meta.threads = support::threadLimit();
-    support::telemetry::writeReportToFile(reportPath_, meta);
-    std::fprintf(stderr, "[hcp] run report written to %s\n",
-                 reportPath_.c_str());
+    if (!reportPath_.empty()) {
+      support::telemetry::RunReport meta;
+      meta.tool = tool_;
+      meta.command = "bench";
+      meta.seed = kSeed;
+      meta.threads = support::threadLimit();
+      support::telemetry::writeReportToFile(reportPath_, meta);
+      std::fprintf(stderr, "[hcp] run report written to %s\n",
+                   reportPath_.c_str());
+    }
+    if (!tracePath_.empty()) {
+      support::tracing::TraceMeta meta;
+      meta.tool = tool_;
+      meta.command = "bench";
+      support::tracing::writeChromeTraceToFile(tracePath_, meta);
+      std::fprintf(stderr, "[hcp] trace timeline written to %s\n",
+                   tracePath_.c_str());
+    }
   }
 
   std::size_t threads() const { return threads_; }
@@ -70,7 +84,27 @@ class BenchSession {
   std::string tool_;
   std::size_t threads_;
   std::string reportPath_;
+  std::string tracePath_;
 };
+
+/// The shared main() shell of every bench binary: session setup (threads,
+/// report, trace — new observability flags land here, once), the body, and
+/// the same exception-to-exit-code mapping hcp_cli uses (1 = hcp::Error,
+/// 3 = unexpected std::exception). `body` receives the live session.
+template <typename Body>
+int runBenchMain(const char* tool, int argc, char** argv, Body&& body) {
+  try {
+    BenchSession session(tool, argc, argv);
+    body(session);
+    return 0;
+  } catch (const hcp::Error& e) {
+    std::fprintf(stderr, "%s: error: %s\n", tool, e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: internal error: %s\n", tool, e.what());
+    return 3;
+  }
+}
 
 /// The paper's three evaluated combinations (§IV): Face Detection alone,
 /// Digit Recognition + Spam Filtering, and BNN + 3D Rendering + Optical

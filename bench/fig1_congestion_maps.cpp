@@ -6,8 +6,10 @@
 
 using namespace hcp;
 
-int main(int argc, char** argv) {
-  hcp::bench::BenchSession session("fig1_congestion_maps", argc, argv);
+namespace {
+
+/// The bench body; session plumbing lives in runBenchMain.
+void runBench(hcp::bench::BenchSession&) {
   const auto device = fpga::Device::xc7z020like();
   core::FlowConfig cfg;
   cfg.seed = bench::kSeed;
@@ -31,5 +33,10 @@ int main(int argc, char** argv) {
     csv << flow.impl.routing.map.toCsv();
   }
   std::printf("(per-tile CSVs: fig1_map_with.csv / fig1_map_without.csv)\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return hcp::bench::runBenchMain("fig1_congestion_maps", argc, argv, runBench);
 }

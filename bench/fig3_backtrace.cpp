@@ -8,8 +8,10 @@
 
 using namespace hcp;
 
-int main(int argc, char** argv) {
-  hcp::bench::BenchSession session("fig3_backtrace", argc, argv);
+namespace {
+
+/// The bench body; session plumbing lives in runBenchMain.
+void runBench(hcp::bench::BenchSession&) {
   const auto device = fpga::Device::xc7z020like();
   core::FlowConfig cfg;
   cfg.seed = bench::kSeed;
@@ -53,5 +55,10 @@ int main(int argc, char** argv) {
   stats.addRow({"netlist cells",
                 std::to_string(flow.rtl.netlist.numCells())});
   bench::emit(stats, "fig3_backtrace.csv");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return hcp::bench::runBenchMain("fig3_backtrace", argc, argv, runBench);
 }

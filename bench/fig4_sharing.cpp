@@ -7,8 +7,10 @@
 
 using namespace hcp;
 
-int main(int argc, char** argv) {
-  hcp::bench::BenchSession session("fig4_sharing", argc, argv);
+namespace {
+
+/// The bench body; session plumbing lives in runBenchMain.
+void runBench(hcp::bench::BenchSession&) {
   // A chain of sequential multipliers: left-edge binding folds them onto a
   // few shared units.
   auto mod = std::make_unique<ir::Module>("fig4");
@@ -55,5 +57,10 @@ int main(int argc, char** argv) {
                 n, merged.node(n).members.size(), merged.fanIn(n),
                 merged.fanOut(n));
   }
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return hcp::bench::runBenchMain("fig4_sharing", argc, argv, runBench);
 }

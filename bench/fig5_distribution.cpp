@@ -8,8 +8,10 @@
 
 using namespace hcp;
 
-int main(int argc, char** argv) {
-  hcp::bench::BenchSession session("fig5_distribution", argc, argv);
+namespace {
+
+/// The bench body; session plumbing lives in runBenchMain.
+void runBench(hcp::bench::BenchSession&) {
   const auto device = fpga::Device::xc7z020like();
   core::FlowConfig cfg;
   cfg.seed = bench::kSeed;
@@ -56,5 +58,10 @@ int main(int argc, char** argv) {
   bench::emit(divergence, "fig5_divergence.csv");
   std::printf("marginal ops filtered: %zu of %zu (%.1f%%; paper: ~3.4%%)\n",
               stats.marginal, stats.total, 100.0 * stats.fraction());
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return hcp::bench::runBenchMain("fig5_distribution", argc, argv, runBench);
 }

@@ -313,13 +313,15 @@ void runParallelReport(std::size_t threads) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  hcp::bench::BenchSession session("perf_ablation", argc, argv);
-  const std::size_t threads = session.threads();
-  bool runGoogleBench = true;
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--parallel-only") == 0) runGoogleBench = false;
-  benchmark::Initialize(&argc, argv);
-  if (runGoogleBench) benchmark::RunSpecifiedBenchmarks();
-  runParallelReport(threads);
-  return 0;
+  return hcp::bench::runBenchMain(
+      "perf_ablation", argc, argv, [&](hcp::bench::BenchSession& session) {
+        const std::size_t threads = session.threads();
+        bool runGoogleBench = true;
+        for (int i = 1; i < argc; ++i)
+          if (std::strcmp(argv[i], "--parallel-only") == 0)
+            runGoogleBench = false;
+        benchmark::Initialize(&argc, argv);
+        if (runGoogleBench) benchmark::RunSpecifiedBenchmarks();
+        runParallelReport(threads);
+      });
 }

@@ -5,8 +5,10 @@
 
 using namespace hcp;
 
-int main(int argc, char** argv) {
-  hcp::bench::BenchSession session("table1_motivation", argc, argv);
+namespace {
+
+/// The bench body; session plumbing lives in runBenchMain.
+void runBench(hcp::bench::BenchSession&) {
   const auto device = fpga::Device::xc7z020like();
   core::FlowConfig cfg;
   cfg.seed = bench::kSeed;
@@ -33,5 +35,10 @@ int main(int argc, char** argv) {
                   fmt(maxCong, 2), std::to_string(flow.congestedTiles)});
   }
   bench::emit(table, "table1_motivation.csv");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return hcp::bench::runBenchMain("table1_motivation", argc, argv, runBench);
 }

@@ -8,8 +8,10 @@ using namespace hcp;
 using features::Category;
 using features::FeatureRegistry;
 
-int main(int argc, char** argv) {
-  hcp::bench::BenchSession session("table2_features", argc, argv);
+namespace {
+
+/// The bench body; session plumbing lives in runBenchMain.
+void runBench(hcp::bench::BenchSession&) {
   const auto& reg = FeatureRegistry::instance();
   const auto counts = reg.categoryCounts();
 
@@ -36,5 +38,10 @@ int main(int argc, char** argv) {
                  std::string(categoryName(reg.info(i).category))});
   full.writeCsv("table2_feature_registry.csv");
   std::printf("(full registry in table2_feature_registry.csv)\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return hcp::bench::runBenchMain("table2_features", argc, argv, runBench);
 }

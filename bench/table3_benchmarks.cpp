@@ -6,8 +6,10 @@
 
 using namespace hcp;
 
-int main(int argc, char** argv) {
-  bench::BenchSession session("table3_benchmarks", argc, argv);
+namespace {
+
+/// The bench body; session plumbing lives in runBenchMain.
+void runBench(hcp::bench::BenchSession&) {
   const auto device = fpga::Device::xc7z020like();
   const auto flows = bench::runBenchmarkSuite(device);
 
@@ -64,5 +66,10 @@ int main(int argc, char** argv) {
                 fmt(percentile(tileH, 95), 2), fmt(mean(tileH), 2),
                 fmt(median(tileH), 2)});
   bench::emit(tiles, "table3_tile_distribution.csv");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return hcp::bench::runBenchMain("table3_benchmarks", argc, argv, runBench);
 }

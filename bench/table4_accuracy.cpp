@@ -91,8 +91,10 @@ Scores evalGbrt(const ml::Dataset& data) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  bench::BenchSession session("table4_accuracy", argc, argv);
+namespace {
+
+/// The bench body; session plumbing lives in runBenchMain.
+void runBench(hcp::bench::BenchSession&) {
   const auto device = fpga::Device::xc7z020like();
   const auto flows = bench::runBenchmarkSuite(device);
 
@@ -130,5 +132,10 @@ int main(int argc, char** argv) {
     }
   }
   bench::emit(table, "table4_accuracy.csv");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return hcp::bench::runBenchMain("table4_accuracy", argc, argv, runBench);
 }

@@ -44,8 +44,10 @@ std::vector<std::pair<double, Category>> categoryImportance(
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  hcp::bench::BenchSession session("table5_importance", argc, argv);
+namespace {
+
+/// The bench body; session plumbing lives in runBenchMain.
+void runBench(hcp::bench::BenchSession&) {
   const auto device = fpga::Device::xc7z020like();
   const auto flows = bench::runBenchmarkSuite(device);
   const auto data = core::buildDataset(flows, {});
@@ -90,5 +92,10 @@ int main(int argc, char** argv) {
                   fmt(100.0 * ranked[i].first, 2)});
     bench::emit(top, "table5_top_features.csv");
   }
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return hcp::bench::runBenchMain("table5_importance", argc, argv, runBench);
 }

@@ -10,8 +10,10 @@
 
 using namespace hcp;
 
-int main(int argc, char** argv) {
-  hcp::bench::BenchSession session("table6_casestudy", argc, argv);
+namespace {
+
+/// The bench body; session plumbing lives in runBenchMain.
+void runBench(hcp::bench::BenchSession&) {
   const auto device = fpga::Device::xc7z020like();
   core::FlowConfig cfg;
   cfg.seed = bench::kSeed;
@@ -88,5 +90,10 @@ int main(int argc, char** argv) {
                 std::string(core::resolutionKindName(hint.kind)).c_str(),
                 hint.message.c_str());
   std::printf("\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return hcp::bench::runBenchMain("table6_casestudy", argc, argv, runBench);
 }

@@ -86,6 +86,8 @@ LabeledDataset buildDataset(std::span<const FlowResult> flows,
   for (std::size_t k = 0; k < work.size(); ++k) {
     const trace::Sample& s = *work[k].sample;
     auto& x = features[k];
+    support::telemetry::observe(
+        support::telemetry::Histogram::DatasetLabelPct, s.avgCongestion);
     out.vertical.add(x, s.vCongestion);
     out.horizontal.add(x, s.hCongestion);
     out.average.add(std::move(x), s.avgCongestion);

@@ -52,6 +52,8 @@ class Annealer {
           cost += delta;
           ++accepted;
           ++result.movesAccepted;
+          support::telemetry::observe(
+              support::telemetry::Histogram::PlacerAcceptedMoveDelta, delta);
         } else {
           revertMove();
         }

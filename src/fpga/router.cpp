@@ -59,6 +59,7 @@ class Router {
 
       // Accumulate history on overflowed segments.
       bool anyOverflow = false;
+      std::uint64_t overflowTilesThisIter = 0;
       for (std::uint32_t y = 0; y < device_.height(); ++y) {
         for (std::uint32_t x = 0; x < device_.width(); ++x) {
           const std::size_t i = device_.index(x, y);
@@ -72,8 +73,12 @@ class Router {
             hHistory_[i] += config_.historyGain * hOver / map_.hCapAt(x, y);
             anyOverflow = true;
           }
+          if (vOver > 0 || hOver > 0) ++overflowTilesThisIter;
         }
       }
+      support::telemetry::observe(
+          support::telemetry::Histogram::RouterOverflowTilesPerIter,
+          static_cast<double>(overflowTilesThisIter));
       presentFactor *= config_.presentFactorGrowth;
       if (!anyOverflow) {
         ++iter;

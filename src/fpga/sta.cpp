@@ -135,6 +135,8 @@ TimingReport analyzeTiming(const Netlist& netlist, const Packing& packing,
       report.criticalPathNs + config.clockUncertaintyNs;
   report.wnsNs = config.targetClockNs - effective;
   report.maxFrequencyMhz = effective > 0 ? 1000.0 / effective : 0.0;
+  support::telemetry::observe(support::telemetry::Histogram::StaSlackNs,
+                              report.wnsNs);
   return report;
 }
 

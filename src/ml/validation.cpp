@@ -18,8 +18,13 @@ FoldScore evaluateFold(
   auto model = factory();
   model->fit(train);
   const auto predicted = model->predictAll(test);
-  return {meanAbsoluteError(test.targets(), predicted),
-          medianAbsoluteError(test.targets(), predicted)};
+  const FoldScore score{meanAbsoluteError(test.targets(), predicted),
+                        medianAbsoluteError(test.targets(), predicted)};
+  support::telemetry::observe(support::telemetry::Histogram::CvFoldMae,
+                              score.mae);
+  support::telemetry::observe(support::telemetry::Histogram::CvFoldMedae,
+                              score.medae);
+  return score;
 }
 
 CvResult assemble(const std::vector<FoldScore>& scores) {

@@ -590,7 +590,14 @@ class Generator {
 GeneratedRtl generateRtl(const SynthesizedDesign& design) {
   HCP_SPAN("rtl_generate");
   Generator gen(design);
-  return gen.run();
+  GeneratedRtl out = gen.run();
+  namespace tm = hcp::support::telemetry;
+  if (tm::enabled()) {
+    for (const Net& net : out.netlist.nets())
+      tm::observe(tm::Histogram::NetFanout,
+                  static_cast<double>(net.sinks.size()));
+  }
+  return out;
 }
 
 }  // namespace hcp::rtl

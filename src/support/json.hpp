@@ -1,0 +1,58 @@
+// Strict JSON parser (RFC 8259 subset of behaviour: *no* extensions).
+//
+// Exists for two consumers: the compare-reports regression gate, which must
+// refuse to "diff" garbage, and the tests, which validate that every run
+// report and trace file the pipeline emits is well-formed JSON — not merely
+// brace-balanced. Strictness is the point: no trailing commas, no comments,
+// no NaN/Infinity literals, no unescaped control characters, no trailing
+// garbage after the top-level value. \uXXXX escapes decode to UTF-8
+// (surrogate pairs included). Numbers parse to double.
+//
+// Parse errors throw hcp::Error with a byte offset in the message.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hcp::support::json {
+
+/// A parsed JSON value. Object members keep their source order (run reports
+/// are written in a fixed order; diffs should read in it too).
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool isNull() const { return kind == Kind::Null; }
+  bool isBool() const { return kind == Kind::Bool; }
+  bool isNumber() const { return kind == Kind::Number; }
+  bool isString() const { return kind == Kind::String; }
+  bool isArray() const { return kind == Kind::Array; }
+  bool isObject() const { return kind == Kind::Object; }
+
+  /// Member lookup (objects only): the value for `key`, or nullptr.
+  const Value* find(std::string_view key) const;
+
+  /// Checked accessors; throw hcp::Error when the kind does not match.
+  double asNumber() const;
+  const std::string& asString() const;
+  bool asBool() const;
+};
+
+/// Parses exactly one JSON document from `text`. Throws hcp::Error on any
+/// syntax violation, including trailing non-whitespace.
+Value parse(std::string_view text);
+
+/// Reads and parses `path`. Throws hcp::Error when the file cannot be read
+/// or does not contain valid JSON.
+Value parseFile(const std::string& path);
+
+}  // namespace hcp::support::json

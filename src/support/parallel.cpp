@@ -202,41 +202,63 @@ namespace detail {
 
 bool inParallelRegion() { return tlParallelDepth > 0; }
 
+bool wantTaskCapture() {
+  return telemetry::enabled() && !inParallelRegion();
+}
+
 std::size_t effectiveConcurrency(std::size_t numTasks) {
   if (numTasks <= 1 || inParallelRegion()) return 1;
   return std::max<std::size_t>(1, std::min(threadLimit(), numTasks));
 }
 
+namespace {
+
+/// Runs task(0..numTasks) on the calling thread, inside a parallel region.
+void runSerial(std::size_t numTasks,
+               const std::function<void(std::size_t)>& task) {
+  ++tlParallelDepth;
+  try {
+    for (std::size_t i = 0; i < numTasks; ++i) task(i);
+  } catch (...) {
+    --tlParallelDepth;
+    throw;
+  }
+  --tlParallelDepth;
+}
+
+}  // namespace
+
 void runTasks(std::size_t numTasks, std::size_t concurrency,
               const std::function<void(std::size_t)>& task) {
   if (numTasks == 0) return;
-  if (concurrency <= 1 || numTasks == 1) {
-    ++tlParallelDepth;
-    try {
-      for (std::size_t i = 0; i < numTasks; ++i) task(i);
-    } catch (...) {
-      --tlParallelDepth;
-      throw;
+  if (!wantTaskCapture() || numTasks == 1) {
+    if (concurrency <= 1 || numTasks == 1) {
+      runSerial(numTasks, task);
+    } else {
+      ThreadPool::instance().run(numTasks, concurrency, task);
     }
-    --tlParallelDepth;
-    return;
-  }
-  if (!telemetry::enabled()) {
-    ThreadPool::instance().run(numTasks, concurrency, task);
     return;
   }
   // Telemetry on: give every task its own delta frame and merge the deltas
   // back into the submitting thread's frame in task-index order, so the
-  // recorded spans/counters are independent of which worker ran what — the
-  // same bytes a serial run would record. Spans recorded inside a task are
-  // prefixed with the submitter's currently-open span path at merge time.
+  // recorded spans/counters/histograms are independent of which worker ran
+  // what. The serial path takes the same per-task detour: floating-point
+  // sums come out of the exact same partials merged in the exact same
+  // order, hence bit-identical at any thread count. Spans recorded inside a
+  // task are prefixed with the submitter's currently-open span path at
+  // merge time.
   std::vector<telemetry::detail::Frame> deltas(numTasks);
   const std::function<void(std::size_t)> captured = [&](std::size_t i) {
+    deltas[i].taskIndex = static_cast<std::int64_t>(i);
     telemetry::detail::TaskCapture capture(deltas[i]);
     task(i);
   };
   try {
-    ThreadPool::instance().run(numTasks, concurrency, captured);
+    if (concurrency <= 1) {
+      runSerial(numTasks, captured);
+    } else {
+      ThreadPool::instance().run(numTasks, concurrency, captured);
+    }
   } catch (...) {
     for (const auto& d : deltas) telemetry::detail::mergeIntoCurrent(d);
     throw;

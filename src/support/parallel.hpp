@@ -58,6 +58,13 @@ namespace detail {
 /// parallel calls then run inline).
 bool inParallelRegion();
 
+/// True when a top-level region must give each task its own telemetry
+/// delta frame even on the serial path. Keeping the per-task partials and
+/// their fixed merge order identical at every thread count is what makes
+/// floating-point aggregates (histogram sums) bit-identical between
+/// `--threads 1` and `--threads N`, not merely close.
+bool wantTaskCapture();
+
 /// Concurrency that a region of `numTasks` tasks may use right now.
 std::size_t effectiveConcurrency(std::size_t numTasks);
 
@@ -80,7 +87,11 @@ void parallelFor(std::size_t begin, std::size_t end, std::size_t grainSize,
   const std::size_t n = end - begin;
   const std::size_t numChunks = (n + grainSize - 1) / grainSize;
   const std::size_t threads = detail::effectiveConcurrency(numChunks);
-  if (threads <= 1 || numChunks <= 1) {
+  // A single-chunk region accumulates left-to-right at any thread count, so
+  // it can always run inline. A multi-chunk region at one thread still goes
+  // through runTasks when telemetry wants per-task frames, so the chunked
+  // merge is identical to what an N-thread run produces.
+  if (numChunks <= 1 || (threads <= 1 && !detail::wantTaskCapture())) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }

@@ -1,0 +1,253 @@
+#include "support/report_diff.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/telemetry.hpp"
+
+namespace hcp::support::report_diff {
+
+namespace {
+
+using json::Value;
+
+/// Loaded + schema-checked report. Construction throws hcp::Error with a
+/// caller-facing message on any malformation.
+struct Report {
+  Value root;
+  const Value* spans = nullptr;
+  const Value* counters = nullptr;
+  const Value* histograms = nullptr;
+
+  explicit Report(const std::string& path) : root(json::parseFile(path)) {
+    HCP_CHECK_MSG(root.isObject(), path << ": not a JSON object");
+    const Value* version = root.find("schema_version");
+    HCP_CHECK_MSG(version != nullptr && version->isNumber(),
+                  path << ": missing schema_version (pre-versioning report?)");
+    HCP_CHECK_MSG(
+        version->asNumber() == telemetry::kReportSchemaVersion,
+        path << ": unsupported schema_version " << version->asNumber()
+             << " (this build understands "
+             << telemetry::kReportSchemaVersion << ")");
+    spans = root.find("spans");
+    counters = root.find("counters");
+    histograms = root.find("histograms");
+    HCP_CHECK_MSG(spans != nullptr && spans->isArray(),
+                  path << ": missing spans array");
+    HCP_CHECK_MSG(counters != nullptr && counters->isObject(),
+                  path << ": missing counters object");
+    HCP_CHECK_MSG(histograms != nullptr && histograms->isObject(),
+                  path << ": missing histograms object");
+  }
+
+  double wallMs() const {
+    const Value* v = root.find("total_wall_ms");
+    HCP_CHECK_MSG(v != nullptr && v->isNumber(), "missing total_wall_ms");
+    return v->asNumber();
+  }
+
+  /// wall_ms of the span with `path`, or -1 when absent.
+  double spanWallMs(const std::string& spanPath) const {
+    for (const Value& e : spans->array) {
+      const Value* p = e.find("path");
+      if (p != nullptr && p->isString() && p->asString() == spanPath) {
+        const Value* w = e.find("wall_ms");
+        return w != nullptr && w->isNumber() ? w->asNumber() : -1.0;
+      }
+    }
+    return -1.0;
+  }
+};
+
+double pctChange(double base, double now) {
+  if (base == 0.0) return now == 0.0 ? 0.0 : 100.0;
+  return (now - base) / base * 100.0;
+}
+
+std::string fmtPct(double pct) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", pct);
+  return buf;
+}
+
+void jsonEscapeMin(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+      continue;
+    }
+    os << c;
+  }
+}
+
+}  // namespace
+
+int compareReportFiles(const std::string& basePath,
+                       const std::string& newPath, const Options& options,
+                       std::ostream& out) {
+  std::unique_ptr<Report> baseHolder, newHolder;
+  try {
+    baseHolder = std::make_unique<Report>(basePath);
+    newHolder = std::make_unique<Report>(newPath);
+  } catch (const hcp::Error& e) {
+    out << "compare-reports: bad input: " << e.what() << "\n";
+    return kExitBadInput;
+  }
+  const Report& base = *baseHolder;
+  const Report& fresh = *newHolder;
+
+  std::vector<std::string> regressions;
+  bool countersEqual = true;
+  bool histogramCountsEqual = true;
+
+  double baseWall = 0.0, newWall = 0.0;
+  try {
+    baseWall = base.wallMs();
+    newWall = fresh.wallMs();
+  } catch (const hcp::Error& e) {
+    out << "compare-reports: bad input: " << e.what() << "\n";
+    return kExitBadInput;
+  }
+
+  const double wallPct = pctChange(baseWall, newWall);
+  out << "wall    total_wall_ms: " << baseWall << " -> " << newWall << "  ("
+      << fmtPct(wallPct) << ")";
+  if (options.maxWallRegressPct >= 0.0) {
+    out << "  [limit " << fmtPct(options.maxWallRegressPct) << "]";
+    if (wallPct > options.maxWallRegressPct)
+      regressions.push_back("total_wall_ms grew " + fmtPct(wallPct) +
+                            " (limit " + fmtPct(options.maxWallRegressPct) +
+                            ")");
+  }
+  out << "\n";
+
+  // Spans: informational wall-time deltas over the union of paths, in base
+  // order then new-only.
+  std::vector<std::string> spanPaths;
+  std::set<std::string> seen;
+  for (const Report* r : {&base, &fresh}) {
+    for (const Value& e : r->spans->array) {
+      const Value* p = e.find("path");
+      if (p != nullptr && p->isString() && seen.insert(p->asString()).second)
+        spanPaths.push_back(p->asString());
+    }
+  }
+  for (const std::string& path : spanPaths) {
+    const double b = base.spanWallMs(path);
+    const double n = fresh.spanWallMs(path);
+    out << "span    " << path << ": ";
+    if (b < 0.0) out << "(absent)";
+    else out << b;
+    out << " -> ";
+    if (n < 0.0) out << "(absent)";
+    else out << n;
+    if (b >= 0.0 && n >= 0.0) out << " ms  (" << fmtPct(pctChange(b, n)) << ")";
+    out << "\n";
+  }
+
+  // Counters: exact integer comparison over the union of names.
+  std::vector<std::string> counterNames;
+  seen.clear();
+  for (const Report* r : {&base, &fresh})
+    for (const auto& [name, v] : r->counters->object)
+      if (seen.insert(name).second) counterNames.push_back(name);
+  for (const std::string& name : counterNames) {
+    const Value* b = base.counters->find(name);
+    const Value* n = fresh.counters->find(name);
+    const bool equal = b != nullptr && n != nullptr && b->isNumber() &&
+                       n->isNumber() && b->asNumber() == n->asNumber();
+    out << "counter " << name << ": ";
+    if (b != nullptr && b->isNumber()) out << b->asNumber();
+    else out << "(absent)";
+    out << " -> ";
+    if (n != nullptr && n->isNumber()) out << n->asNumber();
+    else out << "(absent)";
+    if (!equal) {
+      countersEqual = false;
+      out << "  ** CHANGED";
+    }
+    out << "\n";
+  }
+
+  // Histograms: distribution summaries. Counts gate (deterministic); the
+  // shape fields are printed so a human can see *how* a stage shifted.
+  std::vector<std::string> histNames;
+  seen.clear();
+  for (const Report* r : {&base, &fresh})
+    for (const auto& [name, v] : r->histograms->object)
+      if (seen.insert(name).second) histNames.push_back(name);
+  for (const std::string& name : histNames) {
+    const Value* b = base.histograms->find(name);
+    const Value* n = fresh.histograms->find(name);
+    out << "hist    " << name << ":";
+    bool changed = false;
+    for (const char* field : {"count", "sum", "min", "max", "p50", "p90",
+                              "p99"}) {
+      const Value* bf = b != nullptr ? b->find(field) : nullptr;
+      const Value* nf = n != nullptr ? n->find(field) : nullptr;
+      const double bv = bf != nullptr && bf->isNumber() ? bf->asNumber()
+                                                        : std::nan("");
+      const double nv = nf != nullptr && nf->isNumber() ? nf->asNumber()
+                                                        : std::nan("");
+      const bool fieldEqual = bv == nv;  // NaN != NaN: absent counts as change
+      if (!fieldEqual) changed = true;
+      if (std::string_view(field) == "count" && !fieldEqual)
+        histogramCountsEqual = false;
+      out << " " << field << " " << bv << "->" << nv;
+    }
+    if (changed) out << "  ** CHANGED";
+    out << "\n";
+  }
+
+  if (options.requireCountersEqual) {
+    if (!countersEqual)
+      regressions.push_back("counter totals differ (see ** CHANGED lines)");
+    if (!histogramCountsEqual)
+      regressions.push_back(
+          "histogram observation counts differ (see ** CHANGED lines)");
+  }
+
+  for (const std::string& r : regressions) out << "REGRESSION: " << r << "\n";
+  const bool ok = regressions.empty();
+  out << (ok ? "compare-reports: OK" : "compare-reports: FAILED") << " ("
+      << counterNames.size() << " counters, " << histNames.size()
+      << " histograms, " << spanPaths.size() << " spans)\n";
+
+  if (!options.benchOutPath.empty()) {
+    std::ofstream bench(options.benchOutPath);
+    HCP_CHECK_MSG(bench.good(),
+                  "cannot open bench output " << options.benchOutPath);
+    bench << "{\n  \"schema_version\": " << telemetry::kReportSchemaVersion
+          << ",\n  \"base\": \"";
+    jsonEscapeMin(bench, basePath);
+    bench << "\",\n  \"new\": \"";
+    jsonEscapeMin(bench, newPath);
+    bench << "\",\n  \"total_wall_ms\": {\"base\": " << baseWall
+          << ", \"new\": " << newWall << ", \"delta_pct\": " << wallPct
+          << "},\n  \"counters_equal\": "
+          << (countersEqual ? "true" : "false")
+          << ",\n  \"histogram_counts_equal\": "
+          << (histogramCountsEqual ? "true" : "false")
+          << ",\n  \"spans_compared\": " << spanPaths.size()
+          << ",\n  \"regressions\": [";
+    for (std::size_t i = 0; i < regressions.size(); ++i) {
+      bench << (i == 0 ? "" : ", ") << '"';
+      jsonEscapeMin(bench, regressions[i]);
+      bench << '"';
+    }
+    bench << "],\n  \"ok\": " << (ok ? "true" : "false") << "\n}\n";
+  }
+
+  return ok ? kExitOk : kExitRegression;
+}
+
+}  // namespace hcp::support::report_diff

@@ -1,0 +1,42 @@
+// Report diffing: the regression gate behind `hcp_cli compare-reports`.
+//
+// Compares two telemetry run reports (support/telemetry.hpp, schema
+// version 2) span by span, counter by counter and histogram by histogram,
+// prints the deltas, and decides whether NEW regressed relative to BASE:
+//
+//   - wall time: with maxWallRegressPct >= 0, total_wall_ms may grow by at
+//     most that percentage (spans are printed but not individually gated —
+//     per-span wall noise would make the gate flap);
+//   - counters: with requireCountersEqual, every counter total and every
+//     histogram observation count must match exactly. The pipeline is
+//     deterministic at fixed seed, so any drift is a real behaviour change
+//     — the cheap-to-check shadow of a functional diff.
+//
+// Exit codes are part of the contract (CI keys off them):
+//   0 = no regression, 1 = regression, 4 = malformed input or unsupported
+//   schema_version. Distinct from hcp_cli's 2 (usage) and 3 (internal).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace hcp::support::report_diff {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitRegression = 1;
+inline constexpr int kExitBadInput = 4;
+
+struct Options {
+  double maxWallRegressPct = -1.0;  ///< < 0 disables the wall-time gate
+  bool requireCountersEqual = false;
+  std::string benchOutPath;  ///< write a machine-readable summary here ("" = off)
+};
+
+/// Compares the two report files, printing a human-readable delta table to
+/// `out`. Returns one of the kExit* codes above; never throws on bad input
+/// files (that is what kExitBadInput reports).
+int compareReportFiles(const std::string& basePath,
+                       const std::string& newPath, const Options& options,
+                       std::ostream& out);
+
+}  // namespace hcp::support::report_diff

@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <mutex>
 #include <ostream>
 
 #include "support/error.hpp"
+#include "support/tracing.hpp"
 
 namespace hcp::support::telemetry {
 
@@ -30,11 +34,22 @@ const char* const kCounterNames[kNumCounters] = {
     "cv_folds_evaluated",
 };
 
+const char* const kHistogramNames[kNumHistograms] = {
+    "placer_accepted_move_delta",
+    "router_overflow_tiles_per_iter",
+    "sta_slack_ns",
+    "net_fanout",
+    "dataset_label_pct",
+    "cv_fold_mae",
+    "cv_fold_medae",
+};
+
 /// Global registry: totals flushed out of thread frames. Guarded by a
 /// mutex — it is touched only at snapshot/reset time, never on hot paths.
 struct Registry {
   std::mutex mu;
   std::array<std::uint64_t, kNumCounters> counters{};
+  std::array<HistStat, kNumHistograms> histograms{};
   std::map<std::string, detail::SpanStat> spans;
 };
 
@@ -74,17 +89,35 @@ bool& reportStartValid() {
 }
 
 void jsonEscape(std::ostream& os, std::string_view s) {
+  static const char* const kHex = "0123456789abcdef";
   for (const char c : s) {
     switch (c) {
       case '"': os << "\\\""; break;
       case '\\': os << "\\\\"; break;
       case '\n': os << "\\n"; break;
       case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) os << ' ';
-        else os << c;
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Lossless: escape remaining control characters instead of
+          // replacing them, so names round-trip through a strict parser.
+          const auto u = static_cast<unsigned char>(c);
+          os << "\\u00" << kHex[(u >> 4) & 0xF] << kHex[u & 0xF];
+        } else {
+          os << c;
+        }
     }
   }
+}
+
+/// Prints a double with enough digits to round-trip exactly: histogram
+/// sums/extrema must compare equal across runs, not just look equal.
+void jsonNumber(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
 }
 
 }  // namespace
@@ -93,6 +126,78 @@ std::string_view counterName(Counter c) {
   const auto i = static_cast<std::size_t>(c);
   HCP_CHECK(i < kNumCounters);
   return kCounterNames[i];
+}
+
+std::string_view histogramName(Histogram h) {
+  const auto i = static_cast<std::size_t>(h);
+  HCP_CHECK(i < kNumHistograms);
+  return kHistogramNames[i];
+}
+
+std::size_t HistStat::bucketIndex(double v) {
+  constexpr std::size_t kZeroBucket = kBuckets / 2;  // 32
+  if (v == 0.0 || std::isnan(v)) return kZeroBucket;
+  const double mag = std::abs(v);
+  int e;
+  if (std::isinf(mag)) {
+    e = kMaxExp;
+  } else {
+    e = std::ilogb(mag);  // floor(log2(mag)) for finite non-zero values
+    e = std::clamp(e, kMinExp, kMaxExp);
+  }
+  const auto slot = static_cast<std::size_t>(e - kMinExp);  // 0..31
+  return v > 0.0 ? kZeroBucket + 1 + slot : kZeroBucket - 1 - slot;
+}
+
+void HistStat::add(double v) {
+  if (std::isnan(v)) return;
+  if (count == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+  sum += v;
+  ++buckets[bucketIndex(v)];
+}
+
+void HistStat::merge(const HistStat& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+double HistStat::percentile(double q) const {
+  if (count == 0) return 0.0;
+  constexpr std::size_t kZeroBucket = kBuckets / 2;
+  const auto target = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cum += buckets[b];
+    if (cum < target) continue;
+    double edge;
+    if (b == kZeroBucket) {
+      edge = 0.0;
+    } else if (b > kZeroBucket) {
+      const int e = kMinExp + static_cast<int>(b - kZeroBucket - 1);
+      edge = std::ldexp(1.0, e + 1);  // upper edge of [2^e, 2^(e+1))
+    } else {
+      const int e = kMinExp + static_cast<int>(kZeroBucket - 1 - b);
+      edge = -std::ldexp(1.0, e);  // upper edge of [-2^(e+1), -2^e)
+    }
+    return std::clamp(edge, min, max);
+  }
+  return max;
 }
 
 namespace detail {
@@ -107,6 +212,7 @@ std::size_t spanEnter(std::string_view name) {
   if (!f.path.empty()) f.path += '/';
   f.path += name;
   ++f.depth;
+  if (tracing::enabled()) tracing::recordBegin(f.path, f.taskIndex);
   return prevLen;
 }
 
@@ -117,12 +223,20 @@ void spanExit(std::size_t prevPathLen, std::uint64_t elapsedNs) {
   ++stat.count;
   stat.wallNs += elapsedNs;
   stat.depth = f.depth - 1;
+  if (tracing::enabled()) tracing::recordEnd(f.path, f.taskIndex);
   f.path.resize(prevPathLen);
   --f.depth;
 }
 
 void countSlow(Counter c, std::uint64_t delta) {
   currentFrame().counters[static_cast<std::size_t>(c)] += delta;
+}
+
+void observeSlow(Histogram h, double value) {
+  Frame& f = currentFrame();
+  if (f.hist == nullptr)
+    f.hist = std::make_unique<std::array<HistStat, kNumHistograms>>();
+  (*f.hist)[static_cast<std::size_t>(h)].add(value);
 }
 
 std::uint64_t nowNs() {
@@ -138,6 +252,12 @@ TaskCapture::~TaskCapture() { tlFrame = prev_; }
 
 void mergeIntoCurrent(const Frame& delta) {
   Frame& f = currentFrame();
+  if (delta.hist != nullptr) {
+    if (f.hist == nullptr)
+      f.hist = std::make_unique<std::array<HistStat, kNumHistograms>>();
+    for (std::size_t i = 0; i < kNumHistograms; ++i)
+      (*f.hist)[i].merge((*delta.hist)[i]);
+  }
   mergeFrameInto(f.counters, f.spans, delta, f.path, f.depth);
 }
 
@@ -160,11 +280,17 @@ Snapshot snapshot() {
   // Flush the caller's frame; keep its open-span path/depth so spans that
   // straddle the snapshot still close correctly.
   mergeFrameInto(reg.counters, reg.spans, f, "", 0);
+  if (f.hist != nullptr) {
+    for (std::size_t i = 0; i < kNumHistograms; ++i)
+      reg.histograms[i].merge((*f.hist)[i]);
+    f.hist.reset();
+  }
   f.counters.fill(0);
   f.spans.clear();
 
   Snapshot snap;
   snap.counters = reg.counters;
+  snap.histograms = reg.histograms;
   snap.spans.reserve(reg.spans.size());
   for (const auto& [path, stat] : reg.spans)
     snap.spans.push_back({path, stat.depth, stat.count, stat.wallNs});
@@ -175,15 +301,18 @@ void reset() {
   Registry& reg = registry();
   std::lock_guard<std::mutex> lk(reg.mu);
   reg.counters.fill(0);
+  reg.histograms.fill({});
   reg.spans.clear();
   detail::Frame& f = detail::currentFrame();
   f.counters.fill(0);
+  f.hist.reset();
   f.spans.clear();
 }
 
 void writeReport(std::ostream& os, const RunReport& meta,
                  const Snapshot& snap) {
   os << "{\n";
+  os << "  \"schema_version\": " << kReportSchemaVersion << ",\n";
   os << "  \"tool\": \"";
   jsonEscape(os, meta.tool);
   os << "\",\n  \"command\": \"";
@@ -213,6 +342,25 @@ void writeReport(std::ostream& os, const RunReport& meta,
     os << "    \"" << kCounterNames[i] << "\": " << snap.counters[i]
        << (i + 1 < kNumCounters ? "," : "") << "\n";
   }
+  os << "  },\n";
+  os << "  \"histograms\": {\n";
+  for (std::size_t i = 0; i < kNumHistograms; ++i) {
+    const HistStat& h = snap.histograms[i];
+    os << "    \"" << kHistogramNames[i] << "\": {\"count\": " << h.count
+       << ", \"sum\": ";
+    jsonNumber(os, h.sum);
+    os << ", \"min\": ";
+    jsonNumber(os, h.count ? h.min : 0.0);
+    os << ", \"max\": ";
+    jsonNumber(os, h.count ? h.max : 0.0);
+    os << ", \"p50\": ";
+    jsonNumber(os, h.percentile(0.50));
+    os << ", \"p90\": ";
+    jsonNumber(os, h.percentile(0.90));
+    os << ", \"p99\": ";
+    jsonNumber(os, h.percentile(0.99));
+    os << "}" << (i + 1 < kNumHistograms ? "," : "") << "\n";
+  }
   os << "  }\n}\n";
 }
 
@@ -230,14 +378,38 @@ void writeReportToFile(const std::string& path, RunReport meta) {
   HCP_CHECK_MSG(os.good(), "report write failed: " << path);
 }
 
-std::string initReportFromArgs(int argc, char** argv) {
+namespace detail {
+
+std::string flagValueOrDie(int argc, char** argv, std::string_view flag) {
+  const std::string bare = "--" + std::string(flag);
+  const std::string eq = bare + "=";
   std::string path;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc)
-      path = argv[i + 1];
-    else if (std::strncmp(argv[i], "--report=", 9) == 0)
-      path = argv[i] + 9;
+    const char* a = argv[i];
+    if (bare == a) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s expects a value (a file path)\n",
+                     bare.c_str());
+        std::exit(2);
+      }
+      path = argv[++i];
+    } else if (std::strncmp(a, eq.c_str(), eq.size()) == 0) {
+      path = a + eq.size();
+    } else {
+      continue;
+    }
+    if (path.empty()) {
+      std::fprintf(stderr, "%s expects a non-empty value\n", bare.c_str());
+      std::exit(2);
+    }
   }
+  return path;
+}
+
+}  // namespace detail
+
+std::string initReportFromArgs(int argc, char** argv) {
+  std::string path = detail::flagValueOrDie(argc, argv, "report");
   if (path.empty()) {
     if (const char* env = std::getenv("HCP_REPORT")) path = env;
   }

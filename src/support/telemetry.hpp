@@ -9,8 +9,15 @@
 //     "flow/place". Identical paths aggregate (count + total wall time).
 //   - `count(Counter::PlacerMovesAccepted, n)` bumps a named monotone
 //     counter. Counters only ever add, so totals are order-independent.
+//   - `observe(Histogram::StaSlackNs, v)` records one observation into a
+//     fixed log-bucketed histogram (count/sum/min/max + quantile estimates).
 //   - `writeReport(...)` emits a RunReport JSON document with per-span wall
-//     times, counter totals, thread count, seed and design names.
+//     times, counter totals, histogram summaries, thread count, seed and
+//     design names.
+//
+// The sibling module support/tracing.hpp additionally records every span
+// begin/end as a timeline event when `--trace FILE` / HCP_TRACE is set;
+// see that header for the export format.
 //
 // Zero-cost when disabled: collection is off by default, every entry point
 // checks one relaxed atomic flag inline and does nothing else. Enabling
@@ -32,11 +39,17 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace hcp::support::telemetry {
+
+/// Version stamped into every run report as "schema_version". Bump when the
+/// report shape changes incompatibly; compare-reports refuses to diff files
+/// whose versions it does not understand.
+inline constexpr std::uint32_t kReportSchemaVersion = 2;
 
 /// Monotone counters. Extend freely; every counter is reported.
 enum class Counter : std::size_t {
@@ -62,6 +75,59 @@ inline constexpr std::size_t kNumCounters =
 /// Stable snake_case name used as the JSON key.
 std::string_view counterName(Counter c);
 
+/// Distribution metrics. Where a counter answers "how many", a histogram
+/// answers "how are they spread" — the paper's own framing of congestion as
+/// a distribution over CLBs (Fig. 5) applied to the pipeline's internals.
+enum class Histogram : std::size_t {
+  PlacerAcceptedMoveDelta,    ///< cost delta of each accepted annealer move
+  RouterOverflowTilesPerIter, ///< overflowed tiles after each rip-up round
+  StaSlackNs,                 ///< WNS of each timing analysis
+  NetFanout,                  ///< sink count of each generated RTL net
+  DatasetLabelPct,            ///< average-congestion label of each sample
+  CvFoldMae,                  ///< per-fold mean absolute error
+  CvFoldMedae,                ///< per-fold median absolute error
+  kCount,
+};
+
+inline constexpr std::size_t kNumHistograms =
+    static_cast<std::size_t>(Histogram::kCount);
+
+/// Stable snake_case name used as the JSON key.
+std::string_view histogramName(Histogram h);
+
+/// Fixed signed-log-bucketed histogram. 65 buckets: 32 negative-magnitude
+/// buckets, one zero bucket, 32 positive-magnitude buckets; magnitude bucket
+/// b covers |v| in [2^e, 2^(e+1)) for exponents e in [-16, 15], values
+/// outside that range clamp into the edge buckets. Everything here merges by
+/// plain addition of per-bucket counts (and of partial sums in a fixed
+/// order), so merged results are independent of merge *grouping* as long as
+/// the merge *order* is fixed — which the task-index-ordered frame merge
+/// guarantees.
+struct HistStat {
+  static constexpr std::size_t kBuckets = 65;
+  static constexpr int kMinExp = -16;
+  static constexpr int kMaxExp = 15;
+
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< meaningful only when count > 0
+  double max = 0.0;  ///< meaningful only when count > 0
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  /// Bucket index for `v` (see class comment). NaN maps to the zero bucket.
+  static std::size_t bucketIndex(double v);
+
+  void add(double v);
+  void merge(const HistStat& other);
+
+  /// Bucket-resolution estimate of the q-quantile (q in (0, 1]): the upper
+  /// edge of the bucket where the cumulative count crosses ceil(q * count),
+  /// clamped to [min, max]. 0 when empty. Exact for min/max, ±1 octave for
+  /// interior quantiles — deterministic and cheap, which is what a
+  /// regression gate needs.
+  double percentile(double q) const;
+};
+
 namespace detail {
 
 extern std::atomic<bool> gEnabled;
@@ -73,12 +139,16 @@ struct SpanStat {
   std::uint32_t depth = 0;   ///< nesting depth (0 = outermost)
 };
 
-/// Per-thread (or per-task) accumulation buffer.
+/// Per-thread (or per-task) accumulation buffer. Histogram storage is
+/// allocated on first observe() so the many short-lived task frames that
+/// never record a distribution stay cheap.
 struct Frame {
   std::array<std::uint64_t, kNumCounters> counters{};
   std::map<std::string, SpanStat> spans;
-  std::string path;          ///< '/'-joined names of the open spans
-  std::uint32_t depth = 0;   ///< number of open spans
+  std::unique_ptr<std::array<HistStat, kNumHistograms>> hist;
+  std::string path;           ///< '/'-joined names of the open spans
+  std::uint32_t depth = 0;    ///< number of open spans
+  std::int64_t taskIndex = -1;  ///< pool task index, -1 outside a task
 };
 
 Frame& currentFrame();
@@ -90,6 +160,7 @@ std::size_t spanEnter(std::string_view name);
 void spanExit(std::size_t prevPathLen, std::uint64_t elapsedNs);
 
 void countSlow(Counter c, std::uint64_t delta);
+void observeSlow(Histogram h, double value);
 std::uint64_t nowNs();
 
 /// Redirects the calling thread's frame to `slot` for the capture's
@@ -125,6 +196,12 @@ inline void count(Counter c, std::uint64_t delta = 1) {
   if (enabled() && delta != 0) detail::countSlow(c, delta);
 }
 
+/// Records one observation into a histogram. No-op (one branch) when
+/// disabled. NaN observations are dropped.
+inline void observe(Histogram h, double value) {
+  if (enabled()) detail::observeSlow(h, value);
+}
+
 /// RAII wall-clock span. Construct via HCP_SPAN; does nothing when
 /// telemetry is disabled at construction time.
 class ScopedSpan {
@@ -151,6 +228,7 @@ class ScopedSpan {
 /// frame (which is flushed into the registry by the call).
 struct Snapshot {
   std::array<std::uint64_t, kNumCounters> counters{};
+  std::array<HistStat, kNumHistograms> histograms{};
   struct SpanEntry {
     std::string path;
     std::uint32_t depth = 0;
@@ -161,6 +239,9 @@ struct Snapshot {
 
   std::uint64_t counter(Counter c) const {
     return counters[static_cast<std::size_t>(c)];
+  }
+  const HistStat& histogram(Histogram h) const {
+    return histograms[static_cast<std::size_t>(h)];
   }
   /// The entry for `path`, or nullptr.
   const SpanEntry* span(std::string_view path) const;
@@ -195,8 +276,18 @@ void writeReportToFile(const std::string& path, RunReport meta);
 /// Resolves the report destination: `--report <path>` / `--report=<path>`
 /// on the command line, else the HCP_REPORT environment variable. Enables
 /// collection and records the start time when a path is found. Returns the
-/// path ("" = reporting off). Unrelated arguments are ignored.
+/// path ("" = reporting off). Unrelated arguments are ignored, but a
+/// trailing `--report` with no value or an empty `--report=` is a usage
+/// error: a message goes to stderr and the process exits with code 2.
 std::string initReportFromArgs(int argc, char** argv);
+
+namespace detail {
+/// Shared flag-value extraction for initReportFromArgs / initTraceFromArgs:
+/// returns the value of `--<flag> V` / `--<flag>=V` (last occurrence wins),
+/// "" when absent. Exits with a usage error (code 2) when the flag is
+/// present with no value.
+std::string flagValueOrDie(int argc, char** argv, std::string_view flag);
+}  // namespace detail
 
 }  // namespace hcp::support::telemetry
 

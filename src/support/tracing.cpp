@@ -1,0 +1,233 @@
+#include "support/tracing.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/telemetry.hpp"
+
+namespace hcp::support::tracing {
+
+namespace {
+
+std::uint64_t steadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Event {
+  std::uint64_t tsNs = 0;
+  std::int64_t task = -1;
+  std::string path;
+  bool begin = true;
+};
+
+/// One thread's bounded event log. Appended to only by the owning thread;
+/// read at export time, when recording threads are quiescent (pool workers
+/// idle between batches, main thread doing the export).
+struct ThreadBuffer {
+  std::uint32_t tid = 0;
+  std::size_t capacity = kDefaultBufferCapacity;
+  std::vector<Event> events;
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<ThreadBuffer*> buffers;  ///< owned, kept for process lifetime
+  std::size_t capacity = kDefaultBufferCapacity;
+  std::uint64_t epochNs = 0;
+};
+
+TraceRegistry& registry() {
+  static TraceRegistry r;
+  return r;
+}
+
+std::atomic<bool> gTraceEnabled{false};
+
+thread_local ThreadBuffer* tlBuffer = nullptr;
+
+ThreadBuffer& threadBuffer() {
+  if (tlBuffer == nullptr) {
+    TraceRegistry& reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    auto* buf = new ThreadBuffer;  // never freed: events must survive thread exit
+    buf->tid = static_cast<std::uint32_t>(reg.buffers.size());
+    buf->capacity = reg.capacity;
+    buf->events.reserve(std::min<std::size_t>(buf->capacity, 1024));
+    reg.buffers.push_back(buf);
+    tlBuffer = buf;
+  }
+  return *tlBuffer;
+}
+
+void record(std::string_view path, std::int64_t taskIndex, bool begin) {
+  ThreadBuffer& buf = threadBuffer();
+  if (buf.events.size() >= buf.capacity) {
+    buf.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Event e;
+  e.tsNs = steadyNowNs();
+  e.task = taskIndex;
+  e.path.assign(path.data(), path.size());
+  e.begin = begin;
+  buf.events.push_back(std::move(e));
+}
+
+void jsonEscape(std::ostream& os, std::string_view s) {
+  static const char* const kHex = "0123456789abcdef";
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const auto u = static_cast<unsigned char>(c);
+          os << "\\u00" << kHex[(u >> 4) & 0xF] << kHex[u & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool enabled() { return gTraceEnabled.load(std::memory_order_relaxed); }
+
+void setEnabled(bool on) {
+  if (on) {
+    TraceRegistry& reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    if (reg.epochNs == 0) reg.epochNs = steadyNowNs();
+  }
+  gTraceEnabled.store(on, std::memory_order_relaxed);
+}
+
+void setBufferCapacity(std::size_t events) {
+  TraceRegistry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  reg.capacity = events;
+}
+
+void recordBegin(std::string_view path, std::int64_t taskIndex) {
+  record(path, taskIndex, true);
+}
+
+void recordEnd(std::string_view path, std::int64_t taskIndex) {
+  record(path, taskIndex, false);
+}
+
+std::uint64_t droppedEvents() {
+  TraceRegistry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  std::uint64_t total = 0;
+  for (const ThreadBuffer* b : reg.buffers)
+    total += b->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+void reset() {
+  TraceRegistry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  for (ThreadBuffer* b : reg.buffers) {
+    b->events.clear();
+    b->capacity = reg.capacity;
+    b->dropped.store(0, std::memory_order_relaxed);
+  }
+  reg.epochNs = steadyNowNs();
+}
+
+void writeChromeTrace(std::ostream& os, const TraceMeta& meta) {
+  TraceRegistry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+
+  const auto relUs = [&](std::uint64_t tsNs) {
+    return tsNs >= reg.epochNs
+               ? static_cast<double>(tsNs - reg.epochNs) / 1e3
+               : 0.0;
+  };
+
+  std::uint64_t dropped = 0;
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  os << "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"tid\": 0, \"args\": {\"name\": \"";
+  jsonEscape(os, meta.tool);
+  os << "\"}}";
+  for (const ThreadBuffer* buf : reg.buffers) {
+    os << ",\n    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+       << "\"tid\": " << buf->tid << ", \"args\": {\"name\": \""
+       << (buf->tid == 0 ? "main" : "worker ");
+    if (buf->tid != 0) os << buf->tid;
+    os << "\"}}";
+    dropped += buf->dropped.load(std::memory_order_relaxed);
+    for (const Event& e : buf->events) {
+      char ts[32];
+      std::snprintf(ts, sizeof ts, "%.3f", relUs(e.tsNs));
+      os << ",\n    {\"name\": \"";
+      jsonEscape(os, e.path);
+      os << "\", \"cat\": \"span\", \"ph\": \"" << (e.begin ? 'B' : 'E')
+         << "\", \"pid\": 1, \"tid\": " << buf->tid << ", \"ts\": " << ts
+         << ", \"args\": {\"task\": " << e.task << "}}";
+    }
+  }
+  os << "\n  ],\n  \"otherData\": {\"tool\": \"";
+  jsonEscape(os, meta.tool);
+  os << "\", \"command\": \"";
+  jsonEscape(os, meta.command);
+  os << "\", \"schema_version\": " << telemetry::kReportSchemaVersion
+     << ", \"dropped_events\": " << dropped << "}\n}\n";
+}
+
+void writeChromeTraceToFile(const std::string& path, const TraceMeta& meta) {
+  std::ofstream os(path);
+  HCP_CHECK_MSG(os.good(), "cannot open trace file " << path);
+  writeChromeTrace(os, meta);
+  HCP_CHECK_MSG(os.good(), "trace write failed: " << path);
+}
+
+void arm() {
+  if (const char* env = std::getenv("HCP_TRACE_BUFFER_EVENTS")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 2) {
+      setBufferCapacity(static_cast<std::size_t>(v));
+    } else {
+      std::fprintf(stderr,
+                   "HCP_TRACE_BUFFER_EVENTS expects an integer >= 2, got "
+                   "'%s'\n",
+                   env);
+      std::exit(2);
+    }
+  }
+  telemetry::setEnabled(true);  // spans must be live for events to exist
+  setEnabled(true);
+}
+
+std::string initTraceFromArgs(int argc, char** argv) {
+  std::string path = telemetry::detail::flagValueOrDie(argc, argv, "trace");
+  if (path.empty()) {
+    if (const char* env = std::getenv("HCP_TRACE")) path = env;
+  }
+  if (!path.empty()) arm();
+  return path;
+}
+
+}  // namespace hcp::support::tracing

@@ -1,0 +1,81 @@
+// Trace-event timelines: where the aggregate spans of support/telemetry say
+// *how much* time a stage took, this sink says *when and on which thread* —
+// the per-run timeline a Perfetto / chrome://tracing flame view needs.
+//
+// Every span begin/end (see HCP_SPAN) is additionally recorded here as a
+// timestamped event when tracing is enabled. Events carry the recording
+// thread's stable id, the pool task index in flight (-1 outside a task) and
+// the span's task-local path. Each thread writes into its own bounded
+// buffer with no locking on the hot path; once a buffer is full, further
+// events on that thread are dropped and counted (drop-newest: the retained
+// prefix stays a well-formed timeline). `writeChromeTrace` exports
+// everything as Chrome trace-event JSON ("B"/"E" duration events inside a
+// {"traceEvents": [...], "otherData": {...}} object), which both
+// chrome://tracing and https://ui.perfetto.dev load directly.
+//
+// Tracing is a *diagnostic* channel: timestamps and thread assignment vary
+// run to run, so trace files are not expected to be byte-identical across
+// runs or thread counts — unlike run reports, which are. Enabling tracing
+// never perturbs flow results: spans observe, they do not steer.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace hcp::support::tracing {
+
+/// Default per-thread event capacity (begin + end are separate events).
+inline constexpr std::size_t kDefaultBufferCapacity = 1 << 16;
+
+/// True when trace collection is on. One relaxed atomic load.
+bool enabled();
+
+/// Turns trace collection on/off process-wide. Enabling records the trace
+/// epoch (timestamps in the export are relative to it).
+void setEnabled(bool on);
+
+/// Caps each thread's event buffer (applies to buffers created after the
+/// call; intended for tests and for HCP_TRACE_BUFFER_EVENTS).
+void setBufferCapacity(std::size_t events);
+
+/// Records a span begin/end event on the calling thread's buffer. Called by
+/// the telemetry span machinery; `path` is the task-local span path and
+/// `taskIndex` the pool task in flight (-1 outside a task).
+void recordBegin(std::string_view path, std::int64_t taskIndex);
+void recordEnd(std::string_view path, std::int64_t taskIndex);
+
+/// Total events dropped because a thread buffer was full.
+std::uint64_t droppedEvents();
+
+/// Drops all recorded events and the drop counter (tests). Buffers of live
+/// threads are kept registered.
+void reset();
+
+/// Metadata embedded in the exported trace ("otherData" section).
+struct TraceMeta {
+  std::string tool;     ///< binary name, e.g. "hcp_cli"
+  std::string command;  ///< subcommand, may be empty
+};
+
+/// Writes every thread's recorded events as Chrome trace-event JSON.
+void writeChromeTrace(std::ostream& os, const TraceMeta& meta);
+
+/// As above, to `path`. Throws hcp::Error if the file cannot be written.
+void writeChromeTraceToFile(const std::string& path, const TraceMeta& meta);
+
+/// Applies HCP_TRACE_BUFFER_EVENTS (exit 2 when malformed) and enables
+/// tracing plus telemetry collection — spans must be live for events to
+/// exist. Called by initTraceFromArgs once a destination is known; exposed
+/// for drivers that parse `--trace` themselves (hcp_cli).
+void arm();
+
+/// Resolves the trace destination: `--trace <path>` / `--trace=<path>` on
+/// the command line, else the HCP_TRACE environment variable. When a path
+/// is found, calls arm(). Returns the path ("" = tracing off). A trailing
+/// `--trace` with no value or an empty `--trace=` is a usage error: message
+/// to stderr, exit code 2.
+std::string initTraceFromArgs(int argc, char** argv);
+
+}  // namespace hcp::support::tracing

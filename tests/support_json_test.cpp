@@ -1,0 +1,127 @@
+// The strict JSON parser guards the compare-reports gate and validates
+// every report/trace the pipeline emits, so it must accept exactly
+// RFC 8259 and nothing more: these tests pin both directions.
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace hcp::support::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").isNull());
+  EXPECT_TRUE(parse("true").asBool());
+  EXPECT_FALSE(parse("false").asBool());
+  EXPECT_DOUBLE_EQ(parse("0").asNumber(), 0.0);
+  EXPECT_DOUBLE_EQ(parse("-0.5").asNumber(), -0.5);
+  EXPECT_DOUBLE_EQ(parse("1e3").asNumber(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("2.5E-2").asNumber(), 0.025);
+  EXPECT_EQ(parse("\"hi\"").asString(), "hi");
+  EXPECT_TRUE(parse("  [ ]  ").isArray());
+  EXPECT_TRUE(parse("{}").isObject());
+}
+
+TEST(JsonParse, RoundTripsDoublesAt17Digits) {
+  // %.17g is how the report writer prints doubles: parsing must recover
+  // the identical bit pattern.
+  EXPECT_DOUBLE_EQ(parse("0.10000000000000001").asNumber(), 0.1);
+  EXPECT_DOUBLE_EQ(parse("2.2204460492503131e-16").asNumber(),
+                   2.2204460492503131e-16);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\/d\nd\te\rf\bg\fh")").asString(),
+            "a\"b\\c/d\nd\te\rf\bg\fh");
+  EXPECT_EQ(parse(R"("\u0041\u00e9")").asString(), "A\xc3\xa9");
+  EXPECT_EQ(parse(R"("\u0001")").asString(), std::string("\x01", 1));
+  // Surrogate pair: U+1F600 (emoji) as \ud83d\ude00 -> 4-byte UTF-8.
+  EXPECT_EQ(parse(R"("\ud83d\ude00")").asString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, NestedStructure) {
+  const Value v = parse(R"({"a": [1, {"b": "x"}, null], "c": true})");
+  ASSERT_TRUE(v.isObject());
+  ASSERT_EQ(v.object.size(), 2u);
+  const Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[0].asNumber(), 1.0);
+  EXPECT_EQ(a->array[1].find("b")->asString(), "x");
+  EXPECT_TRUE(a->array[2].isNull());
+  EXPECT_TRUE(v.find("c")->asBool());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, ObjectPreservesSourceOrder) {
+  const Value v = parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(v.object.size(), 3u);
+  EXPECT_EQ(v.object[0].first, "z");
+  EXPECT_EQ(v.object[1].first, "a");
+  EXPECT_EQ(v.object[2].first, "m");
+}
+
+TEST(JsonParse, RejectsNonStrictInput) {
+  // Each of these is accepted by sloppy parsers; ours must throw.
+  for (const char* bad : {
+           "",                 // empty document
+           "[1, 2,]",          // trailing comma (array)
+           "{\"a\": 1,}",      // trailing comma (object)
+           "{'a': 1}",         // single quotes
+           "{a: 1}",           // unquoted key
+           "// x\n1",          // comment
+           "01",               // leading zero
+           "+1",               // leading plus
+           ".5",               // bare fraction
+           "1.",               // trailing dot
+           "1e",               // empty exponent
+           "NaN", "Infinity", "-Infinity", "nan",
+           "\"unterminated",   // unterminated string
+           "\"bad \\x escape\"",
+           "\"\\ud83d\"",      // lone high surrogate
+           "\"\tliteral tab\"",  // unescaped control char
+           "1 2",              // trailing garbage
+           "{} []",            // trailing garbage after object
+           "tru",              // truncated literal
+           "[1 2]",            // missing comma
+           "1e999",            // overflows double (must be finite)
+       }) {
+    EXPECT_THROW((void)parse(bad), hcp::Error) << "accepted: " << bad;
+  }
+}
+
+TEST(JsonParse, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_THROW((void)parse(deep), hcp::Error);
+  // 32 levels is comfortably inside the limit.
+  std::string ok;
+  for (int i = 0; i < 32; ++i) ok += '[';
+  for (int i = 0; i < 32; ++i) ok += ']';
+  EXPECT_NO_THROW((void)parse(ok));
+}
+
+TEST(JsonParse, ErrorsCarryByteOffset) {
+  try {
+    (void)parse("[1, oops]");
+    FAIL() << "expected hcp::Error";
+  } catch (const hcp::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("at byte"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, CheckedAccessorsThrowOnKindMismatch) {
+  const Value v = parse("42");
+  EXPECT_THROW((void)v.asString(), hcp::Error);
+  EXPECT_THROW((void)v.asBool(), hcp::Error);
+  EXPECT_THROW((void)parse("\"s\"").asNumber(), hcp::Error);
+}
+
+TEST(JsonParseFile, MissingFileThrows) {
+  EXPECT_THROW((void)parseFile("/nonexistent/hcp_json_test.json"),
+               hcp::Error);
+}
+
+}  // namespace
+}  // namespace hcp::support::json

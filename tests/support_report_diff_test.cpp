@@ -1,0 +1,177 @@
+// compare-reports is CI's regression gate, so its exit codes are contract:
+// 0 = clean diff, 1 = regression, 4 = malformed input or wrong schema.
+// These tests drive compareReportFiles() on hand-built reports covering
+// every verdict.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/json.hpp"
+#include "support/report_diff.hpp"
+#include "support/telemetry.hpp"
+
+namespace hcp::support::report_diff {
+namespace {
+
+/// Writes `content` to a temp file unique to (test, tag) — ctest runs the
+/// tests of this suite as concurrent processes — removed on destruction.
+class TempFile {
+ public:
+  TempFile(const std::string& tag, const std::string& content)
+      : path_(std::string(::testing::TempDir()) + "hcp_report_diff_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              "_" + tag + ".json") {
+    std::ofstream os(path_);
+    os << content;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// A minimal schema-valid report. `wallMs` and one counter are the knobs
+/// the tests turn.
+std::string makeReport(double wallMs, int flowsRun, int histCount = 3) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"schema_version\": " << telemetry::kReportSchemaVersion << ",\n"
+     << "  \"total_wall_ms\": " << wallMs << ",\n"
+     << "  \"spans\": [{\"path\": \"flow\", \"depth\": 0, \"count\": 1, "
+        "\"wall_ms\": "
+     << wallMs << "}],\n"
+     << "  \"counters\": {\"flows_run\": " << flowsRun << "},\n"
+     << "  \"histograms\": {\"net_fanout\": {\"count\": " << histCount
+     << ", \"sum\": 6, \"min\": 1, \"max\": 3, \"p50\": 2, \"p90\": 3, "
+        "\"p99\": 3}}\n"
+     << "}\n";
+  return os.str();
+}
+
+int run(const std::string& base, const std::string& fresh,
+        const Options& options, std::string* outText = nullptr) {
+  TempFile baseFile("base", base);
+  TempFile newFile("new", fresh);
+  std::ostringstream os;
+  const int code =
+      compareReportFiles(baseFile.path(), newFile.path(), options, os);
+  if (outText != nullptr) *outText = os.str();
+  return code;
+}
+
+TEST(ReportDiff, IdenticalReportsPass) {
+  const std::string r = makeReport(100.0, 5);
+  Options opts;
+  opts.requireCountersEqual = true;
+  opts.maxWallRegressPct = 0.0;
+  std::string text;
+  EXPECT_EQ(run(r, r, opts, &text), kExitOk);
+  EXPECT_NE(text.find("compare-reports: OK"), std::string::npos);
+}
+
+TEST(ReportDiff, WallTimeGateTriggersAboveTolerance) {
+  Options opts;
+  opts.maxWallRegressPct = 10.0;
+  // +5% passes, +25% fails.
+  EXPECT_EQ(run(makeReport(100.0, 5), makeReport(105.0, 5), opts), kExitOk);
+  std::string text;
+  EXPECT_EQ(run(makeReport(100.0, 5), makeReport(125.0, 5), opts, &text),
+            kExitRegression);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(text.find("total_wall_ms"), std::string::npos);
+}
+
+TEST(ReportDiff, WallTimeUngatedWithoutLimit) {
+  Options opts;  // maxWallRegressPct < 0: informational only
+  EXPECT_EQ(run(makeReport(100.0, 5), makeReport(900.0, 5), opts), kExitOk);
+}
+
+TEST(ReportDiff, CounterDriftFailsOnlyWhenGated) {
+  const std::string base = makeReport(100.0, 5);
+  const std::string drifted = makeReport(100.0, 6);
+  Options loose;
+  std::string text;
+  EXPECT_EQ(run(base, drifted, loose, &text), kExitOk);
+  EXPECT_NE(text.find("** CHANGED"), std::string::npos);  // still flagged
+  Options strict;
+  strict.requireCountersEqual = true;
+  EXPECT_EQ(run(base, drifted, strict, &text), kExitRegression);
+  EXPECT_NE(text.find("counter totals differ"), std::string::npos);
+}
+
+TEST(ReportDiff, HistogramCountDriftFailsWhenGated) {
+  Options strict;
+  strict.requireCountersEqual = true;
+  std::string text;
+  EXPECT_EQ(run(makeReport(100.0, 5, 3), makeReport(100.0, 5, 4), strict,
+                &text),
+            kExitRegression);
+  EXPECT_NE(text.find("histogram observation counts differ"),
+            std::string::npos);
+}
+
+TEST(ReportDiff, MalformedJsonIsBadInput) {
+  std::string text;
+  EXPECT_EQ(run("{ not json", makeReport(1.0, 1), {}, &text), kExitBadInput);
+  EXPECT_NE(text.find("bad input"), std::string::npos);
+  EXPECT_EQ(run(makeReport(1.0, 1), "[1, 2, 3,]", {}), kExitBadInput);
+}
+
+TEST(ReportDiff, MissingSchemaVersionIsBadInput) {
+  std::string text;
+  EXPECT_EQ(run("{\"total_wall_ms\": 1, \"spans\": [], \"counters\": {}, "
+                "\"histograms\": {}}",
+                makeReport(1.0, 1), {}, &text),
+            kExitBadInput);
+  EXPECT_NE(text.find("schema_version"), std::string::npos);
+}
+
+TEST(ReportDiff, WrongSchemaVersionIsBadInput) {
+  std::string futuristic = makeReport(1.0, 1);
+  const std::string needle =
+      "\"schema_version\": " +
+      std::to_string(telemetry::kReportSchemaVersion);
+  futuristic.replace(futuristic.find(needle), needle.size(),
+                     "\"schema_version\": 999");
+  std::string text;
+  EXPECT_EQ(run(makeReport(1.0, 1), futuristic, {}, &text), kExitBadInput);
+  EXPECT_NE(text.find("unsupported schema_version"), std::string::npos);
+}
+
+TEST(ReportDiff, MissingFileIsBadInput) {
+  std::ostringstream os;
+  EXPECT_EQ(compareReportFiles("/nonexistent/base.json",
+                               "/nonexistent/new.json", {}, os),
+            kExitBadInput);
+}
+
+TEST(ReportDiff, BenchOutSummaryIsValidJson) {
+  TempFile baseFile("bo_base", makeReport(100.0, 5));
+  TempFile newFile("bo_new", makeReport(120.0, 6));
+  const std::string benchPath =
+      std::string(::testing::TempDir()) + "hcp_report_diff_bench_out.json";
+  Options opts;
+  opts.maxWallRegressPct = 10.0;
+  opts.requireCountersEqual = true;
+  opts.benchOutPath = benchPath;
+  std::ostringstream os;
+  EXPECT_EQ(compareReportFiles(baseFile.path(), newFile.path(), opts, os),
+            kExitRegression);
+
+  const json::Value bench = json::parseFile(benchPath);  // must be strict JSON
+  std::remove(benchPath.c_str());
+  EXPECT_FALSE(bench.find("ok")->asBool());
+  EXPECT_FALSE(bench.find("counters_equal")->asBool());
+  EXPECT_DOUBLE_EQ(bench.find("total_wall_ms")->find("base")->asNumber(),
+                   100.0);
+  EXPECT_DOUBLE_EQ(bench.find("total_wall_ms")->find("new")->asNumber(),
+                   120.0);
+  EXPECT_GE(bench.find("regressions")->array.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hcp::support::report_diff

@@ -1,0 +1,169 @@
+// Trace sink contract: span begin/end events land in per-thread buffers,
+// saturation drops-and-counts instead of reallocating, and the exported
+// timeline is strictly valid Chrome trace-event JSON — including span
+// names chosen to break naive escaping.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "support/json.hpp"
+#include "support/parallel.hpp"
+#include "support/telemetry.hpp"
+#include "support/tracing.hpp"
+
+namespace hcp::support::tracing {
+namespace {
+
+class TracingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::setEnabled(true);
+    telemetry::reset();
+    setBufferCapacity(kDefaultBufferCapacity);
+    setEnabled(true);
+    reset();
+  }
+  void TearDown() override {
+    setEnabled(false);
+    reset();
+    setBufferCapacity(kDefaultBufferCapacity);
+    telemetry::setEnabled(false);
+    telemetry::reset();
+  }
+
+  static json::Value exportAndParse(const char* tool = "unit_test",
+                                    const char* command = "trace") {
+    std::ostringstream os;
+    TraceMeta meta;
+    meta.tool = tool;
+    meta.command = command;
+    writeChromeTrace(os, meta);
+    return json::parse(os.str());  // throws if not strictly valid
+  }
+};
+
+TEST_F(TracingTest, SpansBecomeBeginEndEventPairs) {
+  {
+    HCP_SPAN("outer");
+    { HCP_SPAN("inner"); }
+  }
+  const json::Value doc = exportAndParse();
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::size_t begins = 0, ends = 0;
+  bool sawOuter = false, sawInnerPath = false;
+  for (const json::Value& e : events->array) {
+    const std::string& ph = e.find("ph")->asString();
+    if (ph == "M") continue;  // metadata (process/thread names)
+    const std::string& name = e.find("name")->asString();
+    if (ph == "B") ++begins;
+    if (ph == "E") ++ends;
+    if (name == "outer") sawOuter = true;
+    if (name == "outer/inner") sawInnerPath = true;
+    EXPECT_DOUBLE_EQ(e.find("args")->find("task")->asNumber(), -1.0);
+    EXPECT_GE(e.find("ts")->asNumber(), 0.0);
+  }
+  EXPECT_EQ(begins, 2u);
+  EXPECT_EQ(ends, 2u);
+  EXPECT_TRUE(sawOuter);
+  EXPECT_TRUE(sawInnerPath);  // event names are full span paths
+  EXPECT_DOUBLE_EQ(doc.find("otherData")->find("dropped_events")->asNumber(),
+                   0.0);
+}
+
+TEST_F(TracingTest, ExportCarriesMetaAndSchemaVersion) {
+  { HCP_SPAN("s"); }
+  const json::Value doc = exportAndParse("mytool", "mycmd");
+  const json::Value* other = doc.find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->find("tool")->asString(), "mytool");
+  EXPECT_EQ(other->find("command")->asString(), "mycmd");
+  EXPECT_DOUBLE_EQ(other->find("schema_version")->asNumber(),
+                   telemetry::kReportSchemaVersion);
+}
+
+TEST_F(TracingTest, EvilSpanNamesSurviveJsonEscaping) {
+  const std::string evil = "q\"b\\s\nnl\ttab\x01ctrl";
+  { telemetry::ScopedSpan span(evil); }
+  const json::Value doc = exportAndParse();
+  bool found = false;
+  for (const json::Value& e : doc.find("traceEvents")->array) {
+    if (e.find("ph")->asString() == "M") continue;
+    if (e.find("name")->asString() == evil) found = true;
+  }
+  EXPECT_TRUE(found) << "evil span name did not round-trip";
+}
+
+TEST_F(TracingTest, FullBufferDropsNewestAndCounts) {
+  constexpr std::size_t kCap = 8;
+  setBufferCapacity(kCap);
+  reset();  // re-applies the capacity to this thread's existing buffer
+
+  constexpr std::size_t kSpans = 20;  // 2 events each
+  for (std::size_t i = 0; i < kSpans; ++i) {
+    HCP_SPAN("victim");
+  }
+  EXPECT_EQ(droppedEvents(), 2 * kSpans - kCap);
+
+  const json::Value doc = exportAndParse();
+  std::size_t kept = 0;
+  for (const json::Value& e : doc.find("traceEvents")->array)
+    if (e.find("ph")->asString() != "M") ++kept;
+  EXPECT_EQ(kept, kCap);
+  EXPECT_DOUBLE_EQ(doc.find("otherData")->find("dropped_events")->asNumber(),
+                   double(2 * kSpans - kCap));
+}
+
+TEST_F(TracingTest, ResetClearsEventsAndDropCounter) {
+  setBufferCapacity(2);
+  reset();
+  for (int i = 0; i < 4; ++i) {
+    HCP_SPAN("x");
+  }
+  EXPECT_GT(droppedEvents(), 0u);
+  setBufferCapacity(kDefaultBufferCapacity);
+  reset();
+  EXPECT_EQ(droppedEvents(), 0u);
+  const json::Value doc = exportAndParse();
+  for (const json::Value& e : doc.find("traceEvents")->array)
+    EXPECT_EQ(e.find("ph")->asString(), "M");  // only metadata remains
+}
+
+TEST_F(TracingTest, ParallelSpansRecordTaskIndexAndStayValidJson) {
+  ScopedThreadLimit limit(4);
+  parallelFor(0, 32, 1, [](std::size_t) { HCP_SPAN("task_span"); });
+
+  const json::Value doc = exportAndParse();
+  std::size_t begins = 0, ends = 0;
+  std::set<double> tasks;
+  for (const json::Value& e : doc.find("traceEvents")->array) {
+    const std::string& ph = e.find("ph")->asString();
+    if (ph == "M") continue;
+    if (e.find("name")->asString() != "task_span") continue;
+    if (ph == "B") ++begins;
+    if (ph == "E") ++ends;
+    tasks.insert(e.find("args")->find("task")->asNumber());
+  }
+  EXPECT_EQ(begins, 32u);
+  EXPECT_EQ(ends, 32u);
+  EXPECT_EQ(tasks.size(), 32u);  // every pool task index 0..31 shows up
+  EXPECT_EQ(*tasks.begin(), 0.0);
+  EXPECT_EQ(*tasks.rbegin(), 31.0);
+}
+
+TEST_F(TracingTest, DisabledTracingRecordsNothing) {
+  setEnabled(false);
+  {
+    HCP_SPAN("ghost");
+  }
+  setEnabled(true);
+  const json::Value doc = exportAndParse();
+  for (const json::Value& e : doc.find("traceEvents")->array)
+    EXPECT_EQ(e.find("ph")->asString(), "M");
+}
+
+}  // namespace
+}  // namespace hcp::support::tracing

@@ -14,17 +14,29 @@
 //       print the generated structural netlist as Verilog
 //   hcp_cli list
 //       list the bundled benchmark designs
+//   hcp_cli compare-reports BASE.json NEW.json [--max-wall-regress PCT]
+//           [--require-counters-equal] [--bench-out FILE]
+//       diff two run reports (spans, counters, histograms) and exit
+//       nonzero on regression — the CI gate. With --max-wall-regress,
+//       total_wall_ms may grow by at most PCT percent; with
+//       --require-counters-equal, every counter total and histogram
+//       observation count must match exactly. --bench-out writes a
+//       machine-readable summary (CI uploads BENCH_observability.json).
 //
 // Common options:
 //   --seed N          master seed for the stochastic stages (default 42)
 //   --threads N       cap the thread pool (default: HCP_THREADS or all cores)
-//   --report FILE     write a JSON run report (spans, counters, metadata);
-//                     the HCP_REPORT environment variable is the fallback
+//   --report FILE     write a JSON run report (spans, counters, histograms,
+//                     metadata); HCP_REPORT is the fallback
+//   --trace FILE      write a Chrome trace-event timeline (open in
+//                     chrome://tracing or https://ui.perfetto.dev);
+//                     HCP_TRACE is the fallback
 //   --no-directives   synthesize without the paper's pragma set
 //   --model KIND      predictor kind for `train`: gbrt (default), ann, linear
 //
-// Exit codes: 0 success, 1 flow/model error (hcp::Error), 2 usage error,
-// 3 unexpected internal error (any other std::exception).
+// Exit codes: 0 success, 1 flow/model error (hcp::Error) or compare-reports
+// regression, 2 usage error, 3 unexpected internal error (any other
+// std::exception), 4 compare-reports malformed input / schema mismatch.
 //
 // <design> is one of: face_detection, face_detection_noinline,
 // face_detection_replicated, digit_recognition, spam_filter, digit_spam,
@@ -33,6 +45,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -46,7 +59,9 @@
 #include "ir/printer.hpp"
 #include "rtl/verilog.hpp"
 #include "support/parallel.hpp"
+#include "support/report_diff.hpp"
 #include "support/telemetry.hpp"
+#include "support/tracing.hpp"
 
 using namespace hcp;
 
@@ -96,8 +111,8 @@ apps::AppDesign makeDesign(const std::string& name, bool withDirectives) {
 int usage() {
   std::fprintf(stderr,
                "usage: hcp_cli <flow|train|predict|advise|dump-ir|"
-               "dump-verilog|list> ...\n(see the header of tools/hcp_cli.cpp "
-               "for details)\n");
+               "dump-verilog|list|compare-reports> ...\n(see the header of "
+               "tools/hcp_cli.cpp for details)\n");
   return 2;
 }
 
@@ -125,6 +140,7 @@ struct Args {
   std::string model = "gbrt";
   std::size_t threads = 0;  ///< 0 = leave the default limit in place
   std::string report;       ///< empty = no run report
+  std::string trace;        ///< empty = no trace timeline
 };
 
 Args parse(int argc, char** argv, int first) {
@@ -132,6 +148,11 @@ Args parse(int argc, char** argv, int first) {
   auto value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) usageError(std::string(flag) + " expects a value");
     return argv[++i];
+  };
+  auto nonEmpty = [&](int& i, const char* flag) -> const char* {
+    const char* v = value(i, flag);
+    if (*v == '\0') usageError(std::string(flag) + " expects a non-empty value");
+    return v;
   };
   for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
@@ -142,7 +163,16 @@ Args parse(int argc, char** argv, int first) {
           static_cast<std::size_t>(parseUint("--threads", value(i, "--threads")));
       if (args.threads == 0) usageError("--threads expects N >= 1");
     } else if (a == "--report") {
-      args.report = value(i, "--report");
+      args.report = nonEmpty(i, "--report");
+    } else if (a.rfind("--report=", 0) == 0) {
+      args.report = a.substr(9);
+      if (args.report.empty())
+        usageError("--report expects a non-empty value");
+    } else if (a == "--trace") {
+      args.trace = nonEmpty(i, "--trace");
+    } else if (a.rfind("--trace=", 0) == 0) {
+      args.trace = a.substr(8);
+      if (args.trace.empty()) usageError("--trace expects a non-empty value");
     } else if (a == "--no-directives") {
       args.directives = false;
     } else if (a == "--model") {
@@ -156,7 +186,53 @@ Args parse(int argc, char** argv, int first) {
   if (args.report.empty()) {
     if (const char* env = std::getenv("HCP_REPORT")) args.report = env;
   }
+  if (args.trace.empty()) {
+    if (const char* env = std::getenv("HCP_TRACE")) args.trace = env;
+  }
   return args;
+}
+
+/// `compare-reports BASE.json NEW.json [flags]` — flag parsing is local
+/// because the common Args flags (seed/threads/model) make no sense here.
+int runCompareReports(int argc, char** argv) {
+  std::string base, fresh;
+  support::report_diff::Options opts;
+  auto value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) usageError(std::string(flag) + " expects a value");
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--max-wall-regress") {
+      const char* text = value(i, "--max-wall-regress");
+      errno = 0;
+      char* end = nullptr;
+      const double pct = std::strtod(text, &end);
+      if (end == text || *end != '\0' || errno == ERANGE || pct < 0.0)
+        usageError(
+            "--max-wall-regress expects a non-negative percentage, got '" +
+            std::string(text) + "'");
+      opts.maxWallRegressPct = pct;
+    } else if (a == "--require-counters-equal") {
+      opts.requireCountersEqual = true;
+    } else if (a == "--bench-out") {
+      opts.benchOutPath = value(i, "--bench-out");
+      if (opts.benchOutPath.empty())
+        usageError("--bench-out expects a non-empty value");
+    } else if (a.rfind("--", 0) == 0) {
+      usageError("unknown option '" + a + "' (see hcp_cli usage)");
+    } else if (base.empty()) {
+      base = a;
+    } else if (fresh.empty()) {
+      fresh = a;
+    } else {
+      usageError("compare-reports takes exactly two report files");
+    }
+  }
+  if (base.empty() || fresh.empty())
+    usageError("compare-reports needs BASE.json and NEW.json");
+  return support::report_diff::compareReportFiles(base, fresh, opts,
+                                                 std::cout);
 }
 
 core::FlowResult runNamedFlow(const std::string& design, const Args& args,
@@ -183,16 +259,18 @@ void printSummary(const core::FlowResult& flow) {
 
 int run(int argc, char** argv) {
   const std::string cmd = argv[1];
-  const auto device = fpga::Device::xc7z020like();
 
   if (cmd == "list") {
     for (const auto& d : kDesigns) std::printf("%s\n", d.c_str());
     return 0;
   }
+  if (cmd == "compare-reports") return runCompareReports(argc, argv);
 
+  const auto device = fpga::Device::xc7z020like();
   const Args args = parse(argc, argv, 2);
   if (args.threads > 0) support::setThreadLimit(args.threads);
   if (!args.report.empty()) support::telemetry::setEnabled(true);
+  if (!args.trace.empty()) support::tracing::arm();
   const auto start = support::telemetry::detail::nowNs();
 
   std::vector<std::string> reportDesigns;
@@ -286,6 +364,14 @@ int run(int argc, char** argv) {
     support::telemetry::writeReportToFile(args.report, meta);
     std::fprintf(stderr, "[hcp] run report written to %s\n",
                  args.report.c_str());
+  }
+  if (code == 0 && !args.trace.empty()) {
+    support::tracing::TraceMeta meta;
+    meta.tool = "hcp_cli";
+    meta.command = cmd;
+    support::tracing::writeChromeTraceToFile(args.trace, meta);
+    std::fprintf(stderr, "[hcp] trace timeline written to %s\n",
+                 args.trace.c_str());
   }
   return code == -1 ? usage() : code;
 }

@@ -17,6 +17,7 @@
 #include "core/dataset_builder.hpp"
 #include "core/flow.hpp"
 #include "support/error.hpp"
+#include "support/flowcache.hpp"
 #include "support/parallel.hpp"
 #include "support/table.hpp"
 #include "support/telemetry.hpp"
@@ -42,17 +43,19 @@ inline std::size_t parseThreads(int argc, char** argv) {
 }
 
 /// Per-binary session bookkeeping: applies `--threads N`, arms telemetry
-/// when `--report FILE` (or HCP_REPORT) is present and the trace sink when
-/// `--trace FILE` (or HCP_TRACE) is, then writes the JSON run report and
-/// Chrome trace timeline when the bench exits normally. Instantiated by
-/// runBenchMain — bench binaries never touch the flags themselves.
+/// when `--report FILE` (or HCP_REPORT) is present, the trace sink when
+/// `--trace FILE` (or HCP_TRACE) is and the flow cache when `--cache DIR`
+/// (or HCP_CACHE) is, then writes the JSON run report and Chrome trace
+/// timeline when the bench exits normally. Instantiated by runBenchMain —
+/// bench binaries never touch the flags themselves.
 class BenchSession {
  public:
   BenchSession(const char* tool, int argc, char** argv)
       : tool_(tool),
         threads_(parseThreads(argc, argv)),
         reportPath_(support::telemetry::initReportFromArgs(argc, argv)),
-        tracePath_(support::tracing::initTraceFromArgs(argc, argv)) {}
+        tracePath_(support::tracing::initTraceFromArgs(argc, argv)),
+        cacheDir_(support::flowcache::initCacheFromArgs(argc, argv)) {}
 
   BenchSession(const BenchSession&) = delete;
   BenchSession& operator=(const BenchSession&) = delete;
@@ -79,12 +82,14 @@ class BenchSession {
   }
 
   std::size_t threads() const { return threads_; }
+  const std::string& cacheDir() const { return cacheDir_; }
 
  private:
   std::string tool_;
   std::size_t threads_;
   std::string reportPath_;
   std::string tracePath_;
+  std::string cacheDir_;
 };
 
 /// The shared main() shell of every bench binary: session setup (threads,

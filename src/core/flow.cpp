@@ -1,14 +1,57 @@
 #include "core/flow.hpp"
 
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "core/flow_serialize.hpp"
+#include "support/error.hpp"
+#include "support/flowcache.hpp"
 #include "support/parallel.hpp"
 #include "support/telemetry.hpp"
 
 namespace hcp::core {
 
+namespace {
+
+namespace fc = support::flowcache;
+
+/// Cache probe: returns a fully parsed FlowResult on a usable hit. A payload
+/// that passed the envelope checks but fails to parse counts as corrupt and
+/// falls through to recompute (store() then self-heals the entry).
+std::optional<FlowResult> tryCachedFlow(const fc::FlowCache& cache,
+                                        const std::string& key) {
+  HCP_SPAN("cache_lookup");
+  std::optional<std::string> payload = cache.load(key);
+  if (!payload) return std::nullopt;
+  try {
+    std::istringstream is(*payload);
+    FlowResult result = readFlowResult(is);
+    support::telemetry::count(support::telemetry::Counter::FlowCacheHit);
+    return result;
+  } catch (const Error& e) {
+    support::telemetry::count(support::telemetry::Counter::FlowCacheCorrupt);
+    std::cerr << "hcp: flow cache: discarding unparsable entry "
+              << cache.entryPath(key) << ": " << e.what() << '\n';
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
 FlowResult runFlow(apps::AppDesign&& app, const fpga::Device& device,
                    const FlowConfig& config) {
   HCP_SPAN("flow");
   support::telemetry::count(support::telemetry::Counter::FlowsRun);
+
+  fc::FlowCache* cache = fc::global();
+  std::string key;
+  if (cache) {
+    key = flowCacheKey(app, device, config);
+    if (std::optional<FlowResult> cached = tryCachedFlow(*cache, key))
+      return *std::move(cached);
+  }
+
   FlowResult result;
   result.name = app.name;
 
@@ -36,6 +79,13 @@ FlowResult runFlow(apps::AppDesign&& app, const fpga::Device& device,
   result.maxVCongestion = result.impl.routing.map.maxVUtil();
   result.maxHCongestion = result.impl.routing.map.maxHUtil();
   result.congestedTiles = result.impl.routing.map.tilesOver(100.0);
+
+  if (cache) {
+    HCP_SPAN("cache_store");
+    std::ostringstream os;
+    writeFlowResult(os, result);
+    cache->store(key, os.str());
+  }
   return result;
 }
 

@@ -131,9 +131,18 @@ CongestionPredictor CongestionPredictor::load(const std::string& path) {
   else if (kind == "GBRT") options.kind = ModelKind::Gbrt;
   else HCP_CHECK_MSG(false, "unknown predictor kind " << kind);
   CongestionPredictor predictor(options);
-  predictor.vertical_ = ml::loadModel(is);
-  predictor.horizontal_ = ml::loadModel(is);
-  predictor.average_ = ml::loadModel(is);
+  try {
+    predictor.vertical_ = ml::loadModel(is);
+    predictor.horizontal_ = ml::loadModel(is);
+    predictor.average_ = ml::loadModel(is);
+  } catch (const Error& e) {
+    // Name the file: the per-model readers only see a stream.
+    throw Error(std::string(e.what()) + " [predictor file: " + path + "]");
+  }
+  std::string extra;
+  HCP_CHECK_MSG(!(is >> extra),
+                "trailing garbage after the three models (first token '"
+                    << extra << "') in predictor file: " << path);
   predictor.trained_ = true;
   return predictor;
 }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -107,6 +108,11 @@ class CongestionMap {
 
   /// CSV with columns x,y,v_util,h_util.
   std::string toCsv() const;
+
+  /// Text serialization (fpga/serialize.hpp; flow-cache format). Defined in
+  /// fpga/serialize.cpp.
+  void write(std::ostream& os) const;
+  static CongestionMap read(std::istream& is);
 
  private:
   std::size_t idx(std::uint32_t x, std::uint32_t y) const {

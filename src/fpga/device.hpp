@@ -56,6 +56,9 @@ class Device {
   static Device xc7z020like();
 
   const std::string& name() const { return config_.name; }
+  /// The construction parameters — everything that shapes placement/routing.
+  /// The flow-cache key fingerprints the device through this.
+  const Config& config() const { return config_; }
   std::uint32_t width() const { return config_.width; }
   std::uint32_t height() const { return config_.height; }
   std::size_t numTiles() const {

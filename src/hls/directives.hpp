@@ -83,6 +83,12 @@ class DirectiveSet {
 
   bool empty() const { return perFunction_.empty(); }
 
+  /// Stable (name-ordered) view of every per-function directive block; the
+  /// flow-cache key derivation canonicalizes the set through this.
+  const std::map<std::string, FunctionDirectives>& all() const {
+    return perFunction_;
+  }
+
  private:
   std::map<std::string, FunctionDirectives> perFunction_;
 };

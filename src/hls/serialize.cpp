@@ -1,0 +1,245 @@
+#include "hls/serialize.hpp"
+
+#include "ir/serialize.hpp"
+#include "support/textio.hpp"
+
+namespace hcp::hls {
+
+namespace txt = support::txt;
+
+void writeResource(std::ostream& os, const Resource& r) {
+  os << r.lut << ' ' << r.ff << ' ' << r.dsp << ' ' << r.bram;
+}
+
+Resource readResource(std::istream& is) {
+  Resource r;
+  r.lut = txt::read<double>(is, "resource lut");
+  r.ff = txt::read<double>(is, "resource ff");
+  r.dsp = txt::read<double>(is, "resource dsp");
+  r.bram = txt::read<double>(is, "resource bram");
+  return r;
+}
+
+void writeScheduleConstraints(std::ostream& os,
+                              const ScheduleConstraints& c) {
+  os << "constraints " << c.clockPeriodNs << ' ' << c.clockUncertaintyNs
+     << ' ' << c.dspLimit << ' ' << c.memPortsPerBank << ' ' << c.divLimit
+     << ' ' << c.callInstanceLimit << ' ' << c.chainingSlackFactor << '\n';
+}
+
+ScheduleConstraints readScheduleConstraints(std::istream& is) {
+  txt::expect(is, "constraints");
+  ScheduleConstraints c;
+  c.clockPeriodNs = txt::read<double>(is, "constraints clockPeriodNs");
+  c.clockUncertaintyNs =
+      txt::read<double>(is, "constraints clockUncertaintyNs");
+  c.dspLimit = txt::read<std::uint32_t>(is, "constraints dspLimit");
+  c.memPortsPerBank =
+      txt::read<std::uint32_t>(is, "constraints memPortsPerBank");
+  c.divLimit = txt::read<std::uint32_t>(is, "constraints divLimit");
+  c.callInstanceLimit =
+      txt::read<std::uint32_t>(is, "constraints callInstanceLimit");
+  c.chainingSlackFactor =
+      txt::read<double>(is, "constraints chainingSlackFactor");
+  return c;
+}
+
+namespace {
+
+void writeSchedule(std::ostream& os, const Schedule& s) {
+  os << "schedule " << s.ops.size() << ' ' << s.numSteps << ' '
+     << s.totalLatency << ' ' << s.estimatedClockNs << '\n';
+  for (const OpSchedule& op : s.ops)
+    os << op.startStep << ' ' << op.endStep << ' ' << op.startOffsetNs << ' '
+       << op.delayNs << ' ' << op.latency << '\n';
+}
+
+Schedule readSchedule(std::istream& is) {
+  txt::expect(is, "schedule");
+  Schedule s;
+  const auto numOps = txt::read<std::size_t>(is, "schedule op count");
+  s.numSteps = txt::read<std::uint32_t>(is, "schedule numSteps");
+  s.totalLatency = txt::read<std::uint64_t>(is, "schedule totalLatency");
+  s.estimatedClockNs = txt::read<double>(is, "schedule estimatedClockNs");
+  s.ops.reserve(numOps);
+  for (std::size_t i = 0; i < numOps; ++i) {
+    OpSchedule op;
+    op.startStep = txt::read<std::uint32_t>(is, "opschedule startStep");
+    op.endStep = txt::read<std::uint32_t>(is, "opschedule endStep");
+    op.startOffsetNs = txt::read<double>(is, "opschedule startOffsetNs");
+    op.delayNs = txt::read<double>(is, "opschedule delayNs");
+    op.latency = txt::read<std::uint32_t>(is, "opschedule latency");
+    s.ops.push_back(op);
+  }
+  return s;
+}
+
+void writeBinding(std::ostream& os, const Binding& b) {
+  os << "binding " << b.fus.size() << '\n';
+  for (const FuInstance& fu : b.fus) {
+    os << static_cast<unsigned>(fu.opcode) << ' ' << fu.width << ' ';
+    txt::writeVec(os, fu.ops);
+    os << ' ';
+    writeResource(os, fu.unitRes);
+    os << ' ';
+    writeResource(os, fu.muxRes);
+    os << ' ' << fu.muxCount << ' ' << fu.muxInputs << ' ';
+    txt::writeStr(os, fu.callee);
+    os << '\n';
+  }
+  os << "fuofop ";
+  txt::writeVec(os, b.fuOfOp);
+  os << '\n'
+     << "sharing " << b.sharedUnits << ' ' << b.sharedOps << ' ';
+  writeResource(os, b.totalMuxRes);
+  os << ' ' << b.totalMuxCount << '\n';
+}
+
+Binding readBinding(std::istream& is) {
+  txt::expect(is, "binding");
+  Binding b;
+  const auto numFus = txt::read<std::size_t>(is, "binding fu count");
+  b.fus.reserve(numFus);
+  for (std::size_t i = 0; i < numFus; ++i) {
+    FuInstance fu;
+    const auto opcode = txt::read<unsigned>(is, "fu opcode");
+    HCP_CHECK_MSG(opcode < ir::kNumOpcodes,
+                  "fu opcode out of range: " << opcode);
+    fu.opcode = static_cast<ir::Opcode>(opcode);
+    fu.width = txt::read<std::uint16_t>(is, "fu width");
+    fu.ops = txt::readVec<ir::OpId>(is, "fu ops");
+    fu.unitRes = readResource(is);
+    fu.muxRes = readResource(is);
+    fu.muxCount = txt::read<std::uint32_t>(is, "fu muxCount");
+    fu.muxInputs = txt::read<std::uint32_t>(is, "fu muxInputs");
+    fu.callee = txt::readStr(is, "fu callee");
+    b.fus.push_back(std::move(fu));
+  }
+  txt::expect(is, "fuofop");
+  b.fuOfOp = txt::readVec<std::uint32_t>(is, "fuOfOp");
+  txt::expect(is, "sharing");
+  b.sharedUnits = txt::read<std::size_t>(is, "binding sharedUnits");
+  b.sharedOps = txt::read<std::size_t>(is, "binding sharedOps");
+  b.totalMuxRes = readResource(is);
+  b.totalMuxCount = txt::read<std::uint32_t>(is, "binding totalMuxCount");
+  return b;
+}
+
+void writeFunctionReport(std::ostream& os, const FunctionReport& r) {
+  os << "report ";
+  writeResource(os, r.fuRes);
+  os << ' ';
+  writeResource(os, r.regRes);
+  os << ' ';
+  writeResource(os, r.memRes);
+  os << ' ';
+  writeResource(os, r.muxRes);
+  os << ' ';
+  writeResource(os, r.calleeRes);
+  os << ' ';
+  writeResource(os, r.totalRes);
+  os << ' ' << r.memory.words << ' ' << r.memory.banks << ' '
+     << r.memory.bits << ' ' << r.memory.primitives << ' ' << r.mux.count
+     << ' ';
+  writeResource(os, r.mux.res);
+  os << ' ' << r.mux.totalInputs << ' ' << r.mux.avgWidth << ' '
+     << r.latency << ' ' << r.numSteps << ' ' << r.estimatedClockNs << ' '
+     << r.targetClockNs << ' ' << r.clockUncertaintyNs << '\n';
+}
+
+FunctionReport readFunctionReport(std::istream& is) {
+  txt::expect(is, "report");
+  FunctionReport r;
+  r.fuRes = readResource(is);
+  r.regRes = readResource(is);
+  r.memRes = readResource(is);
+  r.muxRes = readResource(is);
+  r.calleeRes = readResource(is);
+  r.totalRes = readResource(is);
+  r.memory.words = txt::read<std::uint64_t>(is, "report memory words");
+  r.memory.banks = txt::read<std::uint64_t>(is, "report memory banks");
+  r.memory.bits = txt::read<std::uint64_t>(is, "report memory bits");
+  r.memory.primitives =
+      txt::read<std::uint64_t>(is, "report memory primitives");
+  r.mux.count = txt::read<std::uint32_t>(is, "report mux count");
+  r.mux.res = readResource(is);
+  r.mux.totalInputs = txt::read<std::uint64_t>(is, "report mux totalInputs");
+  r.mux.avgWidth = txt::read<double>(is, "report mux avgWidth");
+  r.latency = txt::read<std::uint64_t>(is, "report latency");
+  r.numSteps = txt::read<std::uint32_t>(is, "report numSteps");
+  r.estimatedClockNs = txt::read<double>(is, "report estimatedClockNs");
+  r.targetClockNs = txt::read<double>(is, "report targetClockNs");
+  r.clockUncertaintyNs = txt::read<double>(is, "report clockUncertaintyNs");
+  return r;
+}
+
+}  // namespace
+
+void writeDesign(std::ostream& os, const SynthesizedDesign& design) {
+  txt::preparePrecision(os);
+  os << "design\n";
+  ir::writeModule(os, *design.module);
+  writeScheduleConstraints(os, design.constraints);
+  os << "functions " << design.functions.size() << '\n';
+  for (const SynthesizedFunction& fn : design.functions) {
+    os << "synthfn " << fn.functionIndex << '\n';
+    writeSchedule(os, fn.schedule);
+    writeBinding(os, fn.binding);
+    fn.graph.write(os);
+    writeFunctionReport(os, fn.report);
+  }
+}
+
+SynthesizedDesign readDesign(std::istream& is) {
+  txt::expect(is, "design");
+  SynthesizedDesign design;
+  design.module = ir::readModule(is);
+  design.constraints = readScheduleConstraints(is);
+  txt::expect(is, "functions");
+  const auto numFunctions = txt::read<std::size_t>(is, "synthfn count");
+  design.functions.reserve(numFunctions);
+  for (std::size_t i = 0; i < numFunctions; ++i) {
+    SynthesizedFunction fn;
+    txt::expect(is, "synthfn");
+    fn.functionIndex = txt::read<std::uint32_t>(is, "synthfn index");
+    HCP_CHECK_MSG(fn.functionIndex < design.module->numFunctions(),
+                  "synthfn index " << fn.functionIndex
+                                   << " out of range for module with "
+                                   << design.module->numFunctions()
+                                   << " functions");
+    fn.schedule = readSchedule(is);
+    fn.binding = readBinding(is);
+    fn.graph = ir::DependencyGraph::read(
+        is, design.module->function(fn.functionIndex));
+    fn.report = readFunctionReport(is);
+    design.functions.push_back(std::move(fn));
+  }
+  return design;
+}
+
+void writeDirectives(std::ostream& os, const DirectiveSet& dirs) {
+  os << "directives " << dirs.all().size() << '\n';
+  for (const auto& [fnName, fd] : dirs.all()) {
+    txt::writeStr(os, fnName);
+    os << ' ';
+    txt::writeBool(os, fd.inlineFunction);
+    os << " loops " << fd.loops.size();
+    for (const auto& [loopName, ld] : fd.loops) {
+      os << ' ';
+      txt::writeStr(os, loopName);
+      os << ' ' << ld.unrollFactor << ' ';
+      txt::writeBool(os, ld.pipeline);
+      os << ' ' << ld.initiationInterval;
+    }
+    os << " arrays " << fd.arrays.size();
+    for (const auto& [arrayName, ad] : fd.arrays) {
+      os << ' ';
+      txt::writeStr(os, arrayName);
+      os << ' ' << ad.partitionFactor << ' ';
+      txt::writeBool(os, ad.complete);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace hcp::hls

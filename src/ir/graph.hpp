@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -77,6 +78,13 @@ class DependencyGraph {
   std::vector<NodeId> twoHopSuccs(NodeId id) const;
 
   const Function& function() const { return *fn_; }
+
+  /// Text serialization (ir/serialize.hpp; flow-cache format). `read`
+  /// rebinds the graph to `fn`, which must be the same function the graph
+  /// was built from (the flow-cache reader passes the freshly deserialized
+  /// module's function). Defined in ir/serialize.cpp.
+  void write(std::ostream& os) const;
+  static DependencyGraph read(std::istream& is, const Function& fn);
 
  private:
   void addEdge(NodeId from, NodeId to, double wires);

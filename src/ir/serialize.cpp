@@ -1,0 +1,242 @@
+#include "ir/serialize.hpp"
+
+#include "ir/graph.hpp"
+#include "support/textio.hpp"
+
+namespace hcp::ir {
+
+namespace txt = support::txt;
+
+namespace {
+
+void writeOp(std::ostream& os, const Op& op) {
+  os << static_cast<unsigned>(op.opcode) << ' ' << op.bitwidth << ' '
+     << op.loop << ' ' << op.sourceLine << ' ' << op.operands.size();
+  for (const Operand& o : op.operands)
+    os << ' ' << o.producer << ' ' << o.bitsUsed;
+  os << ' ' << op.constValue << ' ' << op.array << ' ' << op.port << ' '
+     << op.callee << ' ' << op.originOp << ' ' << op.replicaIndex << ' ';
+  txt::writeStr(os, op.name);
+  os << '\n';
+}
+
+Op readOp(std::istream& is) {
+  Op op;
+  const auto opcode = txt::read<unsigned>(is, "op opcode");
+  HCP_CHECK_MSG(opcode < kNumOpcodes, "op opcode out of range: " << opcode);
+  op.opcode = static_cast<Opcode>(opcode);
+  op.bitwidth = txt::read<std::uint16_t>(is, "op bitwidth");
+  op.loop = txt::read<LoopId>(is, "op loop");
+  op.sourceLine = txt::read<std::int32_t>(is, "op sourceLine");
+  const auto numOperands = txt::read<std::size_t>(is, "op operand count");
+  op.operands.reserve(numOperands);
+  for (std::size_t i = 0; i < numOperands; ++i) {
+    Operand o;
+    o.producer = txt::read<OpId>(is, "operand producer");
+    o.bitsUsed = txt::read<std::uint16_t>(is, "operand bitsUsed");
+    op.operands.push_back(o);
+  }
+  op.constValue = txt::read<std::int64_t>(is, "op constValue");
+  op.array = txt::read<ArrayId>(is, "op array");
+  op.port = txt::read<PortId>(is, "op port");
+  op.callee = txt::read<std::uint32_t>(is, "op callee");
+  op.originOp = txt::read<OpId>(is, "op originOp");
+  op.replicaIndex = txt::read<std::uint32_t>(is, "op replicaIndex");
+  op.name = txt::readStr(is, "op name");
+  return op;
+}
+
+void writeFunction(std::ostream& os, const Function& fn) {
+  os << "function ";
+  txt::writeStr(os, fn.name());
+  os << "\nloops " << fn.numLoops() << '\n';
+  for (LoopId l = 0; l < fn.numLoops(); ++l) {
+    const LoopInfo& info = fn.loop(l);
+    txt::writeStr(os, info.name);
+    os << ' ' << info.parent << ' ' << info.tripCount << ' '
+       << info.unrollFactor << ' ';
+    txt::writeBool(os, info.pipelined);
+    os << ' ' << info.initiationInterval << ' ' << info.sourceLine << '\n';
+  }
+  os << "arrays " << fn.numArrays() << '\n';
+  for (ArrayId a = 0; a < fn.numArrays(); ++a) {
+    const ArrayInfo& info = fn.array(a);
+    txt::writeStr(os, info.name);
+    os << ' ' << info.words << ' ' << info.bitwidth << ' ' << info.banks
+       << ' ' << info.sourceLine << '\n';
+  }
+  os << "ports " << fn.numPorts() << '\n';
+  for (PortId p = 0; p < fn.numPorts(); ++p) {
+    const PortInfo& info = fn.portInfo(p);
+    txt::writeStr(os, info.name);
+    os << ' ' << static_cast<unsigned>(info.direction) << ' '
+       << info.bitwidth << '\n';
+  }
+  os << "ops " << fn.numOps() << '\n';
+  for (const Op& op : fn.ops()) writeOp(os, op);
+}
+
+std::unique_ptr<Function> readFunction(std::istream& is) {
+  txt::expect(is, "function");
+  auto fn = std::make_unique<Function>(txt::readStr(is, "function name"));
+  txt::expect(is, "loops");
+  const auto numLoops = txt::read<std::size_t>(is, "loop count");
+  HCP_CHECK_MSG(numLoops >= 1, "function must have the implicit body loop");
+  for (LoopId l = 0; l < numLoops; ++l) {
+    LoopInfo info;
+    info.name = txt::readStr(is, "loop name");
+    info.parent = txt::read<LoopId>(is, "loop parent");
+    info.tripCount = txt::read<std::uint64_t>(is, "loop tripCount");
+    info.unrollFactor = txt::read<std::uint32_t>(is, "loop unrollFactor");
+    info.pipelined = txt::readBool(is, "loop pipelined");
+    info.initiationInterval =
+        txt::read<std::uint32_t>(is, "loop initiationInterval");
+    info.sourceLine = txt::read<std::int32_t>(is, "loop sourceLine");
+    // The Function constructor already created region 0 (the body);
+    // overwrite it in place so the stored fields win exactly.
+    if (l == 0)
+      fn->loop(0) = std::move(info);
+    else
+      fn->addLoop(std::move(info));
+  }
+  txt::expect(is, "arrays");
+  const auto numArrays = txt::read<std::size_t>(is, "array count");
+  for (std::size_t a = 0; a < numArrays; ++a) {
+    ArrayInfo info;
+    info.name = txt::readStr(is, "array name");
+    info.words = txt::read<std::uint64_t>(is, "array words");
+    info.bitwidth = txt::read<std::uint16_t>(is, "array bitwidth");
+    info.banks = txt::read<std::uint32_t>(is, "array banks");
+    info.sourceLine = txt::read<std::int32_t>(is, "array sourceLine");
+    fn->addArray(std::move(info));
+  }
+  txt::expect(is, "ports");
+  const auto numPorts = txt::read<std::size_t>(is, "port count");
+  for (std::size_t p = 0; p < numPorts; ++p) {
+    PortInfo info;
+    info.name = txt::readStr(is, "port name");
+    const auto dir = txt::read<unsigned>(is, "port direction");
+    HCP_CHECK_MSG(dir <= 1, "port direction out of range: " << dir);
+    info.direction = static_cast<PortDirection>(dir);
+    info.bitwidth = txt::read<std::uint16_t>(is, "port bitwidth");
+    fn->addPort(std::move(info));
+  }
+  txt::expect(is, "ops");
+  const auto numOps = txt::read<std::size_t>(is, "op count");
+  // Bypass addOp (which rewrites an unset originOp) and assign the vector
+  // directly, preserving every stored byte.
+  std::vector<Op> ops;
+  ops.reserve(numOps);
+  for (std::size_t i = 0; i < numOps; ++i) ops.push_back(readOp(is));
+  fn->ops() = std::move(ops);
+  return fn;
+}
+
+}  // namespace
+
+void writeModule(std::ostream& os, const Module& mod) {
+  txt::preparePrecision(os);
+  os << "module ";
+  txt::writeStr(os, mod.name());
+  os << "\ntop ";
+  txt::writeStr(os, mod.hasTop() ? mod.top().name() : std::string());
+  os << "\nfunctions " << mod.numFunctions() << '\n';
+  for (std::uint32_t i = 0; i < mod.numFunctions(); ++i)
+    writeFunction(os, mod.function(i));
+}
+
+std::unique_ptr<Module> readModule(std::istream& is) {
+  txt::expect(is, "module");
+  auto mod = std::make_unique<Module>(txt::readStr(is, "module name"));
+  txt::expect(is, "top");
+  const std::string top = txt::readStr(is, "top name");
+  txt::expect(is, "functions");
+  const auto numFunctions = txt::read<std::size_t>(is, "function count");
+  for (std::size_t i = 0; i < numFunctions; ++i)
+    mod->addFunction(readFunction(is));
+  if (!top.empty()) mod->setTop(top);
+  return mod;
+}
+
+// --- DependencyGraph (declared in ir/graph.hpp) -----------------------------
+
+namespace {
+
+void writeNeighbors(std::ostream& os,
+                    const std::vector<std::vector<Neighbor>>& adj) {
+  for (const auto& list : adj) {
+    os << list.size();
+    for (const Neighbor& n : list) os << ' ' << n.node << ' ' << n.wires;
+    os << '\n';
+  }
+}
+
+std::vector<std::vector<Neighbor>> readNeighbors(std::istream& is,
+                                                 std::size_t numNodes) {
+  std::vector<std::vector<Neighbor>> adj(numNodes);
+  for (auto& list : adj) {
+    const auto n = txt::read<std::size_t>(is, "neighbor count");
+    list.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Neighbor nb;
+      nb.node = txt::read<NodeId>(is, "neighbor node");
+      nb.wires = txt::read<double>(is, "neighbor wires");
+      list.push_back(nb);
+    }
+  }
+  return adj;
+}
+
+}  // namespace
+
+void DependencyGraph::write(std::ostream& os) const {
+  txt::preparePrecision(os);
+  os << "graph " << nodes_.size() << '\n';
+  for (const Node& n : nodes_) {
+    os << static_cast<unsigned>(n.kind) << ' ' << n.op << ' ' << n.port
+       << ' ';
+    txt::writeBool(os, n.alive);
+    os << ' ';
+    txt::writeVec(os, n.members);
+    os << '\n';
+  }
+  os << "preds\n";
+  writeNeighbors(os, preds_);
+  os << "succs\n";
+  writeNeighbors(os, succs_);
+  os << "opmap ";
+  txt::writeVec(os, opToNode_);
+  os << '\n';
+}
+
+DependencyGraph DependencyGraph::read(std::istream& is, const Function& fn) {
+  DependencyGraph g;
+  g.fn_ = &fn;
+  txt::expect(is, "graph");
+  const auto numNodes = txt::read<std::size_t>(is, "graph node count");
+  g.nodes_.reserve(numNodes);
+  for (std::size_t i = 0; i < numNodes; ++i) {
+    Node n;
+    const auto kind = txt::read<unsigned>(is, "node kind");
+    HCP_CHECK_MSG(kind <= 2, "graph node kind out of range: " << kind);
+    n.kind = static_cast<NodeKind>(kind);
+    n.op = txt::read<OpId>(is, "node op");
+    n.port = txt::read<PortId>(is, "node port");
+    n.alive = txt::readBool(is, "node alive");
+    n.members = txt::readVec<OpId>(is, "node members");
+    g.nodes_.push_back(std::move(n));
+  }
+  txt::expect(is, "preds");
+  g.preds_ = readNeighbors(is, numNodes);
+  txt::expect(is, "succs");
+  g.succs_ = readNeighbors(is, numNodes);
+  txt::expect(is, "opmap");
+  g.opToNode_ = txt::readVec<NodeId>(is, "opmap");
+  HCP_CHECK_MSG(g.opToNode_.size() == fn.numOps(),
+                "graph op map does not match its function ("
+                    << g.opToNode_.size() << " vs " << fn.numOps()
+                    << " ops)");
+  return g;
+}
+
+}  // namespace hcp::ir

@@ -88,7 +88,23 @@ void saveModelToFile(const Regressor& model, const std::string& path) {
 std::unique_ptr<Regressor> loadModelFromFile(const std::string& path) {
   std::ifstream is(path);
   HCP_CHECK_MSG(is.good(), "cannot open " << path);
-  return loadModel(is);
+  std::unique_ptr<Regressor> model;
+  try {
+    model = loadModel(is);
+  } catch (const Error& e) {
+    // Re-throw with the offending file named: the stream-level readers have
+    // no idea where their bytes come from, but "which file is broken" is the
+    // question the user actually has.
+    throw Error(std::string(e.what()) + " [model file: " + path + "]");
+  }
+  // A model file holds exactly one model: trailing bytes mean the file was
+  // concatenated, double-written or otherwise mangled — reject rather than
+  // silently ignore.
+  std::string extra;
+  HCP_CHECK_MSG(!(is >> extra),
+                "trailing garbage after model (first token '"
+                    << extra << "') in model file: " << path);
+  return model;
 }
 
 }  // namespace hcp::ml

@@ -1,0 +1,105 @@
+#include "rtl/serialize.hpp"
+
+#include "hls/serialize.hpp"
+#include "support/textio.hpp"
+
+namespace hcp::rtl {
+
+namespace txt = support::txt;
+
+void writeGeneratedRtl(std::ostream& os, const GeneratedRtl& rtl) {
+  txt::preparePrecision(os);
+  const Netlist& nl = rtl.netlist;
+  os << "rtl\nnetlist ";
+  txt::writeStr(os, nl.name());
+  os << "\ninstances " << nl.numInstances() << '\n';
+  for (InstanceId i = 0; i < nl.numInstances(); ++i) {
+    const Instance& inst = nl.instance(i);
+    txt::writeStr(os, inst.name);
+    os << ' ' << inst.functionIndex << ' ' << inst.parent << '\n';
+  }
+  os << "cells " << nl.numCells() << '\n';
+  for (const Cell& c : nl.cells()) {
+    os << static_cast<unsigned>(c.type) << ' ';
+    txt::writeStr(os, c.name);
+    os << ' ' << c.width << ' ';
+    hls::writeResource(os, c.res);
+    os << ' ' << c.delayNs << ' ';
+    txt::writeBool(os, c.sequential);
+    os << ' ' << c.instance << ' ';
+    txt::writeVec(os, c.ops);
+    os << ' ' << c.sourceLine << ' ' << c.array << ' ' << c.bankIndex
+       << '\n';
+  }
+  os << "nets " << nl.numNets() << '\n';
+  for (const Net& n : nl.nets()) {
+    txt::writeStr(os, n.name);
+    os << ' ' << n.width << ' ' << n.driver << ' ';
+    txt::writeVec(os, n.sinks);
+    os << '\n';
+  }
+  os << "provenance " << rtl.provenance.opCells.size() << '\n';
+  for (const auto& [key, cell] : rtl.provenance.opCells)
+    os << key << ' ' << cell << '\n';
+}
+
+GeneratedRtl readGeneratedRtl(std::istream& is) {
+  txt::expect(is, "rtl");
+  txt::expect(is, "netlist");
+  GeneratedRtl rtl;
+  Netlist nl(txt::readStr(is, "netlist name"));
+  txt::expect(is, "instances");
+  const auto numInstances = txt::read<std::size_t>(is, "instance count");
+  for (std::size_t i = 0; i < numInstances; ++i) {
+    Instance inst;
+    inst.name = txt::readStr(is, "instance name");
+    inst.functionIndex = txt::read<std::uint32_t>(is, "instance function");
+    inst.parent = txt::read<InstanceId>(is, "instance parent");
+    nl.addInstance(std::move(inst));
+  }
+  txt::expect(is, "cells");
+  const auto numCells = txt::read<std::size_t>(is, "cell count");
+  for (std::size_t i = 0; i < numCells; ++i) {
+    Cell c;
+    const auto type = txt::read<unsigned>(is, "cell type");
+    HCP_CHECK_MSG(type <= static_cast<unsigned>(CellType::Pad),
+                  "cell type out of range: " << type);
+    c.type = static_cast<CellType>(type);
+    c.name = txt::readStr(is, "cell name");
+    c.width = txt::read<std::uint16_t>(is, "cell width");
+    c.res = hls::readResource(is);
+    c.delayNs = txt::read<double>(is, "cell delayNs");
+    c.sequential = txt::readBool(is, "cell sequential");
+    c.instance = txt::read<InstanceId>(is, "cell instance");
+    c.ops = txt::readVec<ir::OpId>(is, "cell ops");
+    c.sourceLine = txt::read<std::int32_t>(is, "cell sourceLine");
+    c.array = txt::read<ir::ArrayId>(is, "cell array");
+    c.bankIndex = txt::read<std::uint32_t>(is, "cell bankIndex");
+    nl.addCell(std::move(c));
+  }
+  txt::expect(is, "nets");
+  const auto numNets = txt::read<std::size_t>(is, "net count");
+  for (std::size_t i = 0; i < numNets; ++i) {
+    Net n;
+    n.name = txt::readStr(is, "net name");
+    n.width = txt::read<std::uint16_t>(is, "net width");
+    n.driver = txt::read<CellId>(is, "net driver");
+    HCP_CHECK_MSG(n.driver < nl.numCells(),
+                  "net '" << n.name << "' drives from unknown cell "
+                          << n.driver);
+    n.sinks = txt::readVec<CellId>(is, "net sinks");
+    nl.addNet(std::move(n));
+  }
+  rtl.netlist = std::move(nl);
+  txt::expect(is, "provenance");
+  const auto numProv = txt::read<std::size_t>(is, "provenance count");
+  rtl.provenance.opCells.reserve(numProv);
+  for (std::size_t i = 0; i < numProv; ++i) {
+    const auto key = txt::read<std::uint64_t>(is, "provenance key");
+    const auto cell = txt::read<CellId>(is, "provenance cell");
+    rtl.provenance.opCells.emplace_back(key, cell);
+  }
+  return rtl;
+}
+
+}  // namespace hcp::rtl

@@ -1,0 +1,185 @@
+#include "support/flowcache.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/telemetry.hpp"
+
+namespace hcp::support::flowcache {
+
+namespace fs = std::filesystem;
+namespace telemetry = hcp::support::telemetry;
+
+Fnv1a& Fnv1a::u64(std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  return bytes(std::string_view(b, 8));
+}
+
+Fnv1a& Fnv1a::f64(double v) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return u64(bits);
+}
+
+std::string Fnv1a::hex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash_));
+  return std::string(buf, 16);
+}
+
+FlowCache::FlowCache(std::string dir) : dir_(std::move(dir)) {
+  HCP_CHECK_MSG(!dir_.empty(), "flow cache directory must be non-empty");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  HCP_CHECK_MSG(!ec && fs::is_directory(dir_),
+                "cannot create flow cache directory " << dir_ << ": "
+                                                      << ec.message());
+}
+
+std::string FlowCache::entryPath(const std::string& key) const {
+  return dir_ + "/" + key + ".flow";
+}
+
+namespace {
+
+/// Reads the whole file; nullopt when it does not exist / cannot be opened.
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return std::nullopt;
+  std::ostringstream os;
+  os << is.rdbuf();
+  if (is.bad()) return std::nullopt;
+  return std::move(os).str();
+}
+
+void corrupt(const std::string& path, const char* why) {
+  telemetry::count(telemetry::Counter::FlowCacheCorrupt);
+  std::fprintf(stderr, "[flowcache] corrupt entry %s: %s (will recompute)\n",
+               path.c_str(), why);
+}
+
+}  // namespace
+
+std::optional<std::string> FlowCache::load(const std::string& key) const {
+  const std::string path = entryPath(key);
+  auto raw = slurp(path);
+  if (!raw) {
+    telemetry::count(telemetry::Counter::FlowCacheMiss);
+    return std::nullopt;
+  }
+  // Envelope: "hcp-flowcache <schema> <key> <bytes> <fnv>\n<payload>".
+  const std::size_t nl = raw->find('\n');
+  if (nl == std::string::npos) {
+    corrupt(path, "missing envelope header line");
+    return std::nullopt;
+  }
+  std::istringstream header(raw->substr(0, nl));
+  std::string magic, storedKey, payloadHash;
+  std::uint32_t version = 0;
+  std::uint64_t payloadBytes = 0;
+  if (!(header >> magic >> version >> storedKey >> payloadBytes >>
+        payloadHash) ||
+      magic != "hcp-flowcache") {
+    corrupt(path, "malformed envelope header");
+    return std::nullopt;
+  }
+  std::string trailing;
+  if (header >> trailing) {
+    corrupt(path, "trailing tokens in envelope header");
+    return std::nullopt;
+  }
+  if (version != kSchemaVersion) {
+    corrupt(path, "schema version skew");
+    return std::nullopt;
+  }
+  if (storedKey != key) {
+    corrupt(path, "key mismatch (entry stored under a different digest)");
+    return std::nullopt;
+  }
+  std::string payload = raw->substr(nl + 1);
+  if (payload.size() != payloadBytes) {
+    corrupt(path, payload.size() < payloadBytes
+                      ? "truncated payload"
+                      : "trailing garbage after payload");
+    return std::nullopt;
+  }
+  if (Fnv1a().bytes(payload).hex() != payloadHash) {
+    corrupt(path, "payload hash mismatch (bit rot or concurrent tampering)");
+    return std::nullopt;
+  }
+  return payload;
+}
+
+void FlowCache::store(const std::string& key,
+                      const std::string& payload) const {
+  const std::string path = entryPath(key);
+  // Unique-enough temp name: pid + a process-local ticket. Concurrent pool
+  // tasks and concurrent processes each write their own temp file; the final
+  // rename is atomic, so readers only ever see whole entries.
+  static std::atomic<std::uint64_t> ticket{0};
+  std::ostringstream tmpName;
+  tmpName << path << ".tmp." << static_cast<unsigned long>(::getpid()) << "."
+          << ticket.fetch_add(1, std::memory_order_relaxed);
+  const std::string tmp = tmpName.str();
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    HCP_CHECK_MSG(os.good(), "cannot open flow cache temp file " << tmp);
+    os << "hcp-flowcache " << kSchemaVersion << ' ' << key << ' '
+       << payload.size() << ' ' << Fnv1a().bytes(payload).hex() << '\n'
+       << payload;
+    os.flush();
+    HCP_CHECK_MSG(os.good(), "flow cache write failed for " << tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    HCP_CHECK_MSG(false, "cannot move flow cache entry into place at "
+                             << path << ": " << ec.message());
+  }
+  telemetry::count(telemetry::Counter::FlowCacheWrite);
+}
+
+namespace {
+std::unique_ptr<FlowCache>& globalSlot() {
+  static std::unique_ptr<FlowCache> cache;
+  return cache;
+}
+}  // namespace
+
+FlowCache* global() { return globalSlot().get(); }
+
+void setGlobalDir(const std::string& dir) {
+  if (dir.empty()) {
+    globalSlot().reset();
+  } else if (globalSlot() == nullptr || globalSlot()->dir() != dir) {
+    globalSlot() = std::make_unique<FlowCache>(dir);
+  }
+}
+
+std::string globalDir() {
+  return globalSlot() == nullptr ? std::string() : globalSlot()->dir();
+}
+
+std::string initCacheFromArgs(int argc, char** argv) {
+  std::string dir = telemetry::detail::flagValueOrDie(argc, argv, "cache");
+  if (dir.empty()) {
+    if (const char* env = std::getenv("HCP_CACHE")) dir = env;
+  }
+  if (!dir.empty()) setGlobalDir(dir);
+  return dir;
+}
+
+}  // namespace hcp::support::flowcache

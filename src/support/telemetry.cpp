@@ -32,6 +32,10 @@ const char* const kCounterNames[kNumCounters] = {
     "dataset_samples_extracted",
     "gbrt_boosting_rounds",
     "cv_folds_evaluated",
+    "flowcache_hit",
+    "flowcache_miss",
+    "flowcache_write",
+    "flowcache_corrupt",
 };
 
 const char* const kHistogramNames[kNumHistograms] = {

@@ -66,6 +66,10 @@ enum class Counter : std::size_t {
   DatasetSamplesExtracted,
   GbrtBoostingRounds,
   CvFoldsEvaluated,
+  FlowCacheHit,      ///< cache entry found, validated and deserialized
+  FlowCacheMiss,     ///< no entry on disk for the flow's key
+  FlowCacheWrite,    ///< entry written after a recompute
+  FlowCacheCorrupt,  ///< malformed/truncated/skewed entry (fell back)
   kCount,
 };
 

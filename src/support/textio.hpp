@@ -1,0 +1,97 @@
+// Shared primitives of the line-oriented text serializers (ir/hls/rtl/fpga/
+// trace `serialize.hpp`, ml/serialize.cpp's older sibling). The format goals
+// are the ones the flow cache needs:
+//
+//   - *exact* round trips: doubles are printed with 17 significant digits
+//     (writers call `preparePrecision` once per document), so
+//     save -> load -> save reproduces the original file byte for byte and
+//     loaded values are bit-identical to the saved ones;
+//   - robust strings: length-prefixed raw bytes (`5 hello`), so names with
+//     spaces or any other byte survive unquoted;
+//   - loud failures: every read checks the stream and throws hcp::Error on
+//     truncation or token mismatch — a corrupt document can never parse into
+//     a half-filled struct silently.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace hcp::support::txt {
+
+/// Sets the float formatting contract of a serialized document. Call at the
+/// top of every public write entry point.
+inline void preparePrecision(std::ostream& os) { os.precision(17); }
+
+/// Reads one whitespace-delimited token and requires it to equal `token`.
+inline void expect(std::istream& is, const char* token) {
+  std::string got;
+  HCP_CHECK_MSG(static_cast<bool>(is >> got) && got == token,
+                "serialized document: expected '" << token << "', got '"
+                                                  << got << "'");
+}
+
+/// Checked `>>` for arithmetic values.
+template <typename T>
+T read(std::istream& is, const char* what) {
+  T v{};
+  HCP_CHECK_MSG(static_cast<bool>(is >> v),
+                "serialized document: truncated while reading " << what);
+  return v;
+}
+
+/// Bools as 0/1 (operator>> would also accept them, but keep writes explicit).
+inline void writeBool(std::ostream& os, bool b) { os << (b ? 1 : 0); }
+
+inline bool readBool(std::istream& is, const char* what) {
+  const int v = read<int>(is, what);
+  HCP_CHECK_MSG(v == 0 || v == 1, what << ": bool must be 0 or 1, got " << v);
+  return v != 0;
+}
+
+/// Length-prefixed string: `<size> <raw bytes>`. The single separator after
+/// the size is consumed exactly, so the bytes may contain anything.
+inline void writeStr(std::ostream& os, const std::string& s) {
+  os << s.size() << ' ' << s;
+}
+
+inline std::string readStr(std::istream& is, const char* what) {
+  const auto n = read<std::size_t>(is, what);
+  HCP_CHECK_MSG(is.get() == ' ',
+                what << ": malformed string (missing separator)");
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  HCP_CHECK_MSG(static_cast<std::size_t>(is.gcount()) == n,
+                what << ": truncated string (wanted " << n << " bytes)");
+  return s;
+}
+
+/// `<n> v0 v1 ...` vectors of arithmetic values.
+template <typename T>
+void writeVec(std::ostream& os, const std::vector<T>& v) {
+  os << v.size();
+  for (const T& x : v) os << ' ' << x;
+}
+
+template <typename T>
+std::vector<T> readVec(std::istream& is, const char* what) {
+  const auto n = read<std::size_t>(is, what);
+  std::vector<T> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(read<T>(is, what));
+  return v;
+}
+
+/// Requires that nothing but whitespace remains — the no-trailing-garbage
+/// check every top-level reader runs before declaring success.
+inline void expectEnd(std::istream& is, const char* what) {
+  is >> std::ws;
+  std::string extra;
+  HCP_CHECK_MSG(!(is >> extra),
+                what << ": trailing garbage '" << extra << "' after document");
+}
+
+}  // namespace hcp::support::txt

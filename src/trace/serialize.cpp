@@ -1,0 +1,49 @@
+#include "trace/serialize.hpp"
+
+#include "support/textio.hpp"
+
+namespace hcp::trace {
+
+namespace txt = support::txt;
+
+void writeBackTrace(std::ostream& os, const BackTraceResult& traced) {
+  txt::preparePrecision(os);
+  os << "trace " << traced.samples.size() << ' ' << traced.cellsTraced << ' '
+     << traced.cellsWithoutOps << '\n';
+  for (const Sample& s : traced.samples) {
+    os << s.functionIndex << ' ' << s.instance << ' ' << s.op << ' '
+       << s.originOp << ' ' << s.sourceLine << ' ' << s.vCongestion << ' '
+       << s.hCongestion << ' ' << s.avgCongestion << ' ' << s.centreRadius
+       << ' ' << s.numCells << ' ';
+    txt::writeBool(os, s.marginal);
+    os << '\n';
+  }
+}
+
+BackTraceResult readBackTrace(std::istream& is) {
+  txt::expect(is, "trace");
+  BackTraceResult traced;
+  const auto numSamples = txt::read<std::size_t>(is, "trace sample count");
+  traced.cellsTraced = txt::read<std::size_t>(is, "trace cellsTraced");
+  traced.cellsWithoutOps =
+      txt::read<std::size_t>(is, "trace cellsWithoutOps");
+  traced.samples.reserve(numSamples);
+  for (std::size_t i = 0; i < numSamples; ++i) {
+    Sample s;
+    s.functionIndex = txt::read<std::uint32_t>(is, "sample functionIndex");
+    s.instance = txt::read<rtl::InstanceId>(is, "sample instance");
+    s.op = txt::read<ir::OpId>(is, "sample op");
+    s.originOp = txt::read<ir::OpId>(is, "sample originOp");
+    s.sourceLine = txt::read<std::int32_t>(is, "sample sourceLine");
+    s.vCongestion = txt::read<double>(is, "sample vCongestion");
+    s.hCongestion = txt::read<double>(is, "sample hCongestion");
+    s.avgCongestion = txt::read<double>(is, "sample avgCongestion");
+    s.centreRadius = txt::read<double>(is, "sample centreRadius");
+    s.numCells = txt::read<std::size_t>(is, "sample numCells");
+    s.marginal = txt::readBool(is, "sample marginal");
+    traced.samples.push_back(s);
+  }
+  return traced;
+}
+
+}  // namespace hcp::trace

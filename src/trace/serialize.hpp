@@ -1,0 +1,17 @@
+// Text serialization of back-tracing results (flow-cache format). Doubles
+// use 17 significant digits; save -> load -> save is byte-identical.
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "trace/backtrace.hpp"
+
+namespace hcp::trace {
+
+void writeBackTrace(std::ostream& os, const BackTraceResult& traced);
+
+/// Reads what writeBackTrace wrote. Throws hcp::Error on malformed input.
+BackTraceResult readBackTrace(std::istream& is);
+
+}  // namespace hcp::trace

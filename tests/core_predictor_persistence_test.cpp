@@ -150,6 +150,52 @@ TEST(PredictorPersistenceFailures, UnknownKindThrows) {
   EXPECT_THROW(CongestionPredictor::load(file.path()), hcp::Error);
 }
 
+TEST(PredictorPersistenceFailures, TruncationErrorNamesThePath) {
+  const LabeledDataset data = makeDataset();
+  CongestionPredictor predictor(smallOptions(ModelKind::Linear));
+  predictor.train(data);
+  TempFile file("predictor_named_path.hcp");
+  predictor.save(file.path());
+
+  std::string bytes;
+  {
+    std::ifstream is(file.path(), std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is), {});
+  }
+  TempFile cut("predictor_named_path_cut.hcp");
+  {
+    std::ofstream os(cut.path(), std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 40));
+  }
+  try {
+    CongestionPredictor::load(cut.path());
+    FAIL() << "truncated predictor file must not load";
+  } catch (const hcp::Error& e) {
+    EXPECT_NE(std::string(e.what()).find(cut.path()), std::string::npos)
+        << "error message must name the file: " << e.what();
+  }
+}
+
+TEST(PredictorPersistenceFailures, TrailingGarbageThrowsWithPath) {
+  const LabeledDataset data = makeDataset();
+  CongestionPredictor predictor(smallOptions(ModelKind::Linear));
+  predictor.train(data);
+  TempFile file("predictor_trailing.hcp");
+  predictor.save(file.path());
+  {
+    std::ofstream os(file.path(), std::ios::binary | std::ios::app);
+    os << "\nleftover bytes";
+  }
+  try {
+    CongestionPredictor::load(file.path());
+    FAIL() << "predictor file with trailing bytes must not load";
+  } catch (const hcp::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("trailing"), std::string::npos) << what;
+    EXPECT_NE(what.find(file.path()), std::string::npos) << what;
+  }
+}
+
 TEST(PredictorPersistenceFailures, UnknownModelTagThrows) {
   TempFile file("model_unknown_tag.hcp");
   {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "ml/gbrt.hpp"
@@ -97,6 +98,56 @@ TEST(Serialize, FileRoundTrip) {
 
 TEST(Serialize, MissingFileThrows) {
   EXPECT_THROW(loadModelFromFile("/nonexistent/model.hcp"), hcp::Error);
+}
+
+/// Writes `content` to a fresh temp file and returns its path.
+std::string writeFile(const std::string& path, const std::string& content) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << content;
+  return path;
+}
+
+std::string savedModelText() {
+  LassoRegression model;
+  model.fit(makeData(100, 7));
+  std::stringstream buffer;
+  saveModel(model, buffer);
+  return buffer.str();
+}
+
+TEST(Serialize, FileErrorsNameTheOffendingPath) {
+  const std::string full = savedModelText();
+  const std::string path =
+      writeFile("serialize_test_truncated.tmp", full.substr(0, full.size() / 2));
+  try {
+    loadModelFromFile(path);
+    FAIL() << "truncated model file must not load";
+  } catch (const hcp::Error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "error message must name the file: " << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, FileRejectsTrailingGarbage) {
+  const std::string path = writeFile("serialize_test_trailing.tmp",
+                                     savedModelText() + "\nextra junk");
+  try {
+    loadModelFromFile(path);
+    FAIL() << "model file with trailing bytes must not load";
+  } catch (const hcp::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("trailing"), std::string::npos) << what;
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, FileRejectsConcatenatedModels) {
+  const std::string one = savedModelText();
+  const std::string path = writeFile("serialize_test_double.tmp", one + one);
+  EXPECT_THROW(loadModelFromFile(path), hcp::Error);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -31,6 +31,8 @@
 //   --trace FILE      write a Chrome trace-event timeline (open in
 //                     chrome://tracing or https://ui.perfetto.dev);
 //                     HCP_TRACE is the fallback
+//   --cache DIR       memoize flow results on disk (content-addressed; see
+//                     README "Flow cache"); HCP_CACHE is the fallback
 //   --no-directives   synthesize without the paper's pragma set
 //   --model KIND      predictor kind for `train`: gbrt (default), ann, linear
 //
@@ -58,6 +60,7 @@
 #include "core/resolver.hpp"
 #include "ir/printer.hpp"
 #include "rtl/verilog.hpp"
+#include "support/flowcache.hpp"
 #include "support/parallel.hpp"
 #include "support/report_diff.hpp"
 #include "support/telemetry.hpp"
@@ -141,6 +144,7 @@ struct Args {
   std::size_t threads = 0;  ///< 0 = leave the default limit in place
   std::string report;       ///< empty = no run report
   std::string trace;        ///< empty = no trace timeline
+  std::string cache;        ///< empty = flow caching off
 };
 
 Args parse(int argc, char** argv, int first) {
@@ -173,6 +177,11 @@ Args parse(int argc, char** argv, int first) {
     } else if (a.rfind("--trace=", 0) == 0) {
       args.trace = a.substr(8);
       if (args.trace.empty()) usageError("--trace expects a non-empty value");
+    } else if (a == "--cache") {
+      args.cache = nonEmpty(i, "--cache");
+    } else if (a.rfind("--cache=", 0) == 0) {
+      args.cache = a.substr(8);
+      if (args.cache.empty()) usageError("--cache expects a non-empty value");
     } else if (a == "--no-directives") {
       args.directives = false;
     } else if (a == "--model") {
@@ -188,6 +197,9 @@ Args parse(int argc, char** argv, int first) {
   }
   if (args.trace.empty()) {
     if (const char* env = std::getenv("HCP_TRACE")) args.trace = env;
+  }
+  if (args.cache.empty()) {
+    if (const char* env = std::getenv("HCP_CACHE")) args.cache = env;
   }
   return args;
 }
@@ -271,6 +283,7 @@ int run(int argc, char** argv) {
   if (args.threads > 0) support::setThreadLimit(args.threads);
   if (!args.report.empty()) support::telemetry::setEnabled(true);
   if (!args.trace.empty()) support::tracing::arm();
+  if (!args.cache.empty()) support::flowcache::setGlobalDir(args.cache);
   const auto start = support::telemetry::detail::nowNs();
 
   std::vector<std::string> reportDesigns;

@@ -17,6 +17,7 @@
 #include "core/dataset_builder.hpp"
 #include "core/flow.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/flowcache.hpp"
 #include "support/parallel.hpp"
 #include "support/table.hpp"
@@ -44,15 +45,21 @@ inline std::size_t parseThreads(int argc, char** argv) {
 
 /// Per-binary session bookkeeping: applies `--threads N`, arms telemetry
 /// when `--report FILE` (or HCP_REPORT) is present, the trace sink when
-/// `--trace FILE` (or HCP_TRACE) is and the flow cache when `--cache DIR`
-/// (or HCP_CACHE) is, then writes the JSON run report and Chrome trace
-/// timeline when the bench exits normally. Instantiated by runBenchMain —
-/// bench binaries never touch the flags themselves.
+/// `--trace FILE` (or HCP_TRACE) is, the flow cache when `--cache DIR`
+/// (or HCP_CACHE) is, and fault injection when `--failpoints SPEC` (or
+/// HCP_FAILPOINTS) is. finish() — called by runBenchMain after the body
+/// returns normally — writes the JSON run report and Chrome trace timeline.
+/// The writes live in finish() rather than the destructor on purpose: the
+/// writers now raise hcp::IoError on failure, and an exception escaping a
+/// destructor during unwinding would std::terminate instead of reaching
+/// the exit-code mapping. Instantiated by runBenchMain — bench binaries
+/// never touch the flags themselves.
 class BenchSession {
  public:
   BenchSession(const char* tool, int argc, char** argv)
       : tool_(tool),
         threads_(parseThreads(argc, argv)),
+        failpoints_(support::failpoint::initFromArgs(argc, argv)),
         reportPath_(support::telemetry::initReportFromArgs(argc, argv)),
         tracePath_(support::tracing::initTraceFromArgs(argc, argv)),
         cacheDir_(support::flowcache::initCacheFromArgs(argc, argv)) {}
@@ -60,7 +67,9 @@ class BenchSession {
   BenchSession(const BenchSession&) = delete;
   BenchSession& operator=(const BenchSession&) = delete;
 
-  ~BenchSession() {
+  /// Writes the requested artifacts (report, trace). Throws hcp::IoError
+  /// when one cannot be written — mapped to exit 5 by runBenchMain.
+  void finish() {
     if (!reportPath_.empty()) {
       support::telemetry::RunReport meta;
       meta.tool = tool_;
@@ -87,21 +96,27 @@ class BenchSession {
  private:
   std::string tool_;
   std::size_t threads_;
+  std::string failpoints_;
   std::string reportPath_;
   std::string tracePath_;
   std::string cacheDir_;
 };
 
 /// The shared main() shell of every bench binary: session setup (threads,
-/// report, trace — new observability flags land here, once), the body, and
-/// the same exception-to-exit-code mapping hcp_cli uses (1 = hcp::Error,
-/// 3 = unexpected std::exception). `body` receives the live session.
+/// report, trace, cache, failpoints — new flags land here, once), the body,
+/// artifact writes, and the same exception-to-exit-code mapping hcp_cli
+/// uses (1 = hcp::Error, 3 = unexpected std::exception, 5 = a requested
+/// artifact could not be written). `body` receives the live session.
 template <typename Body>
 int runBenchMain(const char* tool, int argc, char** argv, Body&& body) {
   try {
     BenchSession session(tool, argc, argv);
     body(session);
+    session.finish();
     return 0;
+  } catch (const hcp::IoError& e) {
+    std::fprintf(stderr, "%s: artifact write error: %s\n", tool, e.what());
+    return 5;
   } catch (const hcp::Error& e) {
     std::fprintf(stderr, "%s: error: %s\n", tool, e.what());
     return 1;

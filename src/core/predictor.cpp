@@ -6,6 +6,7 @@
 
 #include "ml/serialize.hpp"
 #include "support/telemetry.hpp"
+#include "support/textio.hpp"
 
 namespace hcp::core {
 
@@ -108,13 +109,18 @@ std::vector<double> CongestionPredictor::featureImportance() const {
 
 void CongestionPredictor::save(const std::string& path) const {
   HCP_CHECK_MSG(trained_, "cannot save an untrained predictor");
-  std::ofstream os(path);
-  HCP_CHECK_MSG(os.good(), "cannot open " << path);
+  // Same fail-safe contract as ml::saveModelToFile: the in-body os.good()
+  // check only sees buffered failures, so commit() re-verifies after the
+  // final flush/close — a short write raises hcp::IoError naming `path`
+  // and the atomic temp + rename leaves no partial predictor behind.
+  support::txt::CheckedFileWriter writer(path, "model");
+  std::ostream& os = writer.stream();
   os << "hcp-predictor 1 " << modelKindName(options_.kind) << "\n";
   ml::saveModel(*vertical_, os);
   ml::saveModel(*horizontal_, os);
   ml::saveModel(*average_, os);
   HCP_CHECK_MSG(os.good(), "predictor write failed");
+  writer.commit();
 }
 
 CongestionPredictor CongestionPredictor::load(const std::string& path) {

@@ -7,6 +7,7 @@
 #include "ml/linear.hpp"
 #include "ml/mlp.hpp"
 #include "support/error.hpp"
+#include "support/textio.hpp"
 
 namespace hcp::ml {
 
@@ -80,9 +81,16 @@ std::unique_ptr<Regressor> loadModel(std::istream& is) {
 }
 
 void saveModelToFile(const Regressor& model, const std::string& path) {
-  std::ofstream os(path);
-  HCP_CHECK_MSG(os.good(), "cannot open " << path);
-  saveModel(model, os);
+  // The trained model is the product (ROADMAP north star): its save is
+  // verified end to end. saveModel's own os.good() check only observes
+  // buffered-write failures; the post-write commit() below flushes and
+  // closes under verification, so an ENOSPC short write raises hcp::IoError
+  // here — with the path named and no partial file left behind (atomic
+  // temp + rename) — instead of producing a truncated model that only
+  // fails at load time.
+  support::txt::CheckedFileWriter writer(path, "model");
+  saveModel(model, writer.stream());
+  writer.commit();
 }
 
 std::unique_ptr<Regressor> loadModelFromFile(const std::string& path) {

@@ -19,6 +19,23 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A file the user explicitly asked for (model save, --report, --trace, CSV
+/// results, --bench-out) could not be written: open, write, flush, close or
+/// rename-into-place failed. Carries the offending path in the message and
+/// separately. Distinct from Error so the CLIs can map it to its own exit
+/// code (5) — "your artifact was not produced" is a different failure from
+/// "the flow itself broke". See DESIGN.md §14.
+class IoError : public Error {
+ public:
+  IoError(const std::string& what, std::string path)
+      : Error(what), path_(std::move(path)) {}
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
 namespace detail {
 [[noreturn]] inline void checkFailed(const char* expr, const char* file,
                                      int line, const std::string& msg) {

@@ -1,7 +1,5 @@
 #include "support/flowcache.hpp"
 
-#include <unistd.h>
-
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -12,7 +10,9 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/telemetry.hpp"
+#include "support/textio.hpp"
 
 namespace hcp::support::flowcache {
 
@@ -70,13 +70,44 @@ void corrupt(const std::string& path, const char* why) {
                path.c_str(), why);
 }
 
+/// Degrade-gracefully reporting (DESIGN.md §14): count every failure, log
+/// only the first of each kind so a systemically broken cache (full disk,
+/// bad mount) does not flood stderr across hundreds of flows.
+void ioFailure(telemetry::Counter counter, std::atomic<bool>& loggedOnce,
+               const char* action, const std::string& detail) {
+  telemetry::count(counter);
+  if (!loggedOnce.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "[flowcache] %s failed: %s (degrading to recompute; "
+                 "further %s failures will not be logged)\n",
+                 action, detail.c_str(), action);
+  }
+}
+
+std::atomic<bool> gStoreErrorLogged{false};
+std::atomic<bool> gLoadErrorLogged{false};
+
 }  // namespace
 
 std::optional<std::string> FlowCache::load(const std::string& key) const {
   const std::string path = entryPath(key);
+  if (failpoint::shouldFail("flowcache.load")) {
+    ioFailure(telemetry::Counter::FlowCacheLoadError, gLoadErrorLogged,
+              "load", path + ": injected read failure");
+    return std::nullopt;
+  }
   auto raw = slurp(path);
   if (!raw) {
-    telemetry::count(telemetry::Counter::FlowCacheMiss);
+    // Distinguish "no entry" (the normal cold miss) from "entry exists but
+    // cannot be read" (permissions, I/O error): the latter degrades too,
+    // but under its own counter so operators can see a sick cache disk.
+    std::error_code ec;
+    if (fs::exists(path, ec) && !ec) {
+      ioFailure(telemetry::Counter::FlowCacheLoadError, gLoadErrorLogged,
+                "load", path + ": cannot read entry");
+    } else {
+      telemetry::count(telemetry::Counter::FlowCacheMiss);
+    }
     return std::nullopt;
   }
   // Envelope: "hcp-flowcache <schema> <key> <bytes> <fnv>\n<payload>".
@@ -122,34 +153,29 @@ std::optional<std::string> FlowCache::load(const std::string& key) const {
   return payload;
 }
 
-void FlowCache::store(const std::string& key,
+bool FlowCache::store(const std::string& key,
                       const std::string& payload) const {
-  const std::string path = entryPath(key);
-  // Unique-enough temp name: pid + a process-local ticket. Concurrent pool
-  // tasks and concurrent processes each write their own temp file; the final
-  // rename is atomic, so readers only ever see whole entries.
-  static std::atomic<std::uint64_t> ticket{0};
-  std::ostringstream tmpName;
-  tmpName << path << ".tmp." << static_cast<unsigned long>(::getpid()) << "."
-          << ticket.fetch_add(1, std::memory_order_relaxed);
-  const std::string tmp = tmpName.str();
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    HCP_CHECK_MSG(os.good(), "cannot open flow cache temp file " << tmp);
-    os << "hcp-flowcache " << kSchemaVersion << ' ' << key << ' '
-       << payload.size() << ' ' << Fnv1a().bytes(payload).hex() << '\n'
-       << payload;
-    os.flush();
-    HCP_CHECK_MSG(os.good(), "flow cache write failed for " << tmp);
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    HCP_CHECK_MSG(false, "cannot move flow cache entry into place at "
-                             << path << ": " << ec.message());
+  // CheckedFileWriter gives the atomicity (unique temp file + rename, so
+  // concurrent pool tasks and concurrent processes only ever expose whole
+  // entries) and the verification. The cache is an accelerator, never a
+  // correctness dependency: any failure — ENOSPC, read-only directory,
+  // rename across a broken mount, or an injected flowcache.store.* fault —
+  // is absorbed here per the degrade contract (DESIGN.md §14). The temp
+  // file is removed on every failure path (writer destructor / commit).
+  try {
+    txt::CheckedFileWriter writer(entryPath(key), "flowcache.store");
+    writer.stream() << "hcp-flowcache " << kSchemaVersion << ' ' << key << ' '
+                    << payload.size() << ' ' << Fnv1a().bytes(payload).hex()
+                    << '\n'
+                    << payload;
+    writer.commit();
+  } catch (const hcp::Error& e) {
+    ioFailure(telemetry::Counter::FlowCacheStoreError, gStoreErrorLogged,
+              "store", e.what());
+    return false;
   }
   telemetry::count(telemetry::Counter::FlowCacheWrite);
+  return true;
 }
 
 namespace {

@@ -24,10 +24,17 @@
 // entry). Serialization of the actual FlowResult lives in the owning layers
 // (ir/hls/rtl/fpga/trace `serialize.hpp`, composed by core/flow_serialize).
 //
-// Telemetry: load() counts flowcache_miss / flowcache_corrupt, store()
-// counts flowcache_write. The *hit* counter is bumped by the caller after
-// the payload also parsed back into a live struct, so a hit always means "a
-// usable result came out of the cache".
+// Telemetry: load() counts flowcache_miss / flowcache_corrupt /
+// flowcache_load_error, store() counts flowcache_write on success and
+// flowcache_store_error on a degraded failure. The *hit* counter is bumped
+// by the caller after the payload also parsed back into a live struct, so a
+// hit always means "a usable result came out of the cache".
+//
+// Failure contract (DESIGN.md §14): the cache is an accelerator, never a
+// correctness dependency. No cache I/O failure — full disk, read-only
+// directory, unreadable entry, injected flowcache.* fault — may abort a
+// flow that would succeed without the cache; every such failure degrades to
+// a recompute, counted and logged once.
 #pragma once
 
 #include <cstdint>
@@ -83,13 +90,19 @@ class FlowCache {
   const std::string& dir() const { return dir_; }
   std::string entryPath(const std::string& key) const;
 
-  /// Returns the validated payload for `key`, or nullopt on miss *or* on a
-  /// corrupt entry (counted and logged to stderr with the offending path —
-  /// the caller cannot tell the difference and simply recomputes).
+  /// Returns the validated payload for `key`, or nullopt on miss, on a
+  /// corrupt entry (flowcache_corrupt) *or* on an unreadable one
+  /// (flowcache_load_error) — each counted and the first logged with its
+  /// path; the caller cannot tell the difference and simply recomputes.
   std::optional<std::string> load(const std::string& key) const;
 
-  /// Atomically stores `payload` under `key`, replacing any existing entry.
-  void store(const std::string& key, const std::string& payload) const;
+  /// Atomically stores `payload` under `key` (temp file + rename),
+  /// replacing any existing entry. Never throws on I/O failure: per the
+  /// degrade contract (DESIGN.md §14) a failed open/write/rename is
+  /// counted (flowcache_store_error), logged once, its temp file removed,
+  /// and false returned — the flow that produced the payload still
+  /// succeeds. Returns true when the entry landed (flowcache_write).
+  bool store(const std::string& key, const std::string& payload) const;
 
  private:
   std::string dir_;

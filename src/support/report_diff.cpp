@@ -2,7 +2,6 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <memory>
 #include <ostream>
 #include <set>
@@ -12,6 +11,7 @@
 #include "support/error.hpp"
 #include "support/json.hpp"
 #include "support/telemetry.hpp"
+#include "support/textio.hpp"
 
 namespace hcp::support::report_diff {
 
@@ -223,9 +223,11 @@ int compareReportFiles(const std::string& basePath,
       << " histograms, " << spanPaths.size() << " spans)\n";
 
   if (!options.benchOutPath.empty()) {
-    std::ofstream bench(options.benchOutPath);
-    HCP_CHECK_MSG(bench.good(),
-                  "cannot open bench output " << options.benchOutPath);
+    // --bench-out is a user-requested artifact: verified and atomic, with
+    // an unchecked-write failure raising hcp::IoError rather than handing
+    // CI a truncated JSON summary that parses as a mystery later.
+    txt::CheckedFileWriter writer(options.benchOutPath, "benchout");
+    std::ostream& bench = writer.stream();
     bench << "{\n  \"schema_version\": " << telemetry::kReportSchemaVersion
           << ",\n  \"base\": \"";
     jsonEscapeMin(bench, basePath);
@@ -245,6 +247,7 @@ int compareReportFiles(const std::string& basePath,
       bench << '"';
     }
     bench << "],\n  \"ok\": " << (ok ? "true" : "false") << "\n}\n";
+    writer.commit();
   }
 
   return ok ? kExitOk : kExitRegression;

@@ -1,10 +1,10 @@
 #include "support/table.hpp"
 
-#include <fstream>
 #include <iomanip>
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/textio.hpp"
 
 namespace hcp {
 
@@ -81,10 +81,12 @@ std::string Table::toCsv() const {
 }
 
 void Table::writeCsv(const std::string& path) const {
-  std::ofstream f(path);
-  HCP_CHECK_MSG(f.good(), "cannot open " << path);
-  f << toCsv();
-  HCP_CHECK_MSG(f.good(), "write failed: " << path);
+  // CSV results are a user-requested artifact: verified and atomic, so an
+  // ENOSPC mid-write raises hcp::IoError (exit 5) instead of leaving a
+  // truncated table that only fails in whatever consumes it.
+  support::txt::CheckedFileWriter writer(path, "csv");
+  writer.stream() << toCsv();
+  writer.commit();
 }
 
 std::string fmt(double v, int precision) {

@@ -12,6 +12,7 @@
 #include <ostream>
 
 #include "support/error.hpp"
+#include "support/textio.hpp"
 #include "support/tracing.hpp"
 
 namespace hcp::support::telemetry {
@@ -36,6 +37,9 @@ const char* const kCounterNames[kNumCounters] = {
     "flowcache_miss",
     "flowcache_write",
     "flowcache_corrupt",
+    "flowcache_store_error",
+    "flowcache_load_error",
+    "failpoints_fired",
 };
 
 const char* const kHistogramNames[kNumHistograms] = {
@@ -376,10 +380,11 @@ void writeReportToFile(const std::string& path, RunReport meta) {
             .count();
   }
   const Snapshot snap = snapshot();
-  std::ofstream os(path);
-  HCP_CHECK_MSG(os.good(), "cannot open report file " << path);
-  writeReport(os, meta, snap);
-  HCP_CHECK_MSG(os.good(), "report write failed: " << path);
+  // The report is a user-requested artifact: all I/O verified, written
+  // atomically, failures raise hcp::IoError (exit code 5 in the CLIs).
+  txt::CheckedFileWriter writer(path, "report");
+  writeReport(writer.stream(), meta, snap);
+  writer.commit();
 }
 
 namespace detail {

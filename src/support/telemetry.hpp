@@ -66,10 +66,13 @@ enum class Counter : std::size_t {
   DatasetSamplesExtracted,
   GbrtBoostingRounds,
   CvFoldsEvaluated,
-  FlowCacheHit,      ///< cache entry found, validated and deserialized
-  FlowCacheMiss,     ///< no entry on disk for the flow's key
-  FlowCacheWrite,    ///< entry written after a recompute
-  FlowCacheCorrupt,  ///< malformed/truncated/skewed entry (fell back)
+  FlowCacheHit,         ///< cache entry found, validated and deserialized
+  FlowCacheMiss,        ///< no entry on disk for the flow's key
+  FlowCacheWrite,       ///< entry written after a recompute
+  FlowCacheCorrupt,     ///< malformed/truncated/skewed entry (fell back)
+  FlowCacheStoreError,  ///< store failed (open/write/rename); degraded
+  FlowCacheLoadError,   ///< entry exists but could not be read; degraded
+  FailpointsFired,      ///< injected faults (support/failpoint) that fired
   kCount,
 };
 

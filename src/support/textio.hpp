@@ -13,14 +13,121 @@
 //     a half-filled struct silently.
 #pragma once
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 
 namespace hcp::support::txt {
+
+/// Fail-safe file writer used by every artifact-producing site (model save,
+/// run report, trace timeline, CSV tables, flow-cache entries). The contract
+/// the bare `std::ofstream` writers violated:
+///
+///   - *atomic*: bytes go to `<path>.tmp.<pid>.<ticket>`; only commit()
+///     renames into place, so a crash, an exception or ENOSPC mid-write can
+///     never leave a truncated file under the final name. The destructor
+///     removes the temp file when commit() was not reached.
+///   - *verified*: open, write, flush, close and rename are all checked;
+///     any failure throws hcp::IoError naming the destination path and the
+///     errno reason. A short write on a full disk raises at commit() instead
+///     of surfacing as a corrupt artifact at load time.
+///   - *injectable*: each boundary consults a named failpoint
+///     (`<site>.open`, `<site>.write`, `<site>.rename` — see
+///     support/failpoint.hpp), so tests and CI can exercise every failure
+///     path deterministically.
+///
+/// Failure policy is the caller's: artifact writers let the IoError
+/// propagate (exit code 5), the flow cache catches it and degrades to
+/// recompute (DESIGN.md §14).
+class CheckedFileWriter {
+ public:
+  CheckedFileWriter(std::string path, std::string site)
+      : path_(std::move(path)), site_(std::move(site)) {
+    static std::atomic<std::uint64_t> ticket{0};
+    std::ostringstream tmpName;
+    tmpName << path_ << ".tmp." << static_cast<unsigned long>(::getpid())
+            << "." << ticket.fetch_add(1, std::memory_order_relaxed);
+    tmp_ = tmpName.str();
+    if (failpoint::shouldFail(site_ + ".open"))
+      fail("cannot open", EACCES, true);
+    errno = 0;
+    os_.open(tmp_, std::ios::binary | std::ios::trunc);
+    if (!os_.good()) fail("cannot open", errno, false);
+  }
+
+  ~CheckedFileWriter() {
+    if (committed_) return;
+    os_.close();
+    std::error_code ec;
+    std::filesystem::remove(tmp_, ec);  // best effort; never throws
+  }
+
+  CheckedFileWriter(const CheckedFileWriter&) = delete;
+  CheckedFileWriter& operator=(const CheckedFileWriter&) = delete;
+
+  /// The buffered stream. Callers need not check it between writes —
+  /// commit() observes any sticky error bit.
+  std::ostream& stream() { return os_; }
+  const std::string& path() const { return path_; }
+
+  /// Flush + close + rename into place, verifying each step. Throws
+  /// hcp::IoError (and removes the temp file) on any failure, including a
+  /// failure that happened during earlier buffered writes.
+  void commit() {
+    if (failpoint::shouldFail(site_ + ".write"))
+      os_.setstate(std::ios::badbit);  // as if a buffer flush hit ENOSPC
+    errno = 0;
+    os_.flush();
+    if (!os_.good()) fail("write failed for", errno != 0 ? errno : ENOSPC,
+                          true);
+    os_.close();
+    if (os_.fail()) fail("close failed for", errno != 0 ? errno : ENOSPC,
+                         true);
+    std::error_code ec;
+    if (failpoint::shouldFail(site_ + ".rename"))
+      ec = std::make_error_code(std::errc::no_space_on_device);
+    else
+      std::filesystem::rename(tmp_, path_, ec);
+    if (ec) {
+      std::error_code ignored;
+      std::filesystem::remove(tmp_, ignored);
+      throw IoError("cannot move " + tmp_ + " into place at " + path_ +
+                        ": " + ec.message(),
+                    path_);
+    }
+    committed_ = true;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* verb, int err, bool removeTmp) {
+    if (removeTmp) {
+      os_.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp_, ec);
+    }
+    committed_ = true;  // nothing left to clean up in the destructor
+    std::ostringstream msg;
+    msg << verb << ' ' << path_ << ": "
+        << (err != 0 ? std::strerror(err) : "stream error");
+    throw IoError(msg.str(), path_);
+  }
+
+  std::string path_, site_, tmp_;
+  std::ofstream os_;
+  bool committed_ = false;
+};
 
 /// Sets the float formatting contract of a serialized document. Call at the
 /// top of every public write entry point.

@@ -13,6 +13,7 @@
 
 #include "support/error.hpp"
 #include "support/telemetry.hpp"
+#include "support/textio.hpp"
 
 namespace hcp::support::tracing {
 
@@ -197,10 +198,10 @@ void writeChromeTrace(std::ostream& os, const TraceMeta& meta) {
 }
 
 void writeChromeTraceToFile(const std::string& path, const TraceMeta& meta) {
-  std::ofstream os(path);
-  HCP_CHECK_MSG(os.good(), "cannot open trace file " << path);
-  writeChromeTrace(os, meta);
-  HCP_CHECK_MSG(os.good(), "trace write failed: " << path);
+  // User-requested artifact: verified, atomic, IoError on failure (exit 5).
+  txt::CheckedFileWriter writer(path, "trace");
+  writeChromeTrace(writer.stream(), meta);
+  writer.commit();
 }
 
 void arm() {

@@ -1,13 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "ml/gbrt.hpp"
 #include "ml/linear.hpp"
 #include "ml/mlp.hpp"
 #include "ml/serialize.hpp"
+#include "support/failpoint.hpp"
 #include "support/rng.hpp"
 
 namespace hcp::ml {
@@ -148,6 +151,90 @@ TEST(Serialize, FileRejectsConcatenatedModels) {
   const std::string path = writeFile("serialize_test_double.tmp", one + one);
   EXPECT_THROW(loadModelFromFile(path), hcp::Error);
   std::remove(path.c_str());
+}
+
+// --- save failure paths -----------------------------------------------------
+//
+// A model save is a user-requested artifact: unlike the flow cache it must
+// fail loudly (hcp::IoError naming the path, exit 5 in hcp_cli) and must
+// never leave a partial or temp file behind — the previous model, if any,
+// stays intact.
+
+/// Names of all files in the current directory that start with `stem`.
+std::vector<std::string> filesMatching(const std::string& stem) {
+  std::vector<std::string> names;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(std::filesystem::current_path())) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(stem, 0) == 0) names.push_back(name);
+  }
+  return names;
+}
+
+class SaveFailure : public ::testing::Test {
+ protected:
+  void TearDown() override { support::failpoint::clear(); }
+};
+
+TEST_F(SaveFailure, InjectedWriteFailureThrowsIoErrorAndLeavesNoFile) {
+  LassoRegression model;
+  model.fit(makeData(100, 8));
+  const std::string path = "serialize_test_savefail.tmp";
+
+  support::failpoint::configure("model.write:1");
+  try {
+    saveModelToFile(model, path);
+    FAIL() << "injected write failure must throw";
+  } catch (const hcp::IoError& e) {
+    EXPECT_EQ(e.path(), path);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "error must name the destination: " << e.what();
+  }
+  // No destination file, no temp-file litter.
+  EXPECT_TRUE(filesMatching(path).empty());
+
+  // Budget spent: the same call now succeeds and the model loads back.
+  saveModelToFile(model, path);
+  EXPECT_NE(loadModelFromFile(path), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST_F(SaveFailure, FailedSaveKeepsThePreviousModelIntact) {
+  const std::string path = "serialize_test_keepold.tmp";
+  LassoRegression old;
+  old.fit(makeData(100, 9));
+  saveModelToFile(old, path);
+  std::ifstream before(path, std::ios::binary);
+  std::stringstream beforeBytes;
+  beforeBytes << before.rdbuf();
+
+  Gbrt replacement({.numEstimators = 10});
+  replacement.fit(makeData(100, 10));
+  support::failpoint::configure("model.rename:1");
+  EXPECT_THROW(saveModelToFile(replacement, path), hcp::IoError);
+
+  // The old model is untouched, byte for byte, and still loads.
+  std::ifstream after(path, std::ios::binary);
+  std::stringstream afterBytes;
+  afterBytes << after.rdbuf();
+  EXPECT_EQ(beforeBytes.str(), afterBytes.str());
+  EXPECT_EQ(loadModelFromFile(path)->name(), old.name());
+  EXPECT_EQ(filesMatching(path).size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(SaveFailure, UnwritableDestinationReportsPathAndErrno) {
+  LassoRegression model;
+  model.fit(makeData(50, 11));
+  try {
+    saveModelToFile(model, "/nonexistent-dir/model.hcp");
+    FAIL() << "saving into a missing directory must throw";
+  } catch (const hcp::IoError& e) {
+    EXPECT_EQ(e.path(), "/nonexistent-dir/model.hcp");
+    EXPECT_NE(std::string(e.what()).find("/nonexistent-dir/model.hcp"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

@@ -14,7 +14,13 @@
 //      detected (flowcache_corrupt), logged, and fall back to recompute —
 //      never a crash, never stale data — and the recompute self-heals the
 //      entry.
+//   5. Failure matrix: injected store/load I/O failures (open, ENOSPC
+//      mid-write, rename) degrade to recompute with the flowcache_*_error
+//      counters bumped, never abort, never leave temp files, and stay
+//      byte-identical to a cache-disabled run.
 #include <gtest/gtest.h>
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -29,6 +35,7 @@
 #include "core/flow.hpp"
 #include "core/flow_serialize.hpp"
 #include "core/predictor.hpp"
+#include "support/failpoint.hpp"
 #include "support/flowcache.hpp"
 #include "support/telemetry.hpp"
 
@@ -526,6 +533,158 @@ TEST_F(CorruptionBattery, FlowResultReaderRejectsTrailingGarbage) {
   EXPECT_THROW(deserialize(text + text), hcp::Error);
   std::istringstream truncated(text.substr(0, text.size() / 3));
   EXPECT_THROW(readFlowResult(truncated), hcp::Error);
+}
+
+// --- 5. failure matrix: store/load I/O failures degrade to recompute --------
+//
+// The contract under test (DESIGN.md §14): the cache is an accelerator,
+// never a correctness dependency. No cache I/O failure may abort a flow
+// that would succeed without the cache; failures are counted
+// (flowcache_store_error / flowcache_load_error), the orphaned temp file is
+// always removed, and results stay byte-identical to a cache-disabled run.
+
+namespace fp = support::failpoint;
+
+/// Files in `dir` whose name contains ".tmp." — must always be empty after
+/// a store, successful or failed.
+std::vector<std::string> tmpFilesIn(const std::string& dir) {
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp.") != std::string::npos) names.push_back(name);
+  }
+  return names;
+}
+
+class FailureMatrix : public CacheBehaviorTest {
+ protected:
+  void TearDown() override {
+    fp::clear();
+    CacheBehaviorTest::TearDown();
+  }
+};
+
+TEST_F(FailureMatrix, InjectedEnospcMidStoreDegradesToRecompute) {
+  TempCacheDir scratch("flowcache_enospc/");
+  fc::ScopedCacheDir armed(scratch.dir());
+
+  // ENOSPC on the first store: the flow must still succeed, counting one
+  // store error and writing no entry (and leaving no temp file).
+  fp::configure("flowcache.store.write:1");
+  FlowResult cold;
+  EXPECT_NO_THROW(cold = runFlow(smallDigit(), mainDevice(), {}));
+  EXPECT_EQ(counter(telemetry::Counter::FlowCacheStoreError), 1u);
+  EXPECT_EQ(counter(telemetry::Counter::FlowCacheWrite), 0u);
+  EXPECT_TRUE(tmpFilesIn(scratch.dir()).empty());
+  EXPECT_TRUE(fs::is_empty(scratch.dir()));
+
+  // The budget is spent: the next run recomputes (miss — nothing was
+  // stored), stores successfully, and matches the degraded run byte for
+  // byte.
+  telemetry::reset();
+  const FlowResult warm = runFlow(smallDigit(), mainDevice(), {});
+  EXPECT_EQ(counter(telemetry::Counter::FlowCacheMiss), 1u);
+  EXPECT_EQ(counter(telemetry::Counter::FlowCacheWrite), 1u);
+  EXPECT_EQ(counter(telemetry::Counter::FlowCacheStoreError), 0u);
+  EXPECT_EQ(serialize(cold), serialize(warm));
+
+  // And the healed entry hits.
+  telemetry::reset();
+  const FlowResult hit = runFlow(smallDigit(), mainDevice(), {});
+  EXPECT_EQ(counter(telemetry::Counter::FlowCacheHit), 1u);
+  EXPECT_EQ(serialize(cold), serialize(hit));
+}
+
+TEST_F(FailureMatrix, RenameFailureRemovesTheOrphanedTempFile) {
+  TempCacheDir scratch("flowcache_rename/");
+  fc::ScopedCacheDir armed(scratch.dir());
+
+  fp::configure("flowcache.store.rename:1");
+  const FlowResult cold = runFlow(smallDigit(), mainDevice(), {});
+  EXPECT_EQ(counter(telemetry::Counter::FlowCacheStoreError), 1u);
+  EXPECT_TRUE(fs::is_empty(scratch.dir()))
+      << "rename failure must remove the temp file";
+
+  // Warm run (budget spent) still byte-identical to the degraded cold run.
+  telemetry::reset();
+  const FlowResult warm = runFlow(smallDigit(), mainDevice(), {});
+  EXPECT_EQ(serialize(cold), serialize(warm));
+  EXPECT_EQ(counter(telemetry::Counter::FlowCacheWrite), 1u);
+}
+
+TEST_F(FailureMatrix, OpenFailureOnStoreDegradesToo) {
+  TempCacheDir scratch("flowcache_openfail/");
+  const fc::FlowCache cache(scratch.dir());
+  fp::configure("flowcache.store.open:1");
+  EXPECT_FALSE(cache.store("00deadbeef00cafe", "payload"));
+  EXPECT_EQ(counter(telemetry::Counter::FlowCacheStoreError), 1u);
+  EXPECT_TRUE(fs::is_empty(scratch.dir()));
+  EXPECT_TRUE(cache.store("00deadbeef00cafe", "payload"));
+  EXPECT_EQ(cache.load("00deadbeef00cafe"), "payload");
+}
+
+TEST_F(FailureMatrix, InjectedLoadErrorRecomputesWithoutServingBytes) {
+  TempCacheDir scratch("flowcache_loadfail/");
+  fc::ScopedCacheDir armed(scratch.dir());
+
+  const FlowResult cold = runFlow(smallDigit(), mainDevice(), {});
+
+  // The stored entry is fine, but reading it fails (injected): the run
+  // must recompute — and produce identical bytes — rather than abort.
+  telemetry::reset();
+  fp::configure("flowcache.load:1");
+  const FlowResult degraded = runFlow(smallDigit(), mainDevice(), {});
+  EXPECT_EQ(counter(telemetry::Counter::FlowCacheLoadError), 1u);
+  EXPECT_EQ(counter(telemetry::Counter::FlowCacheHit), 0u);
+  EXPECT_EQ(counter(telemetry::Counter::FlowCacheMiss), 0u);
+  EXPECT_EQ(serialize(cold), serialize(degraded));
+
+  // Budget spent: the entry (self-healed by the recompute's store) hits.
+  telemetry::reset();
+  (void)runFlow(smallDigit(), mainDevice(), {});
+  EXPECT_EQ(counter(telemetry::Counter::FlowCacheHit), 1u);
+}
+
+TEST_F(FailureMatrix, MultiDesignRunFlowsSurvivesOneStoreFailure) {
+  // The acceptance scenario: HCP_FAILPOINTS=flowcache.store:1 armed, a
+  // multi-design runFlows completes, produces results byte-identical to a
+  // cache-disabled run, and reports flowcache_store_error == 1.
+  auto makeSuite = [] {
+    std::vector<apps::AppDesign> designs;
+    designs.push_back(smallFace());
+    designs.push_back(smallDigit());
+    designs.push_back(smallSpam());
+    return designs;
+  };
+  auto baselineDesigns = makeSuite();
+  const auto baseline = runFlows(baselineDesigns, mainDevice(), {});  // no cache
+
+  TempCacheDir scratch("flowcache_acceptance/");
+  fc::ScopedCacheDir armed(scratch.dir());
+  telemetry::reset();
+  fp::configure("flowcache.store:1");
+  auto designs = makeSuite();
+  std::vector<FlowResult> flows;
+  EXPECT_NO_THROW(flows = runFlows(designs, mainDevice(), {}));
+  EXPECT_EQ(counter(telemetry::Counter::FlowCacheStoreError), 1u);
+  EXPECT_EQ(counter(telemetry::Counter::FlowCacheWrite), 2u);
+  ASSERT_EQ(flows.size(), baseline.size());
+  for (std::size_t i = 0; i < flows.size(); ++i)
+    EXPECT_EQ(serialize(flows[i]), serialize(baseline[i]));
+  EXPECT_TRUE(tmpFilesIn(scratch.dir()).empty());
+}
+
+TEST_F(FailureMatrix, ReadOnlyCacheDirDegradesEveryStore) {
+  if (::geteuid() == 0)
+    GTEST_SKIP() << "running as root: permission bits are not enforced";
+  TempCacheDir scratch("flowcache_readonly/");
+  const fc::FlowCache cache(scratch.dir());
+  fs::permissions(scratch.dir(), fs::perms::owner_read | fs::perms::owner_exec,
+                  fs::perm_options::replace);
+  EXPECT_FALSE(cache.store("00deadbeef00cafe", "payload"));
+  EXPECT_EQ(counter(telemetry::Counter::FlowCacheStoreError), 1u);
+  fs::permissions(scratch.dir(), fs::perms::owner_all,
+                  fs::perm_options::replace);
 }
 
 // --- plumbing ---------------------------------------------------------------

@@ -33,12 +33,18 @@
 //                     HCP_TRACE is the fallback
 //   --cache DIR       memoize flow results on disk (content-addressed; see
 //                     README "Flow cache"); HCP_CACHE is the fallback
+//   --failpoints SPEC arm named fault-injection sites, e.g.
+//                     flowcache.store:1 or model.rename (see README "Fault
+//                     injection"); HCP_FAILPOINTS is the fallback
 //   --no-directives   synthesize without the paper's pragma set
 //   --model KIND      predictor kind for `train`: gbrt (default), ann, linear
 //
 // Exit codes: 0 success, 1 flow/model error (hcp::Error) or compare-reports
 // regression, 2 usage error, 3 unexpected internal error (any other
-// std::exception), 4 compare-reports malformed input / schema mismatch.
+// std::exception), 4 compare-reports malformed input / schema mismatch,
+// 5 a requested artifact (model save, --report, --trace, CSV, --bench-out)
+// could not be written (hcp::IoError; the message names the path — no
+// partial file is left behind).
 //
 // <design> is one of: face_detection, face_detection_noinline,
 // face_detection_replicated, digit_recognition, spam_filter, digit_spam,
@@ -60,6 +66,7 @@
 #include "core/resolver.hpp"
 #include "ir/printer.hpp"
 #include "rtl/verilog.hpp"
+#include "support/failpoint.hpp"
 #include "support/flowcache.hpp"
 #include "support/parallel.hpp"
 #include "support/report_diff.hpp"
@@ -182,6 +189,12 @@ Args parse(int argc, char** argv, int first) {
     } else if (a.rfind("--cache=", 0) == 0) {
       args.cache = a.substr(8);
       if (args.cache.empty()) usageError("--cache expects a non-empty value");
+    } else if (a == "--failpoints") {
+      // Already applied by failpoint::initFromArgs at the top of run();
+      // consume the value so it is not mistaken for a positional.
+      (void)nonEmpty(i, "--failpoints");
+    } else if (a.rfind("--failpoints=", 0) == 0) {
+      // Already applied by failpoint::initFromArgs.
     } else if (a == "--no-directives") {
       args.directives = false;
     } else if (a == "--model") {
@@ -231,6 +244,10 @@ int runCompareReports(int argc, char** argv) {
       opts.benchOutPath = value(i, "--bench-out");
       if (opts.benchOutPath.empty())
         usageError("--bench-out expects a non-empty value");
+    } else if (a == "--failpoints") {
+      (void)value(i, "--failpoints");  // applied by failpoint::initFromArgs
+    } else if (a.rfind("--failpoints=", 0) == 0) {
+      // Applied by failpoint::initFromArgs.
     } else if (a.rfind("--", 0) == 0) {
       usageError("unknown option '" + a + "' (see hcp_cli usage)");
     } else if (base.empty()) {
@@ -271,6 +288,9 @@ void printSummary(const core::FlowResult& flow) {
 
 int run(int argc, char** argv) {
   const std::string cmd = argv[1];
+  // Arm fault injection first: every later stage (including compare-reports'
+  // --bench-out) consults its failpoints through this one configuration.
+  support::failpoint::initFromArgs(argc, argv);
 
   if (cmd == "list") {
     for (const auto& d : kDesigns) std::printf("%s\n", d.c_str());
@@ -395,6 +415,13 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   try {
     return run(argc, argv);
+  } catch (const hcp::IoError& e) {
+    // A user-requested artifact (model, --report, --trace, CSV, --bench-out)
+    // could not be written. The flow itself may have succeeded; the distinct
+    // exit code lets scripts tell "your file is missing" from "the flow
+    // broke". No partial file exists — CheckedFileWriter is atomic.
+    std::fprintf(stderr, "artifact write error: %s\n", e.what());
+    return 5;
   } catch (const hcp::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

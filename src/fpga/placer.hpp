@@ -6,6 +6,19 @@
 // given seed. The placement is what turns IR structure into *spatial*
 // congestion: replicas of an unrolled loop spread over the fabric (Fig 5's
 // centre-vs-margin label divergence comes from exactly this).
+//
+// The per-move cost kernel is incremental, following VPR's update_bb: each
+// net carries its bounding box plus the number of pins sitting on each of
+// the four bounding edges, so moving a pin updates the box in O(1) — a full
+// O(fanout) rescan happens only when the last pin leaves an edge and the
+// box may shrink (counted as placer_box_rescans). Hot-path state is laid
+// out as flat arrays (CSR cluster->net adjacency with per-net pin
+// multiplicities; separate coordinate / edge-count / weight arrays) for
+// cache locality. The pre-incremental kernel is retained as
+// CostUpdate::kReference: both paths draw the same RNG stream and sum cost
+// deltas in the same order, so they produce bit-identical placements —
+// asserted by the equivalence tests and measured by bench/placer_hotpath
+// (BENCH_placer.json). See DESIGN.md §15.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +45,13 @@ struct PlacerConfig {
   std::uint32_t regionSize = 6;
   double supplyFraction = 0.55;
   double densityWeight = 3.0;  ///< 0 disables spreading (pure-HPWL ablation)
+
+  /// Cost-update kernel. kIncremental (default) is the O(1) edge-count
+  /// bounding-box path; kReference is the pre-incremental per-net full
+  /// rescan, kept for the equivalence tests and the placer_hotpath bench.
+  /// Both yield bit-identical placements for the same seed.
+  enum class CostUpdate : std::uint8_t { kIncremental, kReference };
+  CostUpdate costUpdate = CostUpdate::kIncremental;
 };
 
 struct TileXY {
@@ -51,7 +71,9 @@ Placement place(const Packing& packing, const Device& device,
                 const PlacerConfig& config = {});
 
 /// Bit-weighted HPWL of the whole packing under a placement (for tests and
-/// ablations; the placer tracks it incrementally).
+/// ablations; the placer tracks it incrementally). Shares the per-net
+/// bounding-box kernel with the annealer, so there is exactly one HPWL
+/// implementation to keep correct.
 double totalWirelength(const Packing& packing, const Placement& placement);
 
 }  // namespace hcp::fpga

@@ -2,19 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 #include "support/telemetry.hpp"
 
 namespace hcp::fpga {
 
 namespace {
-
-/// Directed channel-segment id: (tile, orientation).
-struct SegCost {
-  std::vector<double> history;  ///< accumulated overflow history
-  explicit SegCost(std::size_t tiles) : history(tiles, 0.0) {}
-};
 
 struct Window {
   std::uint32_t x0, y0, x1, y1;
@@ -36,7 +29,8 @@ class Router {
         config_(config),
         map_(CongestionMap::forDevice(device)),
         vHistory_(device.numTiles(), 0.0),
-        hHistory_(device.numTiles(), 0.0) {}
+        hHistory_(device.numTiles(), 0.0),
+        tileDirty_(device.numTiles(), 0) {}
 
   RoutingResult run() {
     routes_.resize(packing_.nets.size());
@@ -45,36 +39,69 @@ class Router {
     int iter = 0;
     for (; iter < config_.maxIterations; ++iter) {
       // Decide which nets to (re)route this round.
-      std::vector<std::size_t> work;
+      work_.clear();
       for (std::size_t n = 0; n < packing_.nets.size(); ++n) {
-        if (iter == 0 || routeOverflows(n)) work.push_back(n);
+        if (iter == 0 || routeOverflows(n)) work_.push_back(n);
       }
-      if (work.empty()) break;
+      if (work_.empty()) break;
 
-      for (std::size_t n : work) {
+      for (std::size_t n : work_) {
         if (!routes_[n].empty()) ++ripUps_;
         ripUp(n);
         routeNet(n, presentFactor);
       }
 
-      // Accumulate history on overflowed segments.
+      // Accumulate history on overflowed segments. Each tile's update is
+      // independent, so the dirty-tile sweep produces bit-identical history
+      // values and overflow counts to the pre-incremental full-grid scan
+      // (kept below as the reference mode, asserted equal by the tests).
       bool anyOverflow = false;
       std::uint64_t overflowTilesThisIter = 0;
-      for (std::uint32_t y = 0; y < device_.height(); ++y) {
-        for (std::uint32_t x = 0; x < device_.width(); ++x) {
-          const std::size_t i = device_.index(x, y);
-          const double vOver = map_.vDemand(x, y) - map_.vCapAt(x, y);
-          const double hOver = map_.hDemand(x, y) - map_.hCapAt(x, y);
-          if (vOver > 0) {
-            vHistory_[i] += config_.historyGain * vOver / map_.vCapAt(x, y);
-            anyOverflow = true;
-          }
-          if (hOver > 0) {
-            hHistory_[i] += config_.historyGain * hOver / map_.hCapAt(x, y);
-            anyOverflow = true;
-          }
-          if (vOver > 0 || hOver > 0) ++overflowTilesThisIter;
+      const auto scanTile = [&](std::uint32_t x, std::uint32_t y) {
+        const std::size_t i = device_.index(x, y);
+        const double vOver = map_.vDemand(x, y) - map_.vCapAt(x, y);
+        const double hOver = map_.hDemand(x, y) - map_.hCapAt(x, y);
+        if (vOver > 0) {
+          vHistory_[i] += config_.historyGain * vOver / map_.vCapAt(x, y);
+          anyOverflow = true;
         }
+        if (hOver > 0) {
+          hHistory_[i] += config_.historyGain * hOver / map_.hCapAt(x, y);
+          anyOverflow = true;
+        }
+        if (vOver > 0 || hOver > 0) ++overflowTilesThisIter;
+      };
+      // The dirty set is derived here, after routing, from the work set's
+      // final routes — not maintained step-by-step inside the A*/rip-up hot
+      // loops, which would tax every demand charge. It is exact: a tile can
+      // only end the iteration overflowed if it was already overflowed at
+      // the last sweep (then every net through it is in this work set, and
+      // any net still crossing it puts it on a scanned route; if all left,
+      // its demand is gone) or if a work-set net was just routed through it
+      // (then it is on that route). Either way the tile lies on a work-set
+      // net's current route. When the work set covers most nets (always
+      // iteration 0), walking their routes costs more than the grid scan it
+      // replaces, so fall back to the full sweep — same result, the
+      // scanned superset only adds zero-overflow no-ops.
+      bool fullScan = !config_.dirtyTileScan;
+      if (config_.dirtyTileScan) {
+        std::size_t steps = 0;
+        for (std::size_t n : work_) steps += routes_[n].size();
+        fullScan = steps >= device_.numTiles();
+      }
+      if (fullScan) {
+        if (config_.dirtyTileScan) dirtyScanned_ += device_.numTiles();
+        for (std::uint32_t y = 0; y < device_.height(); ++y)
+          for (std::uint32_t x = 0; x < device_.width(); ++x)
+            scanTile(x, y);
+      } else {
+        for (const std::uint32_t t : dirtyTiles_) tileDirty_[t] = 0;
+        dirtyTiles_.clear();
+        for (std::size_t n : work_)
+          for (const RouteStep& s : routes_[n]) markDirty(s.x, s.y);
+        dirtyScanned_ += dirtyTiles_.size();
+        for (const std::uint32_t t : dirtyTiles_)
+          scanTile(t % device_.width(), t / device_.width());
       }
       support::telemetry::observe(
           support::telemetry::Histogram::RouterOverflowTilesPerIter,
@@ -96,10 +123,19 @@ class Router {
     tm::count(tm::Counter::RouterIterations, static_cast<std::uint64_t>(iter));
     tm::count(tm::Counter::RouterRipUps, ripUps_);
     tm::count(tm::Counter::RouterOverflowTiles, result.overflowTiles);
+    tm::count(tm::Counter::RouterDirtyTiles, dirtyScanned_);
     return result;
   }
 
  private:
+  void markDirty(std::uint32_t x, std::uint32_t y) {
+    const auto i = static_cast<std::uint32_t>(device_.index(x, y));
+    if (!tileDirty_[i]) {
+      tileDirty_[i] = 1;
+      dirtyTiles_.push_back(i);
+    }
+  }
+
   bool routeOverflows(std::size_t n) const {
     for (const RouteStep& s : routes_[n]) {
       if (s.vertical) {
@@ -138,9 +174,9 @@ class Router {
     const TileXY src = placement_.tileOfCluster[net.driver];
 
     // Sinks ordered by distance from the driver.
-    std::vector<TileXY> sinks;
-    for (ClusterId s : net.sinks) sinks.push_back(placement_.tileOfCluster[s]);
-    std::sort(sinks.begin(), sinks.end(), [&](TileXY a, TileXY b) {
+    sinks_.clear();
+    for (ClusterId s : net.sinks) sinks_.push_back(placement_.tileOfCluster[s]);
+    std::sort(sinks_.begin(), sinks_.end(), [&](TileXY a, TileXY b) {
       const auto da = Device::manhattan(src.x, src.y, a.x, a.y);
       const auto db = Device::manhattan(src.x, src.y, b.x, b.y);
       return da < db || (da == db && (a.x != b.x ? a.x < b.x : a.y < b.y));
@@ -148,7 +184,7 @@ class Router {
 
     // Window: bbox of all terminals plus margin.
     std::uint32_t x0 = src.x, x1 = src.x, y0 = src.y, y1 = src.y;
-    for (const TileXY& s : sinks) {
+    for (const TileXY& s : sinks_) {
       x0 = std::min(x0, s.x);
       x1 = std::max(x1, s.x);
       y0 = std::min(y0, s.y);
@@ -160,38 +196,60 @@ class Router {
         std::min(device_.width() - 1, x1 + m),
         std::min(device_.height() - 1, y1 + m)};
 
-    // Tree membership per window tile.
-    std::vector<bool> inTree(static_cast<std::size_t>(win.w()) * win.h(),
-                             false);
-    inTree[win.idx(src.x, src.y)] = true;
+    // Search state is reused across sinks and nets: the arrays only ever
+    // grow to the largest window seen, per-sink invalidation is one epoch
+    // bump (dist entries from older epochs read as +inf), and the open
+    // list keeps its heap storage. This removes the per-sink O(window)
+    // allocate+fill churn the original router paid.
+    const std::size_t tiles = static_cast<std::size_t>(win.w()) * win.h();
+    if (dist_.size() < tiles) {
+      dist_.resize(tiles);
+      from_.resize(tiles);
+      stamp_.resize(tiles, 0);
+    }
 
-    for (const TileXY& sink : sinks) {
-      if (inTree[win.idx(sink.x, sink.y)]) continue;
-      connectSink(n, sink, win, inTree, presentFactor);
+    // Tree membership per window tile (per-net, so a plain refill).
+    inTree_.assign(tiles, false);
+    inTree_[win.idx(src.x, src.y)] = true;
+
+    for (const TileXY& sink : sinks_) {
+      if (inTree_[win.idx(sink.x, sink.y)]) continue;
+      connectSink(n, sink, win, presentFactor);
     }
   }
 
   /// A* from `sink` to the nearest tree tile; adds the path to the tree and
   /// charges demand.
   void connectSink(std::size_t n, TileXY sink, const Window& win,
-                   std::vector<bool>& inTree, double presentFactor) {
+                   double presentFactor) {
     const double width = packing_.nets[n].width;
-    const std::size_t tiles = static_cast<std::size_t>(win.w()) * win.h();
-    std::vector<double> dist(tiles, std::numeric_limits<double>::infinity());
-    std::vector<std::int8_t> from(tiles, -1);  // 0=W,1=E,2=S,3=N arrival dir
+    ++epoch_;
+    const auto distAt = [&](std::size_t i) {
+      return stamp_[i] == epoch_ ? dist_[i]
+                                 : std::numeric_limits<double>::infinity();
+    };
 
+    // Min-heap via push_heap/pop_heap on a reused vector — the exact
+    // algorithm std::priority_queue runs, so pop order (ties included) is
+    // identical; unlike priority_queue the storage survives clear().
     using QE = std::pair<double, std::uint32_t>;  // (cost, window index)
-    std::priority_queue<QE, std::vector<QE>, std::greater<>> open;
+    heap_.clear();
+    const auto push = [&](double c, std::uint32_t i) {
+      heap_.emplace_back(c, i);
+      std::push_heap(heap_.begin(), heap_.end(), std::greater<QE>{});
+    };
     const std::size_t start = win.idx(sink.x, sink.y);
-    dist[start] = 0.0;
-    open.push({0.0, static_cast<std::uint32_t>(start)});
+    dist_[start] = 0.0;
+    stamp_[start] = epoch_;
+    push(0.0, static_cast<std::uint32_t>(start));
 
     std::size_t goal = std::numeric_limits<std::size_t>::max();
-    while (!open.empty()) {
-      const auto [d, ui] = open.top();
-      open.pop();
-      if (d > dist[ui]) continue;
-      if (inTree[ui]) {
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<QE>{});
+      const auto [d, ui] = heap_.back();
+      heap_.pop_back();
+      if (d > distAt(ui)) continue;
+      if (inTree_[ui]) {
         goal = ui;
         break;
       }
@@ -217,10 +275,11 @@ class Router {
         const std::size_t vi =
             win.idx(static_cast<std::uint32_t>(nx),
                     static_cast<std::uint32_t>(ny));
-        if (c < dist[vi]) {
-          dist[vi] = c;
-          from[vi] = dir.code;
-          open.push({c, static_cast<std::uint32_t>(vi)});
+        if (c < distAt(vi)) {
+          dist_[vi] = c;
+          stamp_[vi] = epoch_;
+          from_[vi] = dir.code;
+          push(c, static_cast<std::uint32_t>(vi));
         }
       }
     }
@@ -232,10 +291,10 @@ class Router {
     // the arrival directions.
     std::size_t cur = goal;
     while (cur != start) {
-      inTree[cur] = true;
+      inTree_[cur] = true;
       const std::uint32_t cx = win.x0 + cur % win.w();
       const std::uint32_t cy = win.y0 + cur / win.w();
-      const std::int8_t code = from[cur];
+      const std::int8_t code = from_[cur];
       // Invert the step to find the predecessor (closer to the sink).
       std::uint32_t px = cx, py = cy;
       bool vertical = false;
@@ -252,7 +311,7 @@ class Router {
       else map_.addHorizontal(px, py, packing_.nets[n].width);
       cur = win.idx(px, py);
     }
-    inTree[start] = true;
+    inTree_[start] = true;
   }
 
   const Packing& packing_;
@@ -263,6 +322,23 @@ class Router {
   std::vector<double> vHistory_, hHistory_;
   std::vector<std::vector<RouteStep>> routes_;
   std::uint64_t ripUps_ = 0;
+
+  // Reused per-iteration / per-net / per-sink scratch (see routeNet).
+  std::vector<std::size_t> work_;
+  std::vector<TileXY> sinks_;
+  std::vector<bool> inTree_;
+  std::vector<double> dist_;
+  std::vector<std::int8_t> from_;  // 0=W,1=E,2=S,3=N arrival dir
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::pair<double, std::uint32_t>> heap_;
+
+  // Dirty-tile set: tiles on the work set's final routes, i.e. the only
+  // tiles the overflow/history sweep needs to visit (derived at sweep
+  // time — see run()).
+  std::vector<std::uint32_t> dirtyTiles_;
+  std::vector<std::uint8_t> tileDirty_;
+  std::uint64_t dirtyScanned_ = 0;
 };
 
 }  // namespace

@@ -25,9 +25,11 @@ const char* const kCounterNames[kNumCounters] = {
     "placer_moves_proposed",
     "placer_moves_accepted",
     "placer_moves_rejected",
+    "placer_box_rescans",
     "router_iterations",
     "router_ripups",
     "router_overflow_tiles",
+    "router_dirty_tiles",
     "sta_arrival_propagations",
     "trace_cells_traced",
     "dataset_samples_extracted",

@@ -58,9 +58,11 @@ enum class Counter : std::size_t {
   PlacerMovesProposed,
   PlacerMovesAccepted,
   PlacerMovesRejected,
+  PlacerBoxRescans,     ///< incremental net boxes rebuilt after edge shrink
   RouterIterations,
   RouterRipUps,
   RouterOverflowTiles,
+  RouterDirtyTiles,     ///< tiles scanned by the dirty-tile overflow sweep
   StaArrivalPropagations,
   TraceCellsTraced,
   DatasetSamplesExtracted,

@@ -155,6 +155,91 @@ TEST(Placer, DensitySpreadingReducesPeakRegionLoad) {
   EXPECT_LE(peakSpread, peakDense);
 }
 
+/// Random packing with a fanout mix chosen to exercise both NetRec layouts:
+/// mostly small nets (inline pins) plus a tail of high-fanout nets (spilled
+/// box + per-edge pin counts with rescans on bounding-edge shrink).
+Packing randomPacking(std::uint64_t seed, std::size_t n) {
+  Packing p;
+  p.clusters.resize(n);
+  for (auto& c : p.clusters) {
+    c.site = TileType::Clb;
+    c.lut = 4.0;
+  }
+  hcp::Rng rng(seed);
+  const std::size_t numNets = n * 2;
+  for (std::size_t i = 0; i < numNets; ++i) {
+    ClusterNet net;
+    net.width = static_cast<std::uint16_t>(1 + rng.uniformInt(32));
+    net.driver = static_cast<ClusterId>(rng.uniformInt(n));
+    // ~80% small (fits the inline-pin record), ~20% high fanout.
+    const std::size_t fanout =
+        rng.uniformInt(5) == 0 ? 6 + rng.uniformInt(18) : 1 + rng.uniformInt(4);
+    std::set<ClusterId> sinks;
+    for (std::size_t s = 0; s < fanout; ++s) {
+      const auto c = static_cast<ClusterId>(rng.uniformInt(n));
+      if (c != net.driver) sinks.insert(c);
+    }
+    if (sinks.empty()) continue;
+    net.sinks.assign(sinks.begin(), sinks.end());
+    p.nets.push_back(std::move(net));
+  }
+  return p;
+}
+
+TEST(Placer, IncrementalKernelMatchesReferenceBitExact) {
+  // The incremental O(1) bounding-box kernel must replay the reference
+  // algorithm exactly: same RNG stream, same accept decisions, bit-equal
+  // cost. Randomized over seeds and sizes so both the inline-pin and the
+  // spilled edge-count paths (including rescans) are exercised.
+  const Device dev = Device::xc7z020like();
+  for (std::uint64_t seed : {1u, 7u, 42u}) {
+    for (std::size_t n : {24u, 180u, 700u}) {
+      const auto packing = randomPacking(seed * 1000 + n, n);
+      PlacerConfig ref;
+      ref.seed = seed;
+      ref.effort = 8.0;
+      ref.costUpdate = PlacerConfig::CostUpdate::kReference;
+      PlacerConfig inc = ref;
+      inc.costUpdate = PlacerConfig::CostUpdate::kIncremental;
+      const auto a = place(packing, dev, ref);
+      const auto b = place(packing, dev, inc);
+      ASSERT_EQ(a.movesTried, b.movesTried) << "seed " << seed << " n " << n;
+      ASSERT_EQ(a.movesAccepted, b.movesAccepted)
+          << "seed " << seed << " n " << n;
+      ASSERT_EQ(a.cost, b.cost) << "seed " << seed << " n " << n;
+      ASSERT_EQ(a.tileOfCluster.size(), b.tileOfCluster.size());
+      for (std::size_t c = 0; c < a.tileOfCluster.size(); ++c) {
+        ASSERT_EQ(a.tileOfCluster[c].x, b.tileOfCluster[c].x)
+            << "cluster " << c << " seed " << seed << " n " << n;
+        ASSERT_EQ(a.tileOfCluster[c].y, b.tileOfCluster[c].y)
+            << "cluster " << c << " seed " << seed << " n " << n;
+      }
+    }
+  }
+}
+
+TEST(Placer, IncrementalKernelMatchesReferenceWithDensity) {
+  // Same contract with the congestion penalty active (density deltas join
+  // the cost sum; the summation order must still match the reference).
+  const Device dev = Device::xc7z020like();
+  const auto packing = randomPacking(99, 256);
+  PlacerConfig ref;
+  ref.seed = 5;
+  ref.densityWeight = 2.0;
+  ref.costUpdate = PlacerConfig::CostUpdate::kReference;
+  PlacerConfig inc = ref;
+  inc.costUpdate = PlacerConfig::CostUpdate::kIncremental;
+  const auto a = place(packing, dev, ref);
+  const auto b = place(packing, dev, inc);
+  EXPECT_EQ(a.movesTried, b.movesTried);
+  EXPECT_EQ(a.movesAccepted, b.movesAccepted);
+  EXPECT_EQ(a.cost, b.cost);
+  for (std::size_t c = 0; c < a.tileOfCluster.size(); ++c) {
+    ASSERT_EQ(a.tileOfCluster[c].x, b.tileOfCluster[c].x);
+    ASSERT_EQ(a.tileOfCluster[c].y, b.tileOfCluster[c].y);
+  }
+}
+
 TEST(Placer, WirelengthMatchesCostTracking) {
   const auto packing = ringPacking(30);
   const Device dev = Device::xc7z020like();

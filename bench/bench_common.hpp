@@ -16,10 +16,12 @@
 #include "apps/vision_suite.hpp"
 #include "core/dataset_builder.hpp"
 #include "core/flow.hpp"
+#include "support/env.hpp"
 #include "support/error.hpp"
 #include "support/failpoint.hpp"
 #include "support/flowcache.hpp"
 #include "support/parallel.hpp"
+#include "support/signals.hpp"
 #include "support/table.hpp"
 #include "support/telemetry.hpp"
 #include "support/tracing.hpp"
@@ -31,14 +33,24 @@ inline constexpr std::uint64_t kSeed = 42;
 /// Applies a `--threads N` (or `--threads=N`) command-line flag to the
 /// global thread limit. Call first thing in main(); unrelated arguments are
 /// ignored. Returns the applied limit (or the default when no flag given).
+/// The value must be a whole positive integer: `--threads 4abc` used to
+/// strtol-truncate to 4 threads and `--threads garbage` to silently keep the
+/// default — both are usage errors (exit 2) now.
 inline std::size_t parseThreads(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
-    long n = 0;
+    const char* value = nullptr;
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
-      n = std::strtol(argv[i + 1], nullptr, 10);
+      value = argv[i + 1];
     else if (std::strncmp(argv[i], "--threads=", 10) == 0)
-      n = std::strtol(argv[i] + 10, nullptr, 10);
-    if (n >= 1) support::setThreadLimit(static_cast<std::size_t>(n));
+      value = argv[i] + 10;
+    if (value == nullptr) continue;
+    const auto n = support::env::parseU64(value);
+    if (!n || *n == 0) {
+      std::fprintf(stderr,
+                   "--threads expects a positive integer, got '%s'\n", value);
+      std::exit(2);
+    }
+    support::setThreadLimit(static_cast<std::size_t>(*n));
   }
   return support::threadLimit();
 }
@@ -109,6 +121,9 @@ class BenchSession {
 /// artifact could not be written). `body` receives the live session.
 template <typename Body>
 int runBenchMain(const char* tool, int argc, char** argv, Body&& body) {
+  // `bench | head` must fail through the exit-code mapping below, not die on
+  // SIGPIPE before any error path runs.
+  support::ignoreSigpipe();
   try {
     BenchSession session(tool, argc, argv);
     body(session);

@@ -1,0 +1,234 @@
+// Closed-loop hcp_serve throughput/latency bench — the BENCH_serve.json
+// trajectory.
+//
+// Drives serve::Server in-process through scripted request windows (one
+// flush per timed window) and measures:
+//
+//   - cold:    6 unique flow requests against an empty flow cache — every
+//              one pays the full synthesize -> place -> route -> trace cost
+//   - warm:    the same 6 requests x5 rounds, now replayed from the cache
+//   - predict: hotspot predictions from the preloaded model (no PAR at all)
+//   - batched: all 6 warm requests in a single window at 1/2/4 threads —
+//              the response bytes must be identical at every thread count
+//
+// Two gates hard-fail the binary (exit 1) instead of merely reporting:
+// warm QPS must be at least 5x cold QPS (the daemon's whole point is that
+// the cache-backed steady state is much cheaper than first contact), and
+// the thread sweep must be byte-identical. CI runs this and diffs the
+// numbers via `hcp_cli compare-reports --bench-out`.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "bench_common.hpp"
+#include "core/predictor.hpp"
+#include "serve/server.hpp"
+#include "support/textio.hpp"
+
+namespace {
+
+using namespace hcp;
+
+double wallMs(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto idx = static_cast<std::size_t>(std::max(
+      0.0, std::ceil(q * static_cast<double>(values.size())) - 1.0));
+  return values[std::min(idx, values.size() - 1)];
+}
+
+struct PhaseStats {
+  std::size_t requests = 0;
+  double totalMs = 0.0;
+  std::vector<double> latenciesMs;
+
+  double qps() const {
+    return totalMs > 0 ? 1000.0 * static_cast<double>(requests) / totalMs
+                       : 0.0;
+  }
+  void write(std::ostream& os) const {
+    os << "{\"requests\": " << requests << ", \"total_ms\": " << totalMs
+       << ", \"qps\": " << qps()
+       << ", \"p50_ms\": " << percentile(latenciesMs, 0.50)
+       << ", \"p99_ms\": " << percentile(latenciesMs, 0.99) << "}";
+  }
+};
+
+/// Feeds one request window (the lines plus a flush) through the server and
+/// returns the response bytes. Any ok:false response is a bench bug.
+std::string runWindow(serve::Server& server,
+                      const std::vector<std::string>& lines) {
+  std::string in;
+  for (const auto& l : lines) {
+    in += l;
+    in += '\n';
+  }
+  std::istringstream is(in);
+  std::ostringstream os;
+  HCP_CHECK_MSG(server.serve(is, os), "serve window failed");
+  const std::string out = os.str();
+  HCP_CHECK_MSG(out.find("\"ok\":false") == std::string::npos,
+                "unexpected error response: " << out);
+  return out;
+}
+
+/// One timed window per request: per-request latency and phase totals.
+PhaseStats timedPhase(serve::Server& server,
+                      const std::vector<std::string>& lines) {
+  PhaseStats stats;
+  stats.requests = lines.size();
+  for (const auto& line : lines) {
+    stats.latenciesMs.push_back(wallMs([&] { runWindow(server, {line}); }));
+    stats.totalMs += stats.latenciesMs.back();
+  }
+  return stats;
+}
+
+int runBody(bench::BenchSession& session) {
+  namespace fs = std::filesystem;
+
+  // A scratch cache of our own: the cold phase is only cold if nothing —
+  // including a previous bench run — pre-populated it.
+  const std::string cacheDir = "serve_qps_cache";
+  fs::remove_all(cacheDir);
+  support::flowcache::ScopedCacheDir cache(cacheDir);
+
+  // Train the smallest model once (linear, one design, seed 42 — a key no
+  // bench request uses, so the training flow cannot warm the cold phase).
+  const std::string modelPath = "serve_qps_model.hcp";
+  const auto device = fpga::Device::xc7z020like();
+  {
+    std::fprintf(stderr, "[serve_qps] training linear model...\n");
+    core::FlowConfig cfg;
+    cfg.seed = bench::kSeed;
+    std::vector<apps::AppDesign> designs;
+    designs.push_back(apps::makeDesign("digit_recognition"));
+    const auto flows = core::runFlows(designs, device, cfg);
+    const auto dataset = core::buildDataset(flows, {});
+    core::PredictorOptions opts;
+    opts.kind = core::ModelKind::Linear;
+    core::CongestionPredictor predictor(opts);
+    predictor.train(dataset);
+    predictor.save(modelPath);
+  }
+
+  serve::ServerConfig config;
+  config.modelPath = modelPath;
+  serve::Server server(config);
+
+  const std::vector<std::string> kFlowRequests = {
+      R"({"id":"f1","op":"flow","design":"digit_recognition","seed":7})",
+      R"({"id":"f2","op":"flow","design":"digit_recognition","seed":8})",
+      R"({"id":"f3","op":"flow","design":"digit_recognition","seed":9})",
+      R"({"id":"f4","op":"flow","design":"spam_filter","seed":7})",
+      R"({"id":"f5","op":"flow","design":"spam_filter","seed":8})",
+      R"({"id":"f6","op":"flow","design":"spam_filter","seed":9})",
+  };
+  const std::vector<std::string> kPredictRequests = {
+      R"({"id":"p1","op":"predict","design":"digit_recognition","top_k":5})",
+      R"({"id":"p2","op":"predict","design":"digit_recognition","top_k":10})",
+      R"({"id":"p3","op":"predict","design":"spam_filter","top_k":5})",
+      R"({"id":"p4","op":"predict","design":"spam_filter","top_k":10})",
+  };
+
+  std::fprintf(stderr, "[serve_qps] cold phase (%zu full flows)...\n",
+               kFlowRequests.size());
+  const PhaseStats cold = timedPhase(server, kFlowRequests);
+
+  std::fprintf(stderr, "[serve_qps] warm phase (5 rounds from cache)...\n");
+  PhaseStats warm;
+  for (int round = 0; round < 5; ++round) {
+    const PhaseStats r = timedPhase(server, kFlowRequests);
+    warm.requests += r.requests;
+    warm.totalMs += r.totalMs;
+    warm.latenciesMs.insert(warm.latenciesMs.end(), r.latenciesMs.begin(),
+                            r.latenciesMs.end());
+  }
+
+  std::fprintf(stderr, "[serve_qps] predict phase...\n");
+  const PhaseStats predict = timedPhase(server, kPredictRequests);
+
+  // Thread sweep: one batched window (flows + predicts) per thread count.
+  // The response bytes are the determinism contract — byte-identical at
+  // every thread count, or the bench fails.
+  std::vector<std::string> batchedLines = kFlowRequests;
+  batchedLines.insert(batchedLines.end(), kPredictRequests.begin(),
+                      kPredictRequests.end());
+  struct BatchRow {
+    std::size_t threads = 0;
+    double totalMs = 0.0;
+  };
+  std::vector<BatchRow> batched;
+  std::string referenceBytes;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    support::setThreadLimit(threads);
+    std::string bytes;
+    const double ms =
+        wallMs([&] { bytes = runWindow(server, batchedLines); });
+    if (referenceBytes.empty()) referenceBytes = bytes;
+    HCP_CHECK_MSG(bytes == referenceBytes,
+                  "responses at " << threads
+                                  << " threads differ from 1 thread");
+    batched.push_back({threads, ms});
+  }
+  support::setThreadLimit(session.threads());
+
+  const double warmOverCold = cold.qps() > 0 ? warm.qps() / cold.qps() : 0.0;
+  std::fprintf(stderr,
+               "[serve_qps] cold %.2f qps  warm %.2f qps  (%.1fx)  predict "
+               "%.2f qps\n",
+               cold.qps(), warm.qps(), warmOverCold, predict.qps());
+  HCP_CHECK_MSG(warmOverCold >= 5.0,
+                "warm QPS is only " << warmOverCold
+                                    << "x cold (gate: >= 5x)");
+
+  support::txt::CheckedFileWriter writer("BENCH_serve.json", "benchout");
+  auto& json = writer.stream();
+  json << "{\n  \"threads_default\": " << session.threads()
+       << ",\n  \"warm_over_cold_qps\": " << warmOverCold << ",\n  \"cold\": ";
+  cold.write(json);
+  json << ",\n  \"warm\": ";
+  warm.write(json);
+  json << ",\n  \"predict\": ";
+  predict.write(json);
+  json << ",\n  \"batched\": [\n";
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    const BatchRow& b = batched[i];
+    json << "    {\"threads\": " << b.threads
+         << ", \"total_ms\": " << b.totalMs << ", \"qps\": "
+         << (b.totalMs > 0
+                 ? 1000.0 * static_cast<double>(batchedLines.size()) /
+                       b.totalMs
+                 : 0.0)
+         << ", \"identical\": true}" << (i + 1 < batched.size() ? "," : "")
+         << "\n";
+  }
+  json << "  ],\n  \"served\": " << server.stats().served
+       << ",\n  \"cache_hits\": " << server.stats().cacheHits
+       << ",\n  \"errors\": " << server.stats().errors << "\n}\n";
+  writer.commit();
+  std::fprintf(stderr, "[serve_qps] report written to BENCH_serve.json\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return hcp::bench::runBenchMain(
+      "serve_qps", argc, argv,
+      [&](hcp::bench::BenchSession& session) { runBody(session); });
+}

@@ -25,9 +25,10 @@ struct Scores {
 };
 
 std::size_t cvFolds() {
-  if (const char* env = std::getenv("HCP_CV_FOLDS"))
-    return std::max(2, std::atoi(env));
-  return 5;
+  // Strict parse: HCP_CV_FOLDS=10x used to atoi-truncate to 10 folds and
+  // HCP_CV_FOLDS=ten silently clamped to 2 — both exit 2 now.
+  return static_cast<std::size_t>(
+      hcp::support::env::u64OrDie("HCP_CV_FOLDS", 2, 1000, 5));
 }
 
 /// Grid-search + final evaluation for one model family on one target.

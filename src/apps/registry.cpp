@@ -1,0 +1,61 @@
+#include "apps/registry.hpp"
+
+#include <algorithm>
+
+#include "apps/digit_spam.hpp"
+#include "apps/face_detection.hpp"
+#include "apps/vision_suite.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hcp::apps {
+
+const std::vector<std::string>& designNames() {
+  static const std::vector<std::string> kNames = {
+      "face_detection",    "face_detection_noinline",
+      "face_detection_replicated",
+      "digit_recognition", "spam_filter",
+      "digit_spam",        "bnn",
+      "rendering_3d",      "optical_flow",
+      "vision_combined"};
+  return kNames;
+}
+
+bool isKnownDesign(const std::string& name) {
+  const auto& names = designNames();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+AppDesign makeDesign(const std::string& name, bool withDirectives) {
+  auto withDir = [&](auto cfg) {
+    cfg.withDirectives = withDirectives;
+    return cfg;
+  };
+  if (name == "face_detection")
+    return faceDetection(withDir(FaceDetectionConfig{}));
+  if (name == "face_detection_noinline") {
+    FaceDetectionConfig cfg;
+    cfg.inlineClassifiers = false;
+    cfg.withDirectives = withDirectives;
+    return faceDetection(cfg);
+  }
+  if (name == "face_detection_replicated") {
+    FaceDetectionConfig cfg;
+    cfg.inlineClassifiers = false;
+    cfg.replicateWindowArray = true;
+    cfg.withDirectives = withDirectives;
+    return faceDetection(cfg);
+  }
+  if (name == "digit_recognition")
+    return digitRecognition(withDir(DigitRecognitionConfig{}));
+  if (name == "spam_filter") return spamFilter(withDir(SpamFilterConfig{}));
+  if (name == "digit_spam") return digitSpamCombined();
+  if (name == "bnn") return bnn(withDir(BnnConfig{}));
+  if (name == "rendering_3d") return rendering3d(withDir(RenderingConfig{}));
+  if (name == "optical_flow") return opticalFlow(withDir(OpticalFlowConfig{}));
+  if (name == "vision_combined") return visionCombined();
+  throw Error("unknown design '" + name + "' (valid: " +
+              join(designNames(), ", ") + ")");
+}
+
+}  // namespace hcp::apps

@@ -1,0 +1,25 @@
+// Name registry of the bundled benchmark designs.
+//
+// hcp_cli, hcp_serve and the benches all need "design name -> AppDesign";
+// keeping the mapping here (instead of private to each binary) means the
+// serve protocol, the CLI and the docs can never drift apart on what a
+// valid design name is.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/app_design.hpp"
+
+namespace hcp::apps {
+
+/// The bundled design names, in listing order (hcp_cli list prints these).
+const std::vector<std::string>& designNames();
+
+bool isKnownDesign(const std::string& name);
+
+/// Builds the named bundled design. Throws hcp::Error on an unknown name
+/// (the message lists the valid names).
+AppDesign makeDesign(const std::string& name, bool withDirectives = true);
+
+}  // namespace hcp::apps

@@ -41,18 +41,26 @@ std::optional<FlowResult> tryCachedFlow(const fc::FlowCache& cache,
 
 FlowResult runFlow(apps::AppDesign&& app, const fpga::Device& device,
                    const FlowConfig& config) {
+  return runFlowCached(std::move(app), device, config).result;
+}
+
+CachedFlow runFlowCached(apps::AppDesign&& app, const fpga::Device& device,
+                         const FlowConfig& config) {
   HCP_SPAN("flow");
   support::telemetry::count(support::telemetry::Counter::FlowsRun);
 
   fc::FlowCache* cache = fc::global();
-  std::string key;
+  CachedFlow out;
   if (cache) {
-    key = flowCacheKey(app, device, config);
-    if (std::optional<FlowResult> cached = tryCachedFlow(*cache, key))
-      return *std::move(cached);
+    out.cacheKey = flowCacheKey(app, device, config);
+    if (std::optional<FlowResult> cached = tryCachedFlow(*cache, out.cacheKey)) {
+      out.result = *std::move(cached);
+      out.fromCache = true;
+      return out;
+    }
   }
 
-  FlowResult result;
+  FlowResult& result = out.result;
   result.name = app.name;
 
   hls::SynthesisOptions synth = config.synthesis;
@@ -84,9 +92,9 @@ FlowResult runFlow(apps::AppDesign&& app, const fpga::Device& device,
     HCP_SPAN("cache_store");
     std::ostringstream os;
     writeFlowResult(os, result);
-    cache->store(key, os.str());
+    cache->store(out.cacheKey, os.str());
   }
-  return result;
+  return out;
 }
 
 std::vector<FlowResult> runFlows(std::span<apps::AppDesign> apps,

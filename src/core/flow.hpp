@@ -44,6 +44,20 @@ struct FlowResult {
 FlowResult runFlow(apps::AppDesign&& app, const fpga::Device& device,
                    const FlowConfig& config = {});
 
+/// runFlow plus cache observability — what the hcp_serve daemon needs to
+/// count serve_cache_hits and answer flow-by-key requests without probing
+/// the cache a second time.
+struct CachedFlow {
+  FlowResult result;
+  std::string cacheKey;   ///< "" when the global flow cache is off
+  bool fromCache = false; ///< true when result was replayed from the cache
+};
+
+/// Identical to runFlow (same counters, same bytes in `result`), with the
+/// cache outcome reported alongside.
+CachedFlow runFlowCached(apps::AppDesign&& app, const fpga::Device& device,
+                         const FlowConfig& config = {});
+
 /// Runs independent designs' synthesize -> RTL -> PAR -> trace pipelines
 /// concurrently (one thread-pool task per design) and returns the results in
 /// input order. Each flow is internally seeded exactly as a serial

@@ -1,0 +1,81 @@
+// Minimal std::iostream plumbing over a POSIX file descriptor, so the serve
+// loop is written once against istream/ostream and works unchanged whether
+// the transport is stdin/stdout or an accepted Unix-socket connection.
+#pragma once
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <istream>
+#include <ostream>
+#include <streambuf>
+
+namespace hcp::serve {
+
+/// Buffered streambuf over a file descriptor the caller owns. EINTR-safe;
+/// short writes are retried until the buffer drains. Any hard I/O error
+/// surfaces as the stream's failbit — exactly what Server::serve checks.
+class FdStreamBuf final : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) {
+    setg(inBuf_, inBuf_, inBuf_);
+    setp(outBuf_, outBuf_ + sizeof outBuf_);
+  }
+  ~FdStreamBuf() override { sync(); }
+  FdStreamBuf(const FdStreamBuf&) = delete;
+  FdStreamBuf& operator=(const FdStreamBuf&) = delete;
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    ssize_t n;
+    do {
+      n = ::read(fd_, inBuf_, sizeof inBuf_);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return traits_type::eof();
+    setg(inBuf_, inBuf_, inBuf_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (sync() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override {
+    const char* p = pbase();
+    while (p < pptr()) {
+      const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        setp(outBuf_, outBuf_ + sizeof outBuf_);
+        return -1;
+      }
+      p += n;
+    }
+    setp(outBuf_, outBuf_ + sizeof outBuf_);
+    return 0;
+  }
+
+ private:
+  int fd_;
+  char inBuf_[8192];
+  char outBuf_[8192];
+};
+
+/// istream + ostream pair over one fd (a connected socket).
+class FdStream {
+ public:
+  explicit FdStream(int fd) : buf_(fd), in(&buf_), out(&buf_) {}
+
+  FdStreamBuf buf_;
+  std::istream in;
+  std::ostream out;
+};
+
+}  // namespace hcp::serve

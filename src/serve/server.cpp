@@ -1,0 +1,326 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "apps/registry.hpp"
+#include "core/flow.hpp"
+#include "core/flow_serialize.hpp"
+#include "core/predictor.hpp"
+#include "hls/design.hpp"
+#include "support/error.hpp"
+#include "support/failpoint.hpp"
+#include "support/flowcache.hpp"
+#include "support/json.hpp"
+#include "support/parallel.hpp"
+#include "support/telemetry.hpp"
+
+namespace hcp::serve {
+
+namespace tel = support::telemetry;
+namespace json = support::json;
+
+namespace {
+
+constexpr std::size_t kNoWork = static_cast<std::size_t>(-1);
+
+/// %.17g — same round-trip-exact convention as the run report, so response
+/// bytes are comparable across runs and thread counts.
+void appendDouble(std::string& s, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  s += buf;
+}
+
+void appendU64(std::string& s, std::uint64_t v) {
+  s += std::to_string(v);
+}
+
+std::string flowBody(const core::FlowResult& result, const std::string& key,
+                     bool cached) {
+  std::string b = "\"ok\":true,\"op\":\"flow\",\"design\":\"";
+  b += json::escape(result.name);
+  b += "\",\"key\":\"";
+  b += key;  // 16-char hex (or "" when the cache is off); never needs escaping
+  b += "\",\"cached\":";
+  b += cached ? "true" : "false";
+  b += ",\"wns_ns\":";
+  appendDouble(b, result.wnsNs);
+  b += ",\"fmax_mhz\":";
+  appendDouble(b, result.maxFrequencyMhz);
+  b += ",\"latency_cycles\":";
+  appendU64(b, result.latencyCycles);
+  b += ",\"max_v_congestion\":";
+  appendDouble(b, result.maxVCongestion);
+  b += ",\"max_h_congestion\":";
+  appendDouble(b, result.maxHCongestion);
+  b += ",\"congested_tiles\":";
+  appendU64(b, result.congestedTiles);
+  b += '}';
+  return b;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), device_(fpga::Device::xc7z020like()) {
+  if (config_.maxBatch == 0) config_.maxBatch = 1;
+  if (!config_.modelPath.empty())
+    predictor_ = std::make_unique<core::CongestionPredictor>(
+        core::CongestionPredictor::load(config_.modelPath));
+}
+
+Server::~Server() = default;
+
+bool Server::serve(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (!shutdown_ && std::getline(in, line)) {
+    if (line.empty()) {
+      if (!flushPending(out)) return false;
+      continue;
+    }
+    admit(line);
+  }
+  if (!flushPending(out)) return false;
+  out.flush();
+  return !out.fail();
+}
+
+void Server::admit(std::string_view line) {
+  Pending p;
+  if (line.size() > config_.maxLineBytes) {
+    ++stats_.rejected;
+    tel::count(tel::Counter::ServeRejected);
+    p.body = errorBody("request line exceeds " +
+                       std::to_string(config_.maxLineBytes) + " bytes");
+    p.isError = true;
+    pending_.push_back(std::move(p));
+    return;
+  }
+
+  ParseOutcome parsed = parseRequest(line);
+  p.request = std::move(parsed.request);
+  if (!parsed.ok) {
+    ++stats_.admitted;
+    tel::count(tel::Counter::ServeRequests);
+    p.body = errorBody(parsed.error);
+    p.isError = true;
+    pending_.push_back(std::move(p));
+    return;
+  }
+
+  switch (p.request.op) {
+    case Op::Status:
+      ++stats_.admitted;
+      tel::count(tel::Counter::ServeRequests);
+      p.body = statusBody();
+      break;
+    case Op::Shutdown:
+      ++stats_.admitted;
+      tel::count(tel::Counter::ServeRequests);
+      p.body = "\"ok\":true,\"op\":\"shutdown\"}";
+      shutdown_ = true;
+      break;
+    case Op::Predict:
+    case Op::Flow:
+      if (pendingWork_ >= config_.queueDepth) {
+        ++stats_.rejected;
+        tel::count(tel::Counter::ServeRejected);
+        p.body = errorBody("queue full (depth " +
+                           std::to_string(config_.queueDepth) + ")");
+        p.isError = true;
+      } else {
+        ++stats_.admitted;
+        tel::count(tel::Counter::ServeRequests);
+        ++pendingWork_;
+      }
+      break;
+  }
+  pending_.push_back(std::move(p));
+}
+
+bool Server::flushPending(std::ostream& out) {
+  if (pending_.empty()) return !out.fail();
+  tel::observe(tel::Histogram::ServeQueueDepth,
+               static_cast<double>(pendingWork_));
+  stats_.queuePeak = std::max(stats_.queuePeak, pendingWork_);
+
+  // Dedupe: requests naming identical work share one computation and one
+  // byte-identical body. This is also what makes serial and parallel flushes
+  // indistinguishable — without it, the second of two equal flow requests
+  // would report cached:true serially (the first one's store landed) but
+  // cached:false in a concurrent batch.
+  std::vector<const Request*> work;
+  std::unordered_map<std::string, std::size_t> indexByKey;
+  std::vector<std::size_t> slot(pending_.size(), kNoWork);
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (!pending_[i].needsWork()) continue;
+    const auto [it, fresh] =
+        indexByKey.emplace(workKey(pending_[i].request), work.size());
+    if (fresh) work.push_back(&pending_[i].request);
+    slot[i] = it->second;
+  }
+
+  std::vector<WorkResult> results(work.size());
+  for (std::size_t base = 0; base < work.size(); base += config_.maxBatch) {
+    const std::size_t n = std::min(config_.maxBatch, work.size() - base);
+    {
+      HCP_SPAN("serve_batch");
+      tel::count(tel::Counter::ServeBatches);
+      tel::observe(tel::Histogram::ServeBatchSize, static_cast<double>(n));
+      ++stats_.batches;
+      auto chunk = support::parallelMapIndex(
+          n, [&](std::size_t i) { return executeWork(*work[base + i]); });
+      for (std::size_t i = 0; i < n; ++i)
+        results[base + i] = std::move(chunk[i]);
+    }
+    maybeStatusLine();
+  }
+
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const Pending& p = pending_[i];
+    const std::string* body = &p.body;
+    bool isError = p.isError;
+    bool fromCache = false;
+    if (slot[i] != kNoWork) {
+      const WorkResult& r = results[slot[i]];
+      body = &r.body;
+      isError = r.isError;
+      fromCache = r.fromCache;
+    }
+    if (isError) {
+      ++stats_.errors;
+      tel::count(tel::Counter::ServeErrors);
+    }
+    if (fromCache) {
+      ++stats_.cacheHits;
+      tel::count(tel::Counter::ServeCacheHits);
+    }
+    out << responsePrefix(p.request) << *body << '\n';
+    ++stats_.served;
+    if (out.fail()) break;
+  }
+  pending_.clear();
+  pendingWork_ = 0;
+  out.flush();
+  return !out.fail();
+}
+
+Server::WorkResult Server::executeWork(const Request& r) const {
+  HCP_SPAN("serve_request");
+  WorkResult out;
+  out.isError = true;
+  try {
+    if (support::failpoint::shouldFail("serve.request"))
+      throw Error("injected serve.request failure");
+    return r.op == Op::Predict ? executePredict(r) : executeFlow(r);
+  } catch (const Error& e) {
+    out.body = errorBody(e.what());
+  } catch (const std::exception& e) {
+    out.body = errorBody(std::string("internal error: ") + e.what());
+  }
+  return out;
+}
+
+Server::WorkResult Server::executePredict(const Request& r) const {
+  if (!predictor_)
+    throw Error("no model loaded (start hcp_serve with --model FILE)");
+  auto app = apps::makeDesign(r.design, r.directives);
+  const auto design =
+      hls::synthesize(std::move(app.module), app.directives, {});
+  const auto hotspots = predictor_->findHotspots(design, {}, r.topK);
+
+  WorkResult out;
+  std::string& b = out.body;
+  b = "\"ok\":true,\"op\":\"predict\",\"design\":\"";
+  b += json::escape(r.design);
+  b += "\",\"hotspots\":[";
+  for (std::size_t i = 0; i < hotspots.size(); ++i) {
+    const auto& h = hotspots[i];
+    if (i != 0) b += ',';
+    b += "{\"function\":\"";
+    b += json::escape(h.functionName);
+    b += "\",\"line\":";
+    b += std::to_string(h.sourceLine);
+    b += ",\"ops\":";
+    appendU64(b, h.numOps);
+    b += ",\"mean\":";
+    appendDouble(b, h.meanPredicted);
+    b += ",\"max\":";
+    appendDouble(b, h.maxPredicted);
+    b += '}';
+  }
+  b += "]}";
+  return out;
+}
+
+Server::WorkResult Server::executeFlow(const Request& r) const {
+  WorkResult out;
+  if (!r.cacheKey.empty()) {
+    // Flow-by-key answers straight from the cache, never computes: a key
+    // carries no design inputs to recompute from.
+    support::flowcache::FlowCache* cache = support::flowcache::global();
+    if (cache == nullptr)
+      throw Error("flow-by-key needs a flow cache (--cache DIR / HCP_CACHE)");
+    std::optional<std::string> payload = cache->load(r.cacheKey);
+    if (!payload)
+      throw Error("key '" + r.cacheKey + "' is not in the flow cache");
+    std::istringstream is(*payload);
+    const core::FlowResult result = core::readFlowResult(is);
+    tel::count(tel::Counter::FlowCacheHit);
+    out.body = flowBody(result, r.cacheKey, true);
+    out.fromCache = true;
+    return out;
+  }
+
+  core::FlowConfig cfg;
+  cfg.seed = r.seed;
+  core::CachedFlow flow = core::runFlowCached(
+      apps::makeDesign(r.design, r.directives), device_, cfg);
+  out.fromCache = flow.fromCache;
+  out.body = flowBody(flow.result, flow.cacheKey, flow.fromCache);
+  return out;
+}
+
+std::string Server::statusBody() const {
+  std::string b = "\"ok\":true,\"op\":\"status\",\"model\":";
+  b += predictor_ ? "true" : "false";
+  b += ",\"admitted\":";
+  appendU64(b, stats_.admitted);
+  b += ",\"served\":";
+  appendU64(b, stats_.served);
+  b += ",\"errors\":";
+  appendU64(b, stats_.errors);
+  b += ",\"rejected\":";
+  appendU64(b, stats_.rejected);
+  b += ",\"batches\":";
+  appendU64(b, stats_.batches);
+  b += ",\"cache_hits\":";
+  appendU64(b, stats_.cacheHits);
+  b += ",\"queue_peak\":";
+  appendU64(b, stats_.queuePeak);
+  b += ",\"flowcache_degraded\":";
+  b += support::flowcache::degraded() ? "true" : "false";
+  b += '}';
+  return b;
+}
+
+void Server::maybeStatusLine() {
+  if (config_.statusEveryBatches == 0) return;
+  if (stats_.batches % config_.statusEveryBatches != 0) return;
+  std::fprintf(stderr,
+               "[hcp_serve] batches=%llu served=%llu errors=%llu "
+               "rejected=%llu cache_hits=%llu flowcache_degraded=%d\n",
+               static_cast<unsigned long long>(stats_.batches),
+               static_cast<unsigned long long>(stats_.served),
+               static_cast<unsigned long long>(stats_.errors),
+               static_cast<unsigned long long>(stats_.rejected),
+               static_cast<unsigned long long>(stats_.cacheHits),
+               support::flowcache::degraded() ? 1 : 0);
+}
+
+}  // namespace hcp::serve

@@ -1,0 +1,37 @@
+#include "support/env.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace hcp::support::env {
+
+std::optional<std::uint64_t> parseU64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (kMax - digit) / 10) return std::nullopt;  // would overflow
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::uint64_t u64OrDie(const char* var, std::uint64_t minValue,
+                       std::uint64_t maxValue, std::uint64_t fallback) {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const std::optional<std::uint64_t> value = parseU64(raw);
+  if (!value || *value < minValue || *value > maxValue) {
+    std::fprintf(stderr,
+                 "hcp: %s expects an integer in [%llu, %llu], got '%s'\n",
+                 var, static_cast<unsigned long long>(minValue),
+                 static_cast<unsigned long long>(maxValue), raw);
+    std::exit(2);
+  }
+  return *value;
+}
+
+}  // namespace hcp::support::env

@@ -70,12 +70,17 @@ void corrupt(const std::string& path, const char* why) {
                path.c_str(), why);
 }
 
+std::atomic<bool> gDegraded{false};
+
 /// Degrade-gracefully reporting (DESIGN.md §14): count every failure, log
 /// only the first of each kind so a systemically broken cache (full disk,
-/// bad mount) does not flood stderr across hundreds of flows.
+/// bad mount) does not flood stderr across hundreds of flows. The first
+/// failure of either kind also latches the process-wide degraded gauge.
 void ioFailure(telemetry::Counter counter, std::atomic<bool>& loggedOnce,
                const char* action, const std::string& detail) {
   telemetry::count(counter);
+  if (!gDegraded.exchange(true, std::memory_order_relaxed))
+    telemetry::count(telemetry::Counter::FlowCacheDegraded);
   if (!loggedOnce.exchange(true, std::memory_order_relaxed)) {
     std::fprintf(stderr,
                  "[flowcache] %s failed: %s (degrading to recompute; "
@@ -88,6 +93,12 @@ std::atomic<bool> gStoreErrorLogged{false};
 std::atomic<bool> gLoadErrorLogged{false};
 
 }  // namespace
+
+bool degraded() { return gDegraded.load(std::memory_order_relaxed); }
+
+namespace detail {
+void resetDegraded() { gDegraded.store(false, std::memory_order_relaxed); }
+}  // namespace detail
 
 std::optional<std::string> FlowCache::load(const std::string& key) const {
   const std::string path = entryPath(key);

@@ -108,6 +108,19 @@ class FlowCache {
   std::string dir_;
 };
 
+/// True once any cache store/load I/O failure has degraded the cache in
+/// this process. One-shot gauge, never cleared by later successes: a
+/// one-shot run shrugs a degraded cache off, but a daemon that never
+/// restarts would otherwise silently serve cold forever — hcp_serve puts
+/// this in its periodic status line, and the first transition bumps the
+/// flowcache_degraded report counter so operators can see it.
+bool degraded();
+
+namespace detail {
+/// Clears the degraded latch (tests only — the gauge is process-lifetime).
+void resetDegraded();
+}  // namespace detail
+
 /// Process-wide cache consulted by core::runFlow. Null when caching is off
 /// (the default). Not thread-safe against concurrent setGlobalDir(): arm the
 /// cache at startup (CLI flag / env parsing), before any flow runs.

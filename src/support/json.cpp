@@ -298,4 +298,32 @@ Value parseFile(const std::string& path) {
   return parse(buf.str());
 }
 
+void writeEscaped(std::ostream& os, std::string_view s) {
+  static const char* const kHex = "0123456789abcdef";
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const auto u = static_cast<unsigned char>(c);
+          os << "\\u00" << kHex[(u >> 4) & 0xF] << kHex[u & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+std::string escape(std::string_view s) {
+  std::ostringstream os;
+  writeEscaped(os, s);
+  return std::move(os).str();
+}
+
 }  // namespace hcp::support::json

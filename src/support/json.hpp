@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -54,5 +55,13 @@ Value parse(std::string_view text);
 /// Reads and parses `path`. Throws hcp::Error when the file cannot be read
 /// or does not contain valid JSON.
 Value parseFile(const std::string& path);
+
+/// Writes `s` escaped for inclusion inside a JSON string literal (the
+/// surrounding quotes are the caller's). Lossless: control characters become
+/// \u00XX escapes, so any byte sequence round-trips through parse().
+void writeEscaped(std::ostream& os, std::string_view s);
+
+/// writeEscaped into a fresh string.
+std::string escape(std::string_view s);
 
 }  // namespace hcp::support::json

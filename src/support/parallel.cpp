@@ -3,9 +3,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
+#include <limits>
 #include <mutex>
 #include <thread>
 
+#include "support/env.hpp"
 #include "support/telemetry.hpp"
 
 namespace hcp::support {
@@ -16,19 +18,8 @@ namespace {
 // test requests more threads than the machine has cores.
 constexpr std::size_t kMaxWorkers = 63;
 
-std::size_t envDefaultLimit() {
-  if (const char* env = std::getenv("HCP_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1)
-      return std::min<std::size_t>(static_cast<std::size_t>(v),
-                                   kMaxWorkers + 1);
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : std::min<std::size_t>(hw, kMaxWorkers + 1);
-}
-
 std::atomic<std::size_t>& globalLimit() {
-  static std::atomic<std::size_t> limit{envDefaultLimit()};
+  static std::atomic<std::size_t> limit{detail::threadLimitFromEnv()};
   return limit;
 }
 
@@ -199,6 +190,20 @@ ScopedThreadLimit::ScopedThreadLimit(std::size_t n) : prev_(tlLimitOverride) {
 ScopedThreadLimit::~ScopedThreadLimit() { tlLimitOverride = prev_; }
 
 namespace detail {
+
+std::size_t threadLimitFromEnv() {
+  // Values above the worker cap clamp (asking for more threads than the
+  // pool will ever spawn is harmless); anything that is not a positive
+  // integer exits 2 — HCP_THREADS=4abc silently running with 4 threads and
+  // HCP_THREADS=garbage silently using every core were the bugs here.
+  // Unset or empty (CI's serial/parallel matrix exports HCP_THREADS="")
+  // falls back to hardware concurrency via the 0 sentinel.
+  const std::uint64_t v = env::u64OrDie(
+      "HCP_THREADS", 1, std::numeric_limits<std::uint64_t>::max(), 0);
+  if (v >= 1) return std::min<std::size_t>(v, kMaxWorkers + 1);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : std::min<std::size_t>(hw, kMaxWorkers + 1);
+}
 
 bool inParallelRegion() { return tlParallelDepth > 0; }
 

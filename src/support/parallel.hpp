@@ -54,6 +54,12 @@ class ScopedThreadLimit {
 
 namespace detail {
 
+/// Resolves the HCP_THREADS environment variable (strict parse: a value
+/// that is not a positive integer prints a message and exits 2; unset or
+/// empty falls back to hardware concurrency). Called once, lazily, to seed
+/// the global limit; exposed so the exit-2 contract stays regression-tested.
+std::size_t threadLimitFromEnv();
+
 /// True while the calling thread is executing a parallel task (nested
 /// parallel calls then run inline).
 bool inParallelRegion();

@@ -1,0 +1,16 @@
+// Process signal disposition shared by every hcp binary.
+#pragma once
+
+#include <csignal>
+
+namespace hcp::support {
+
+/// Ignores SIGPIPE process-wide. Without this, `hcp_cli ... | head` (or a
+/// serve client that disconnects mid-response) kills the process with a
+/// signal before any error path runs; with it, the failed write surfaces as
+/// an EPIPE stream error that the callers map onto hcp::IoError and the
+/// artifact-write exit code (5). Call once at binary startup, before any
+/// output is produced.
+inline void ignoreSigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+}  // namespace hcp::support

@@ -12,6 +12,7 @@
 #include <ostream>
 
 #include "support/error.hpp"
+#include "support/json.hpp"
 #include "support/textio.hpp"
 #include "support/tracing.hpp"
 
@@ -41,7 +42,13 @@ const char* const kCounterNames[kNumCounters] = {
     "flowcache_corrupt",
     "flowcache_store_error",
     "flowcache_load_error",
+    "flowcache_degraded",
     "failpoints_fired",
+    "serve_requests",
+    "serve_batches",
+    "serve_errors",
+    "serve_rejected",
+    "serve_cache_hits",
 };
 
 const char* const kHistogramNames[kNumHistograms] = {
@@ -52,6 +59,8 @@ const char* const kHistogramNames[kNumHistograms] = {
     "dataset_label_pct",
     "cv_fold_mae",
     "cv_fold_medae",
+    "serve_batch_size",
+    "serve_queue_depth",
 };
 
 /// Global registry: totals flushed out of thread frames. Guarded by a
@@ -98,28 +107,10 @@ bool& reportStartValid() {
   return valid;
 }
 
+// Lossless string escaping (control characters become \u00XX) lives in
+// support/json so the serve protocol can share it.
 void jsonEscape(std::ostream& os, std::string_view s) {
-  static const char* const kHex = "0123456789abcdef";
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      case '\r': os << "\\r"; break;
-      case '\b': os << "\\b"; break;
-      case '\f': os << "\\f"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          // Lossless: escape remaining control characters instead of
-          // replacing them, so names round-trip through a strict parser.
-          const auto u = static_cast<unsigned char>(c);
-          os << "\\u00" << kHex[(u >> 4) & 0xF] << kHex[u & 0xF];
-        } else {
-          os << c;
-        }
-    }
-  }
+  json::writeEscaped(os, s);
 }
 
 /// Prints a double with enough digits to round-trip exactly: histogram

@@ -74,7 +74,13 @@ enum class Counter : std::size_t {
   FlowCacheCorrupt,     ///< malformed/truncated/skewed entry (fell back)
   FlowCacheStoreError,  ///< store failed (open/write/rename); degraded
   FlowCacheLoadError,   ///< entry exists but could not be read; degraded
+  FlowCacheDegraded,    ///< 0/1 gauge: any cache I/O failure this process
   FailpointsFired,      ///< injected faults (support/failpoint) that fired
+  ServeRequests,        ///< requests admitted by the hcp_serve batch loop
+  ServeBatches,         ///< thread-pool batch dispatches in hcp_serve
+  ServeErrors,          ///< ok:false responses written by hcp_serve
+  ServeRejected,        ///< admission rejections (queue full / oversized)
+  ServeCacheHits,       ///< flow requests answered from the flow cache
   kCount,
 };
 
@@ -95,6 +101,8 @@ enum class Histogram : std::size_t {
   DatasetLabelPct,            ///< average-congestion label of each sample
   CvFoldMae,                  ///< per-fold mean absolute error
   CvFoldMedae,                ///< per-fold median absolute error
+  ServeBatchSize,             ///< work items per hcp_serve batch dispatch
+  ServeQueueDepth,            ///< pending requests at each hcp_serve flush
   kCount,
 };
 

@@ -7,10 +7,12 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <limits>
 #include <mutex>
 #include <ostream>
 #include <vector>
 
+#include "support/env.hpp"
 #include "support/error.hpp"
 #include "support/telemetry.hpp"
 #include "support/textio.hpp"
@@ -205,19 +207,11 @@ void writeChromeTraceToFile(const std::string& path, const TraceMeta& meta) {
 }
 
 void arm() {
-  if (const char* env = std::getenv("HCP_TRACE_BUFFER_EVENTS")) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 2) {
-      setBufferCapacity(static_cast<std::size_t>(v));
-    } else {
-      std::fprintf(stderr,
-                   "HCP_TRACE_BUFFER_EVENTS expects an integer >= 2, got "
-                   "'%s'\n",
-                   env);
-      std::exit(2);
-    }
-  }
+  // 0 = unset/empty (keep the default capacity); anything malformed exits 2.
+  const std::uint64_t cap = env::u64OrDie(
+      "HCP_TRACE_BUFFER_EVENTS", 2,
+      std::numeric_limits<std::uint64_t>::max(), 0);
+  if (cap != 0) setBufferCapacity(static_cast<std::size_t>(cap));
   telemetry::setEnabled(true);  // spans must be live for events to exist
   setEnabled(true);
 }

@@ -4,7 +4,10 @@
 // bit-identical results at 1 thread and at many threads).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <sstream>
 #include <string>
@@ -254,6 +257,56 @@ TEST(Determinism, CrossValidateMatchesAcrossThreadCounts) {
   for (std::size_t f = 0; f < serial.foldMae.size(); ++f)
     EXPECT_EQ(serial.foldMae[f], parallel.foldMae[f]);
   EXPECT_EQ(serial.meanMae, parallel.meanMae);
+}
+
+// HCP_THREADS used to be strtol'd with no endptr check: "4abc" silently ran
+// with 4 threads and "garbage" silently fell back to hardware concurrency.
+// The strict parser rejects both with exit 2; unset/empty still means "use
+// the default" (CI exports HCP_THREADS="" in its thread matrix).
+
+TEST(ThreadLimitEnvDeathTest, GarbageExitsWithUsageError) {
+  EXPECT_EXIT(
+      {
+        setenv("HCP_THREADS", "garbage", 1);
+        support::detail::threadLimitFromEnv();
+        _exit(0);  // unreachable: the parse must exit 2 first
+      },
+      ::testing::ExitedWithCode(2), "HCP_THREADS");
+}
+
+TEST(ThreadLimitEnvDeathTest, TrailingJunkExitsWithUsageError) {
+  EXPECT_EXIT(
+      {
+        setenv("HCP_THREADS", "4abc", 1);
+        support::detail::threadLimitFromEnv();
+        _exit(0);
+      },
+      ::testing::ExitedWithCode(2), "HCP_THREADS");
+}
+
+TEST(ThreadLimitEnvDeathTest, ZeroExitsWithUsageError) {
+  EXPECT_EXIT(
+      {
+        setenv("HCP_THREADS", "0", 1);
+        support::detail::threadLimitFromEnv();
+        _exit(0);
+      },
+      ::testing::ExitedWithCode(2), "HCP_THREADS");
+}
+
+TEST(ThreadLimitEnvDeathTest, EmptyAndUnsetMeanDefault) {
+  // Run in the forked child too: setenv must not leak into other tests.
+  EXPECT_EXIT(
+      {
+        setenv("HCP_THREADS", "", 1);
+        const std::size_t fromEmpty = support::detail::threadLimitFromEnv();
+        unsetenv("HCP_THREADS");
+        const std::size_t fromUnset = support::detail::threadLimitFromEnv();
+        setenv("HCP_THREADS", "3", 1);
+        const std::size_t fromValue = support::detail::threadLimitFromEnv();
+        _exit(fromEmpty >= 1 && fromUnset >= 1 && fromValue == 3 ? 0 : 7);
+      },
+      ::testing::ExitedWithCode(0), "");
 }
 
 }  // namespace

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "support/env.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -227,6 +229,24 @@ TEST(Error, CheckMessageIncludesExpression) {
     EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
   }
+}
+
+// --- env::parseU64 -----------------------------------------------------
+
+TEST(EnvParse, AcceptsWholeTokenDigitsOnly) {
+  EXPECT_EQ(support::env::parseU64("0"), 0u);
+  EXPECT_EQ(support::env::parseU64("42"), 42u);
+  EXPECT_EQ(support::env::parseU64("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(EnvParse, RejectsEverythingElse) {
+  // The strtol failure modes this replaced: trailing junk parsed as a
+  // truncated value, and non-numeric input parsed as zero.
+  const char* bad[] = {"",   "4abc", "abc",   "-1",  "+1",
+                       " 1", "1 ",   "0x10",  "1.5", "18446744073709551616"};
+  for (const char* text : bad)
+    EXPECT_FALSE(support::env::parseU64(text).has_value()) << text;
 }
 
 }  // namespace

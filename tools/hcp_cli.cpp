@@ -57,9 +57,7 @@
 #include <string>
 #include <vector>
 
-#include "apps/digit_spam.hpp"
-#include "apps/face_detection.hpp"
-#include "apps/vision_suite.hpp"
+#include "apps/registry.hpp"
 #include "core/dataset_builder.hpp"
 #include "core/flow.hpp"
 #include "core/predictor.hpp"
@@ -70,6 +68,7 @@
 #include "support/flowcache.hpp"
 #include "support/parallel.hpp"
 #include "support/report_diff.hpp"
+#include "support/signals.hpp"
 #include "support/telemetry.hpp"
 #include "support/tracing.hpp"
 
@@ -77,45 +76,15 @@ using namespace hcp;
 
 namespace {
 
-const std::vector<std::string> kDesigns = {
-    "face_detection",  "face_detection_noinline", "face_detection_replicated",
-    "digit_recognition", "spam_filter", "digit_spam",
-    "bnn", "rendering_3d", "optical_flow", "vision_combined"};
-
+/// The shared registry builds the design; hcp_cli keeps its historical
+/// usage-error contract (exit 2, not exit 1) for a mistyped design name.
 apps::AppDesign makeDesign(const std::string& name, bool withDirectives) {
-  auto withDir = [&](auto cfg) {
-    cfg.withDirectives = withDirectives;
-    return cfg;
-  };
-  if (name == "face_detection")
-    return apps::faceDetection(withDir(apps::FaceDetectionConfig{}));
-  if (name == "face_detection_noinline") {
-    apps::FaceDetectionConfig cfg;
-    cfg.inlineClassifiers = false;
-    cfg.withDirectives = withDirectives;
-    return apps::faceDetection(cfg);
+  if (!apps::isKnownDesign(name)) {
+    std::fprintf(stderr, "unknown design '%s' (try: hcp_cli list)\n",
+                 name.c_str());
+    std::exit(2);
   }
-  if (name == "face_detection_replicated") {
-    apps::FaceDetectionConfig cfg;
-    cfg.inlineClassifiers = false;
-    cfg.replicateWindowArray = true;
-    cfg.withDirectives = withDirectives;
-    return apps::faceDetection(cfg);
-  }
-  if (name == "digit_recognition")
-    return apps::digitRecognition(withDir(apps::DigitRecognitionConfig{}));
-  if (name == "spam_filter")
-    return apps::spamFilter(withDir(apps::SpamFilterConfig{}));
-  if (name == "digit_spam") return apps::digitSpamCombined();
-  if (name == "bnn") return apps::bnn(withDir(apps::BnnConfig{}));
-  if (name == "rendering_3d")
-    return apps::rendering3d(withDir(apps::RenderingConfig{}));
-  if (name == "optical_flow")
-    return apps::opticalFlow(withDir(apps::OpticalFlowConfig{}));
-  if (name == "vision_combined") return apps::visionCombined();
-  std::fprintf(stderr, "unknown design '%s' (try: hcp_cli list)\n",
-               name.c_str());
-  std::exit(2);
+  return apps::makeDesign(name, withDirectives);
 }
 
 int usage() {
@@ -129,6 +98,19 @@ int usage() {
 [[noreturn]] void usageError(const std::string& message) {
   std::fprintf(stderr, "hcp_cli: %s\n", message.c_str());
   std::exit(2);
+}
+
+/// Flushes stdout and surfaces any accumulated write error (EPIPE from a
+/// closed pipe, ENOSPC on a redirect, ...) as hcp::IoError — exit 5, like
+/// any other artifact the user asked for and did not get. SIGPIPE is
+/// ignored at startup so the failed write reaches this check instead of
+/// killing the process. Returns 0 for `return checkStdout();` call sites.
+int checkStdout() {
+  if (std::fflush(stdout) != 0 || std::ferror(stdout))
+    throw IoError(
+        "stdout write failed: " + std::string(std::strerror(errno)),
+        "<stdout>");
+  return 0;
 }
 
 /// Strict unsigned parse for flag values: the whole token must be digits.
@@ -293,8 +275,8 @@ int run(int argc, char** argv) {
   support::failpoint::initFromArgs(argc, argv);
 
   if (cmd == "list") {
-    for (const auto& d : kDesigns) std::printf("%s\n", d.c_str());
-    return 0;
+    for (const auto& d : apps::designNames()) std::printf("%s\n", d.c_str());
+    return checkStdout();
   }
   if (cmd == "compare-reports") return runCompareReports(argc, argv);
 
@@ -406,12 +388,17 @@ int run(int argc, char** argv) {
     std::fprintf(stderr, "[hcp] trace timeline written to %s\n",
                  args.trace.c_str());
   }
+  if (code == 0) checkStdout();
   return code == -1 ? usage() : code;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  support::ignoreSigpipe();
+  // Touch the thread limit before doing anything: a malformed HCP_THREADS
+  // must exit 2 up front, not whenever the first parallel region runs.
+  support::threadLimit();
   if (argc < 2) return usage();
   try {
     return run(argc, argv);

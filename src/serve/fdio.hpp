@@ -11,11 +11,16 @@
 #include <ostream>
 #include <streambuf>
 
+#include "support/signals.hpp"
+
 namespace hcp::serve {
 
-/// Buffered streambuf over a file descriptor the caller owns. EINTR-safe;
-/// short writes are retried until the buffer drains. Any hard I/O error
-/// surfaces as the stream's failbit — exactly what Server::serve checks.
+/// Buffered streambuf over a file descriptor the caller owns. EINTR-safe —
+/// except when the EINTR was a SIGTERM/SIGINT routed through
+/// installTerminationHandler(), in which case a blocked read reports eof so
+/// the serve loop can drain and run its at-exit artifact writes. Short
+/// writes are retried until the buffer drains. Any hard I/O error surfaces
+/// as the stream's failbit — exactly what Server::serve checks.
 class FdStreamBuf final : public std::streambuf {
  public:
   explicit FdStreamBuf(int fd) : fd_(fd) {
@@ -32,7 +37,7 @@ class FdStreamBuf final : public std::streambuf {
     ssize_t n;
     do {
       n = ::read(fd_, inBuf_, sizeof inBuf_);
-    } while (n < 0 && errno == EINTR);
+    } while (n < 0 && errno == EINTR && !support::terminationRequested());
     if (n <= 0) return traits_type::eof();
     setg(inBuf_, inBuf_, inBuf_ + n);
     return traits_type::to_int_type(*gptr());

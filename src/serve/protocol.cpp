@@ -15,6 +15,7 @@ std::string_view opName(Op op) {
     case Op::Predict: return "predict";
     case Op::Flow: return "flow";
     case Op::Status: return "status";
+    case Op::Metrics: return "metrics";
     case Op::Shutdown: return "shutdown";
   }
   return "?";
@@ -75,11 +76,13 @@ ParseOutcome parseRequest(std::string_view line) {
   if (op->str == "predict") req.op = Op::Predict;
   else if (op->str == "flow") req.op = Op::Flow;
   else if (op->str == "status") req.op = Op::Status;
+  else if (op->str == "metrics") req.op = Op::Metrics;
   else if (op->str == "shutdown") req.op = Op::Shutdown;
   else
     return failWith(std::move(outcome),
                     "unknown op '" + op->str +
-                        "' (valid: predict, flow, status, shutdown)");
+                        "' (valid: predict, flow, status, metrics, "
+                        "shutdown)");
 
   const bool isWork = req.op == Op::Predict || req.op == Op::Flow;
   for (const auto& [name, value] : root.object) {

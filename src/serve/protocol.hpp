@@ -8,13 +8,15 @@
 //   {"id":"r2","op":"flow","design":"face_detection","seed":7}
 //   {"id":"r3","op":"flow","key":"8d2fe64a0c1b9e77"}
 //   {"op":"status"}
+//   {"op":"metrics"}
 //   {"op":"shutdown"}
 //
 // A *blank line* is a flush marker: every pending request is answered, in
 // request order, one JSON object per line. EOF and "shutdown" flush too.
 //
 // Fields:
-//   op         required: "predict" | "flow" | "status" | "shutdown"
+//   op         required: "predict" | "flow" | "status" | "metrics" |
+//              "shutdown"
 //   id         optional string, echoed verbatim in the response
 //   design     bundled design name (predict, flow)
 //   key        16-hex flow-cache key (flow only; exclusive with design) —
@@ -38,7 +40,7 @@
 
 namespace hcp::serve {
 
-enum class Op { Predict, Flow, Status, Shutdown };
+enum class Op { Predict, Flow, Status, Metrics, Shutdown };
 
 std::string_view opName(Op op);
 

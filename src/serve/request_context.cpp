@@ -1,0 +1,49 @@
+#include "serve/request_context.hpp"
+
+#include "support/telemetry.hpp"
+#include "support/tracing.hpp"
+
+namespace hcp::serve {
+
+namespace tel = support::telemetry;
+namespace tracing = support::tracing;
+
+namespace {
+
+double spanMs(std::uint64_t beginNs, std::uint64_t endNs) {
+  if (endNs <= beginNs) return 0.0;
+  return static_cast<double>(endNs - beginNs) / 1e6;
+}
+
+void emit(std::string_view path, std::uint64_t beginNs, std::uint64_t endNs,
+          const std::string& rid) {
+  tracing::recordComplete(path, beginNs, endNs > beginNs ? endNs - beginNs : 0,
+                          rid);
+}
+
+}  // namespace
+
+void finishRequest(const RequestContext& ctx) {
+  const bool executed = ctx.execStartNs != 0;
+  const std::uint64_t waitEndNs =
+      executed ? ctx.execStartNs : ctx.serializeStartNs;
+
+  tel::observe(tel::Histogram::ServeRequestLatencyMs,
+               spanMs(ctx.admitNs, ctx.serializeEndNs));
+  tel::observe(tel::Histogram::ServeQueueWaitMs,
+               spanMs(ctx.admitNs, waitEndNs));
+  tel::observe(tel::Histogram::ServeExecMs,
+               executed ? spanMs(ctx.execStartNs, ctx.execEndNs) : 0.0);
+  tel::observe(tel::Histogram::ServeSerializeMs,
+               spanMs(ctx.serializeStartNs, ctx.serializeEndNs));
+
+  if (!tracing::enabled()) return;
+  emit("serve/request", ctx.admitNs, ctx.serializeEndNs, ctx.rid);
+  emit("serve/request/queue_wait", ctx.admitNs, waitEndNs, ctx.rid);
+  if (executed)
+    emit("serve/request/batch_exec", ctx.execStartNs, ctx.execEndNs, ctx.rid);
+  emit("serve/request/serialize", ctx.serializeStartNs, ctx.serializeEndNs,
+       ctx.rid);
+}
+
+}  // namespace hcp::serve

@@ -1,0 +1,47 @@
+// Request-scoped trace handles for hcp_serve.
+//
+// A RequestContext is created at admission and rides on the Pending entry
+// through queueing, batch assembly, execution and response serialization.
+// Every timestamp in it is taken on the *serving thread* — never on a pool
+// worker — so under a logical tick clock (ServerConfig::tickNs) the stamp
+// sequence depends only on the request stream, not the thread count. That
+// single rule is what makes the latency histograms, the `metrics` op and
+// the periodic snapshot byte-identical at --threads 1/2/4 (DESIGN.md §17).
+//
+// finishRequest() turns the stamps into:
+//   - histogram observations: serve_request_latency_ms, serve_queue_wait_ms,
+//     serve_exec_ms, serve_serialize_ms;
+//   - a span tree of Chrome "X" complete events in the tracing ring —
+//     serve/request plus serve/request/{queue_wait,batch_exec,serialize} —
+//     all correlated by the request id via args.request.
+//
+// Phase semantics:
+//   queue_wait  admission → batch-execution start; for requests resolved at
+//               admission (status/metrics/errors) admission → serialize
+//               start, i.e. the time spent queued behind work.
+//   batch_exec  the request's batch's pool window (same for every request
+//               deduped into that batch) — absent for admission-resolved
+//               requests.
+//   serialize   writing the response line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hcp::serve {
+
+struct RequestContext {
+  std::string rid;  ///< correlation id: client id, or "#<seq>" when absent
+  std::uint64_t admitNs = 0;
+  std::uint64_t execStartNs = 0;      ///< 0 = resolved at admission
+  std::uint64_t execEndNs = 0;
+  std::uint64_t serializeStartNs = 0;
+  std::uint64_t serializeEndNs = 0;
+};
+
+/// Observes the per-phase latency histograms and emits the request's span
+/// tree into the tracing ring. Called once per request, on the serving
+/// thread, right after its response line is written.
+void finishRequest(const RequestContext& ctx);
+
+}  // namespace hcp::serve

@@ -16,13 +16,18 @@
 #include "support/failpoint.hpp"
 #include "support/flowcache.hpp"
 #include "support/json.hpp"
+#include "support/metrics_export.hpp"
 #include "support/parallel.hpp"
 #include "support/telemetry.hpp"
+#include "support/textio.hpp"
+#include "support/tracing.hpp"
 
 namespace hcp::serve {
 
 namespace tel = support::telemetry;
 namespace json = support::json;
+namespace tracing = support::tracing;
+namespace metrics = support::metrics;
 
 namespace {
 
@@ -69,6 +74,11 @@ std::string flowBody(const core::FlowResult& result, const std::string& key,
 Server::Server(ServerConfig config)
     : config_(std::move(config)), device_(fpga::Device::xc7z020like()) {
   if (config_.maxBatch == 0) config_.maxBatch = 1;
+  if (config_.metricsInterval == 0) config_.metricsInterval = 1;
+  // A daemon is always observable: the metrics op and the periodic snapshot
+  // read live telemetry histograms, which only fill while collection is on.
+  tel::setEnabled(true);
+  startNs_ = nowNs();
   if (!config_.modelPath.empty())
     predictor_ = std::make_unique<core::CongestionPredictor>(
         core::CongestionPredictor::load(config_.modelPath));
@@ -92,9 +102,12 @@ bool Server::serve(std::istream& in, std::ostream& out) {
 
 void Server::admit(std::string_view line) {
   Pending p;
+  p.ctx.admitNs = nowNs();
+  ++seq_;
   if (line.size() > config_.maxLineBytes) {
     ++stats_.rejected;
     tel::count(tel::Counter::ServeRejected);
+    p.ctx.rid = "#" + std::to_string(seq_);
     p.body = errorBody("request line exceeds " +
                        std::to_string(config_.maxLineBytes) + " bytes");
     p.isError = true;
@@ -104,6 +117,8 @@ void Server::admit(std::string_view line) {
 
   ParseOutcome parsed = parseRequest(line);
   p.request = std::move(parsed.request);
+  p.ctx.rid = p.request.id.empty() ? "#" + std::to_string(seq_)
+                                   : p.request.id;
   if (!parsed.ok) {
     ++stats_.admitted;
     tel::count(tel::Counter::ServeRequests);
@@ -118,6 +133,11 @@ void Server::admit(std::string_view line) {
       ++stats_.admitted;
       tel::count(tel::Counter::ServeRequests);
       p.body = statusBody();
+      break;
+    case Op::Metrics:
+      ++stats_.admitted;
+      tel::count(tel::Counter::ServeRequests);
+      p.body = metricsBody();
       break;
     case Op::Shutdown:
       ++stats_.admitted;
@@ -165,9 +185,21 @@ bool Server::flushPending(std::ostream& out) {
     slot[i] = it->second;
   }
 
+  // Per-batch execution windows, stamped on the serving thread around the
+  // pool dispatch. Every request deduped into a batch shares its window —
+  // the most honest per-request attribution available without letting pool
+  // workers touch the (possibly logical) server clock.
+  struct Window {
+    std::uint64_t startNs = 0;
+    std::uint64_t endNs = 0;
+  };
+  std::vector<Window> windows((work.size() + config_.maxBatch - 1) /
+                              config_.maxBatch);
   std::vector<WorkResult> results(work.size());
   for (std::size_t base = 0; base < work.size(); base += config_.maxBatch) {
     const std::size_t n = std::min(config_.maxBatch, work.size() - base);
+    Window& w = windows[base / config_.maxBatch];
+    w.startNs = nowNs();
     {
       HCP_SPAN("serve_batch");
       tel::count(tel::Counter::ServeBatches);
@@ -178,11 +210,12 @@ bool Server::flushPending(std::ostream& out) {
       for (std::size_t i = 0; i < n; ++i)
         results[base + i] = std::move(chunk[i]);
     }
+    w.endNs = nowNs();
     maybeStatusLine();
   }
 
   for (std::size_t i = 0; i < pending_.size(); ++i) {
-    const Pending& p = pending_[i];
+    Pending& p = pending_[i];
     const std::string* body = &p.body;
     bool isError = p.isError;
     bool fromCache = false;
@@ -191,6 +224,9 @@ bool Server::flushPending(std::ostream& out) {
       body = &r.body;
       isError = r.isError;
       fromCache = r.fromCache;
+      const Window& w = windows[slot[i] / config_.maxBatch];
+      p.ctx.execStartNs = w.startNs;
+      p.ctx.execEndNs = w.endNs;
     }
     if (isError) {
       ++stats_.errors;
@@ -200,13 +236,24 @@ bool Server::flushPending(std::ostream& out) {
       ++stats_.cacheHits;
       tel::count(tel::Counter::ServeCacheHits);
     }
+    p.ctx.serializeStartNs = nowNs();
     out << responsePrefix(p.request) << *body << '\n';
+    p.ctx.serializeEndNs = nowNs();
+    finishRequest(p.ctx);
     ++stats_.served;
     if (out.fail()) break;
   }
   pending_.clear();
   pendingWork_ = 0;
   out.flush();
+
+  // The flush window just closed: workers are idle, so this is a quiescent
+  // point — safe for both the metrics snapshot and the trace auto-flush.
+  ++windows_;
+  if (windows_ % config_.metricsInterval == 0) {
+    writeMetricsNow();
+    tracing::autoFlush();
+  }
   return !out.fail();
 }
 
@@ -289,6 +336,10 @@ Server::WorkResult Server::executeFlow(const Request& r) const {
 std::string Server::statusBody() const {
   std::string b = "\"ok\":true,\"op\":\"status\",\"model\":";
   b += predictor_ ? "true" : "false";
+  b += ",\"uptime_ms\":";
+  appendDouble(b, uptimeMs());
+  b += ",\"requests_in_flight\":";
+  appendU64(b, pendingWork_);
   b += ",\"admitted\":";
   appendU64(b, stats_.admitted);
   b += ",\"served\":";
@@ -307,6 +358,72 @@ std::string Server::statusBody() const {
   b += support::flowcache::degraded() ? "true" : "false";
   b += '}';
   return b;
+}
+
+std::uint64_t Server::nowNs() {
+  if (config_.tickNs != 0) {
+    clockNs_ += config_.tickNs;
+    lastNowNs_ = clockNs_;
+  } else {
+    lastNowNs_ = tel::detail::nowNs();
+  }
+  return lastNowNs_;
+}
+
+double Server::uptimeMs() const {
+  if (lastNowNs_ <= startNs_) return 0.0;
+  return static_cast<double>(lastNowNs_ - startNs_) / 1e6;
+}
+
+metrics::Gauges Server::gauges() const {
+  metrics::Gauges g;
+  g.tool = "hcp_serve";
+  g.uptimeMs = uptimeMs();
+  g.requestsInFlight = pendingWork_;
+  g.served = stats_.served;
+  g.queuePeak = stats_.queuePeak;
+  if (g.uptimeMs > 0.0)
+    g.qps = static_cast<double>(stats_.served) * 1000.0 / g.uptimeMs;
+  if (stats_.served != 0)
+    g.cacheHitRate = static_cast<double>(stats_.cacheHits) /
+                     static_cast<double>(stats_.served);
+  g.model = predictor_ != nullptr;
+  g.flowcacheDegraded = support::flowcache::degraded();
+  return g;
+}
+
+std::string Server::metricsBody() const {
+  return "\"ok\":true,\"op\":\"metrics\"," +
+         metrics::jsonBody(gauges(), tel::snapshot()) + "}";
+}
+
+void Server::writeMetricsNow() {
+  if (config_.metricsOutPath.empty()) return;
+  const metrics::Gauges g = gauges();
+  const tel::Snapshot snap = tel::snapshot();
+  try {
+    {
+      support::txt::CheckedFileWriter w(config_.metricsOutPath, "metrics");
+      w.stream() << '{' << metrics::jsonBody(g, snap) << "}\n";
+      w.commit();
+    }
+    {
+      support::txt::CheckedFileWriter w(
+          metrics::promPathFor(config_.metricsOutPath), "metrics");
+      metrics::writePrometheus(w.stream(), g, snap);
+      w.commit();
+    }
+    tel::count(tel::Counter::MetricsWrites);
+  } catch (const Error& e) {
+    // Degrade: the daemon keeps serving; the failure is visible in the
+    // metrics_write_error counter (and once on stderr).
+    tel::count(tel::Counter::MetricsWriteError);
+    if (!metricsErrorLogged_) {
+      metricsErrorLogged_ = true;
+      std::fprintf(stderr, "[hcp_serve] metrics snapshot failed: %s\n",
+                   e.what());
+    }
+  }
 }
 
 void Server::maybeStatusLine() {

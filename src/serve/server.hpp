@@ -27,6 +27,8 @@
 
 #include "fpga/device.hpp"
 #include "serve/protocol.hpp"
+#include "serve/request_context.hpp"
+#include "support/metrics_export.hpp"
 
 namespace hcp::core {
 class CongestionPredictor;
@@ -40,6 +42,15 @@ struct ServerConfig {
   std::size_t queueDepth = 64;     ///< pending work items between flushes
   std::size_t maxLineBytes = 1 << 20;  ///< request line size limit
   std::uint64_t statusEveryBatches = 0;  ///< stderr status cadence (0 = off)
+  /// Logical clock step. 0 (production default) = real steady clock. When
+  /// non-zero, every serving-thread clock read returns the previous read
+  /// plus tickNs: since only the serving thread reads this clock and its
+  /// read sequence depends only on the request stream, all latency
+  /// histograms — and therefore the metrics op and snapshot — are
+  /// byte-identical at any thread count.
+  std::uint64_t tickNs = 0;
+  std::string metricsOutPath;  ///< periodic JSON/Prometheus snapshot ("" = off)
+  std::uint64_t metricsInterval = 1;  ///< snapshot cadence, in flush windows
 };
 
 /// Monotone since construction; mirrored by the serve_* report counters and
@@ -74,9 +85,14 @@ class Server {
   /// was asked to stop".
   bool shutdownRequested() const { return shutdown_; }
 
+  /// Writes the metrics snapshot (JSON + Prometheus sibling) now, regardless
+  /// of cadence. No-op when metricsOutPath is empty. The at-exit call.
+  void writeMetricsNow();
+
  private:
   struct Pending {
     Request request;
+    RequestContext ctx;
     std::string body;   ///< resolved response body; "" = needs execution
     bool isError = false;
     bool needsWork() const { return body.empty(); }
@@ -94,7 +110,14 @@ class Server {
   WorkResult executePredict(const Request& r) const;
   WorkResult executeFlow(const Request& r) const;
   std::string statusBody() const;
+  std::string metricsBody() const;
+  support::metrics::Gauges gauges() const;
   void maybeStatusLine();
+  /// Serving-thread clock: real steady clock, or the logical tick clock
+  /// when config_.tickNs != 0. Must never be called from a pool worker —
+  /// that would make the read sequence depend on the thread count.
+  std::uint64_t nowNs();
+  double uptimeMs() const;
 
   ServerConfig config_;
   fpga::Device device_;
@@ -103,6 +126,12 @@ class Server {
   std::size_t pendingWork_ = 0;  ///< queue occupancy (needsWork items)
   bool shutdown_ = false;
   ServerStats stats_;
+  std::uint64_t clockNs_ = 0;   ///< last tick-clock reading (tick mode)
+  std::uint64_t startNs_ = 0;   ///< clock at construction (uptime origin)
+  std::uint64_t lastNowNs_ = 0;  ///< last serving-thread clock reading
+  std::uint64_t windows_ = 0;   ///< completed flush windows (snapshot cadence)
+  std::uint64_t seq_ = 0;       ///< admission ordinal (ids for id-less reqs)
+  bool metricsErrorLogged_ = false;  ///< log the first write failure only
 };
 
 }  // namespace hcp::serve

@@ -1,0 +1,158 @@
+#include "serve/top.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "serve/fdio.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace hcp::serve::top {
+
+namespace json = support::json;
+
+std::string scrapeOnce(const std::string& socketPath) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw Error("socket() failed: " + std::string(std::strerror(errno)));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socketPath.size() >= sizeof addr.sun_path) {
+    ::close(fd);
+    throw Error("socket path too long: " + socketPath);
+  }
+  std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("cannot connect to " + socketPath + ": " +
+                std::strerror(err) + " (is hcp_serve --socket running?)");
+  }
+
+  FdStream stream(fd);
+  // The trailing blank line is the protocol's flush marker — without it the
+  // daemon would sit on the request waiting for more.
+  stream.out << "{\"op\":\"metrics\"}\n\n";
+  stream.out.flush();
+  std::string line;
+  const bool got = static_cast<bool>(std::getline(stream.in, line));
+  ::close(fd);
+  if (!got || line.empty())
+    throw Error("daemon at " + socketPath + " hung up without answering");
+  return line;
+}
+
+namespace {
+
+double numberField(const json::Value& obj, const char* key) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr || !v->isNumber())
+    throw Error(std::string("metrics response: missing numeric field '") +
+                key + "'");
+  return v->number;
+}
+
+std::uint64_t u64Field(const json::Value& obj, const char* key) {
+  return static_cast<std::uint64_t>(numberField(obj, key));
+}
+
+bool boolField(const json::Value& obj, const char* key) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr || !v->isBool())
+    throw Error(std::string("metrics response: missing bool field '") + key +
+                "'");
+  return v->boolean;
+}
+
+}  // namespace
+
+Scrape parseMetricsResponse(std::string_view line) {
+  const json::Value root = json::parse(line);
+  if (!root.isObject())
+    throw Error("metrics response is not a JSON object");
+  const json::Value* ok = root.find("ok");
+  if (ok == nullptr || !ok->isBool() || !ok->boolean) {
+    const json::Value* err = root.find("error");
+    throw Error("daemon refused the metrics request" +
+                (err != nullptr && err->isString() ? ": " + err->str : ""));
+  }
+
+  Scrape s;
+  const json::Value* tool = root.find("tool");
+  if (tool != nullptr && tool->isString()) s.tool = tool->str;
+  s.uptimeMs = numberField(root, "uptime_ms");
+  s.requestsInFlight = u64Field(root, "requests_in_flight");
+  s.served = u64Field(root, "served");
+  s.queuePeak = u64Field(root, "queue_peak");
+  s.qps = numberField(root, "qps");
+  s.cacheHitRate = numberField(root, "cache_hit_rate");
+  s.model = boolField(root, "model");
+  s.flowcacheDegraded = boolField(root, "flowcache_degraded");
+
+  const json::Value* counters = root.find("counters");
+  if (counters == nullptr || !counters->isObject())
+    throw Error("metrics response: missing 'counters' object");
+  for (const auto& [name, value] : counters->object) {
+    if (!value.isNumber())
+      throw Error("metrics response: counter '" + name + "' is not a number");
+    s.counters.emplace_back(name, static_cast<std::uint64_t>(value.number));
+  }
+
+  const json::Value* hists = root.find("histograms");
+  if (hists == nullptr || !hists->isObject())
+    throw Error("metrics response: missing 'histograms' object");
+  for (const auto& [name, value] : hists->object) {
+    if (!value.isObject())
+      throw Error("metrics response: histogram '" + name +
+                  "' is not an object");
+    HistRow row;
+    row.name = name;
+    row.count = u64Field(value, "count");
+    row.sum = numberField(value, "sum");
+    row.min = numberField(value, "min");
+    row.max = numberField(value, "max");
+    row.p50 = numberField(value, "p50");
+    row.p90 = numberField(value, "p90");
+    row.p99 = numberField(value, "p99");
+    s.histograms.push_back(std::move(row));
+  }
+  return s;
+}
+
+std::string renderDashboard(const Scrape& s) {
+  std::ostringstream os;
+  os << (s.tool.empty() ? "hcp_serve" : s.tool)
+     << "  up " << fmt(s.uptimeMs / 1000.0, 1) << "s"
+     << "  qps " << fmt(s.qps, 1)
+     << "  served " << s.served
+     << "  in-flight " << s.requestsInFlight
+     << "  queue-peak " << s.queuePeak
+     << "  cache-hit " << fmt(s.cacheHitRate * 100.0, 1) << "%"
+     << "  model " << (s.model ? "yes" : "no");
+  if (s.flowcacheDegraded) os << "  [flowcache DEGRADED]";
+  os << "\n";
+
+  Table t;
+  t.setHeader({"histogram", "count", "p50", "p90", "p99", "max"});
+  for (const HistRow& h : s.histograms) {
+    if (h.count == 0) continue;
+    t.addRow({h.name, std::to_string(h.count), fmt(h.p50, 3), fmt(h.p90, 3),
+              fmt(h.p99, 3), fmt(h.max, 3)});
+  }
+  if (t.rowCount() == 0)
+    os << "(no histogram observations yet)\n";
+  else
+    os << t.toAscii();
+  return std::move(os).str();
+}
+
+}  // namespace hcp::serve::top

@@ -1,0 +1,54 @@
+// The hcp_top client side: scrape a running hcp_serve daemon's `metrics`
+// op over its Unix socket, parse the JSON payload, and render a terminal
+// dashboard (QPS, queue depth, cache hit rate, latency percentiles).
+//
+// Split from tools/hcp_top.cpp so tests can drive the full
+// scrape → parse → render path against an in-process daemon.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hcp::serve::top {
+
+/// One histogram from the metrics payload, percentiles included.
+struct HistRow {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0, min = 0.0, max = 0.0;
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+};
+
+/// A parsed metrics scrape: the daemon gauges plus every counter and
+/// histogram, in the payload's (deterministic) order.
+struct Scrape {
+  std::string tool;
+  double uptimeMs = 0.0;
+  std::uint64_t requestsInFlight = 0;
+  std::uint64_t served = 0;
+  std::uint64_t queuePeak = 0;
+  double qps = 0.0;
+  double cacheHitRate = 0.0;
+  bool model = false;
+  bool flowcacheDegraded = false;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<HistRow> histograms;
+};
+
+/// Connects to the daemon's Unix socket, sends `{"op":"metrics"}` plus a
+/// flush line, and returns the raw response line. Throws hcp::Error when
+/// the socket cannot be reached or the daemon hangs up without answering.
+std::string scrapeOnce(const std::string& socketPath);
+
+/// Parses a metrics response line. Throws hcp::Error on malformed JSON,
+/// an {"ok":false,...} response, or missing fields.
+Scrape parseMetricsResponse(std::string_view line);
+
+/// Renders the dashboard: a gauge summary block followed by a table of
+/// non-empty histograms (count, p50/p90/p99, max).
+std::string renderDashboard(const Scrape& s);
+
+}  // namespace hcp::serve::top

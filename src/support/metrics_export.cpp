@@ -1,0 +1,182 @@
+#include "support/metrics_export.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "support/json.hpp"
+
+namespace hcp::support::metrics {
+
+namespace {
+
+void appendDouble(std::string& s, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  s += buf;
+}
+
+std::string fmtDouble(double v) {
+  std::string s;
+  appendDouble(s, v);
+  return s;
+}
+
+/// The quantiles exposed for every histogram, shared by both formats so a
+/// JSON scrape and a Prometheus scrape always tell the same story.
+constexpr struct {
+  const char* jsonKey;
+  const char* promQuantile;
+  double q;
+} kQuantiles[] = {
+    {"p50", "0.5", 0.50},
+    {"p90", "0.9", 0.90},
+    {"p99", "0.99", 0.99},
+};
+
+}  // namespace
+
+bool validMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    if (!(alpha || (i > 0 && c >= '0' && c <= '9'))) return false;
+  }
+  return true;
+}
+
+std::string escapeHelp(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+std::string escapeLabelValue(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else if (c == '"') out += "\\\"";
+    else out += c;
+  }
+  return out;
+}
+
+std::string promPathFor(const std::string& jsonPath) {
+  constexpr std::string_view kJson = ".json";
+  if (jsonPath.size() > kJson.size() &&
+      jsonPath.compare(jsonPath.size() - kJson.size(), kJson.size(), kJson) ==
+          0)
+    return jsonPath.substr(0, jsonPath.size() - kJson.size()) + ".prom";
+  return jsonPath + ".prom";
+}
+
+std::string jsonBody(const Gauges& g, const telemetry::Snapshot& snap) {
+  std::string b = "\"tool\":\"";
+  b += json::escape(g.tool);
+  b += "\",\"uptime_ms\":";
+  appendDouble(b, g.uptimeMs);
+  b += ",\"requests_in_flight\":";
+  b += std::to_string(g.requestsInFlight);
+  b += ",\"served\":";
+  b += std::to_string(g.served);
+  b += ",\"queue_peak\":";
+  b += std::to_string(g.queuePeak);
+  b += ",\"qps\":";
+  appendDouble(b, g.qps);
+  b += ",\"cache_hit_rate\":";
+  appendDouble(b, g.cacheHitRate);
+  b += ",\"model\":";
+  b += g.model ? "true" : "false";
+  b += ",\"flowcache_degraded\":";
+  b += g.flowcacheDegraded ? "true" : "false";
+
+  b += ",\"counters\":{";
+  for (std::size_t i = 0; i < telemetry::kNumCounters; ++i) {
+    if (i != 0) b += ',';
+    b += '"';
+    b += telemetry::counterName(static_cast<telemetry::Counter>(i));
+    b += "\":";
+    b += std::to_string(snap.counters[i]);
+  }
+  b += "},\"histograms\":{";
+  for (std::size_t i = 0; i < telemetry::kNumHistograms; ++i) {
+    const telemetry::HistStat& h = snap.histograms[i];
+    if (i != 0) b += ',';
+    b += '"';
+    b += telemetry::histogramName(static_cast<telemetry::Histogram>(i));
+    b += "\":{\"count\":";
+    b += std::to_string(h.count);
+    b += ",\"sum\":";
+    appendDouble(b, h.sum);
+    b += ",\"min\":";
+    appendDouble(b, h.count ? h.min : 0.0);
+    b += ",\"max\":";
+    appendDouble(b, h.count ? h.max : 0.0);
+    for (const auto& q : kQuantiles) {
+      b += ",\"";
+      b += q.jsonKey;
+      b += "\":";
+      appendDouble(b, h.percentile(q.q));
+    }
+    b += '}';
+  }
+  b += '}';
+  return b;
+}
+
+void writePrometheus(std::ostream& os, const Gauges& g,
+                     const telemetry::Snapshot& snap) {
+  const std::string tool = escapeLabelValue(g.tool);
+  os << "# HELP hcp_uptime_ms "
+     << escapeHelp("Milliseconds since the daemon started.") << "\n"
+     << "# TYPE hcp_uptime_ms gauge\n"
+     << "hcp_uptime_ms{tool=\"" << tool << "\"} " << fmtDouble(g.uptimeMs)
+     << "\n";
+  os << "# TYPE hcp_requests_in_flight gauge\n"
+     << "hcp_requests_in_flight " << g.requestsInFlight << "\n";
+  os << "# TYPE hcp_served gauge\nhcp_served " << g.served << "\n";
+  os << "# TYPE hcp_queue_peak gauge\nhcp_queue_peak " << g.queuePeak << "\n";
+  os << "# TYPE hcp_qps gauge\nhcp_qps " << fmtDouble(g.qps) << "\n";
+  os << "# TYPE hcp_cache_hit_rate gauge\nhcp_cache_hit_rate "
+     << fmtDouble(g.cacheHitRate) << "\n";
+  os << "# TYPE hcp_model_loaded gauge\nhcp_model_loaded "
+     << (g.model ? 1 : 0) << "\n";
+  os << "# TYPE hcp_flowcache_degraded gauge\nhcp_flowcache_degraded "
+     << (g.flowcacheDegraded ? 1 : 0) << "\n";
+
+  for (std::size_t i = 0; i < telemetry::kNumCounters; ++i) {
+    const std::string_view name =
+        telemetry::counterName(static_cast<telemetry::Counter>(i));
+    os << "# TYPE hcp_" << name << "_total counter\n"
+       << "hcp_" << name << "_total " << snap.counters[i] << "\n";
+  }
+
+  for (std::size_t i = 0; i < telemetry::kNumHistograms; ++i) {
+    const std::string_view name =
+        telemetry::histogramName(static_cast<telemetry::Histogram>(i));
+    const telemetry::HistStat& h = snap.histograms[i];
+    os << "# TYPE hcp_" << name << " summary\n";
+    for (const auto& q : kQuantiles)
+      os << "hcp_" << name << "{quantile=\"" << q.promQuantile << "\"} "
+         << fmtDouble(h.percentile(q.q)) << "\n";
+    os << "hcp_" << name << "_sum " << fmtDouble(h.sum) << "\n";
+    os << "hcp_" << name << "_count " << h.count << "\n";
+    os << "# TYPE hcp_" << name << "_min gauge\n"
+       << "hcp_" << name << "_min " << fmtDouble(h.count ? h.min : 0.0)
+       << "\n";
+    os << "# TYPE hcp_" << name << "_max gauge\n"
+       << "hcp_" << name << "_max " << fmtDouble(h.count ? h.max : 0.0)
+       << "\n";
+  }
+}
+
+}  // namespace hcp::support::metrics

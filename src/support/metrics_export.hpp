@@ -1,0 +1,69 @@
+// Live metrics exposition: one telemetry Snapshot plus a handful of
+// daemon-level gauges rendered as (a) a single-line JSON object and (b)
+// Prometheus text exposition format.
+//
+// The JSON body doubles as the payload of hcp_serve's `metrics` protocol
+// op and (wrapped in braces with a trailing newline) as the `--metrics-out`
+// snapshot file. It is a *deterministic* rendering: map-ordered keys,
+// %.17g doubles, no timestamps beyond what the caller puts in the gauges —
+// so under hcp_serve's logical tick clock the whole scrape is byte-
+// identical at any thread count (the contract DESIGN.md §17 documents and
+// CI enforces).
+//
+// The Prometheus form follows the text exposition format rules
+// (https://prometheus.io/docs/instrumenting/exposition_formats/): metric
+// names match [a-zA-Z_:][a-zA-Z0-9_:]*, counters are suffixed `_total`,
+// HELP text escapes backslash and newline, label values additionally
+// escape double quotes. Histograms export as summaries — {quantile="..."}
+// sample lines from the deterministic 65-bucket HistStat percentiles plus
+// `_sum`, `_count`, `_min` and `_max`.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "support/telemetry.hpp"
+
+namespace hcp::support::metrics {
+
+/// Daemon-level gauges that live outside the telemetry registry. All
+/// values come from the serving thread's clock/stat bookkeeping, so they
+/// inherit its determinism under a logical tick clock.
+struct Gauges {
+  std::string tool;                    ///< e.g. "hcp_serve"
+  double uptimeMs = 0.0;               ///< monotonic since daemon start
+  std::uint64_t requestsInFlight = 0;  ///< queued work items right now
+  std::uint64_t served = 0;            ///< response lines written so far
+  std::uint64_t queuePeak = 0;         ///< max pending work at any flush
+  double qps = 0.0;                    ///< served / uptime (lifetime)
+  double cacheHitRate = 0.0;           ///< cache hits / served, 0 when idle
+  bool model = false;                  ///< predictor loaded
+  bool flowcacheDegraded = false;      ///< flow-cache I/O failure latched
+};
+
+/// The members of the metrics JSON object *without* surrounding braces:
+/// `"tool":"...","uptime_ms":...,"counters":{...},"histograms":{...}`.
+/// hcp_serve prepends `"ok":true,"op":"metrics",` for the protocol op and
+/// `{` + appends `}` for the snapshot file.
+std::string jsonBody(const Gauges& g, const telemetry::Snapshot& snap);
+
+/// Prometheus text exposition of the same data.
+void writePrometheus(std::ostream& os, const Gauges& g,
+                     const telemetry::Snapshot& snap);
+
+/// True when `name` is a valid Prometheus metric name.
+bool validMetricName(std::string_view name);
+
+/// HELP-text escaping: backslash and newline.
+std::string escapeHelp(std::string_view s);
+
+/// Label-value escaping: backslash, newline and double quote.
+std::string escapeLabelValue(std::string_view s);
+
+/// The sibling path the Prometheus snapshot is written to: a trailing
+/// ".json" is replaced by ".prom", otherwise ".prom" is appended.
+std::string promPathFor(const std::string& jsonPath);
+
+}  // namespace hcp::support::metrics

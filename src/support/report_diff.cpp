@@ -6,6 +6,7 @@
 #include <ostream>
 #include <set>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "support/error.hpp"
@@ -240,7 +241,33 @@ int compareReportFiles(const std::string& basePath,
           << ",\n  \"histogram_counts_equal\": "
           << (histogramCountsEqual ? "true" : "false")
           << ",\n  \"spans_compared\": " << spanPaths.size()
-          << ",\n  \"regressions\": [";
+          << ",\n  \"histograms\": {";
+    // Percentile summaries per histogram, base -> new, so a CI artifact
+    // carries the distribution shift, not just the equal/changed verdict.
+    // Absent sides render as null (a new histogram has no base percentile).
+    for (std::size_t h = 0; h < histNames.size(); ++h) {
+      const std::string& name = histNames[h];
+      const Value* b = base.histograms->find(name);
+      const Value* n = fresh.histograms->find(name);
+      bench << (h == 0 ? "" : ", ") << "\n    \"";
+      jsonEscapeMin(bench, name);
+      bench << "\": {";
+      bool first = true;
+      for (const char* field : {"p50", "p90", "p99"}) {
+        for (const auto& [side, rep] :
+             {std::pair<const char*, const Value*>{"base", b},
+              std::pair<const char*, const Value*>{"new", n}}) {
+          const Value* f = rep != nullptr ? rep->find(field) : nullptr;
+          bench << (first ? "" : ", ") << '"' << field << '_' << side
+                << "\": ";
+          if (f != nullptr && f->isNumber()) bench << f->asNumber();
+          else bench << "null";
+          first = false;
+        }
+      }
+      bench << '}';
+    }
+    bench << (histNames.empty() ? "" : "\n  ") << "},\n  \"regressions\": [";
     for (std::size_t i = 0; i < regressions.size(); ++i) {
       bench << (i == 0 ? "" : ", ") << '"';
       jsonEscapeMin(bench, regressions[i]);

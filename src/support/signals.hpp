@@ -1,6 +1,8 @@
 // Process signal disposition shared by every hcp binary.
 #pragma once
 
+#include <signal.h>
+
 #include <csignal>
 
 namespace hcp::support {
@@ -12,5 +14,31 @@ namespace hcp::support {
 /// artifact-write exit code (5). Call once at binary startup, before any
 /// output is produced.
 inline void ignoreSigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+namespace detail {
+inline volatile std::sig_atomic_t gTerminationRequested = 0;
+inline void terminationHandler(int) { gTerminationRequested = 1; }
+}  // namespace detail
+
+/// True once SIGTERM/SIGINT arrived after installTerminationHandler().
+/// Blocking reads/accepts observe it via the EINTR their syscall returns.
+inline bool terminationRequested() {
+  return detail::gTerminationRequested != 0;
+}
+
+/// Routes SIGTERM and SIGINT through a flag instead of the default
+/// process kill, *without* SA_RESTART — the signal must interrupt the
+/// blocking read()/accept() a daemon sits in so its loop can observe
+/// terminationRequested(), drain, and run the normal at-exit artifact
+/// writes (report, trace, metrics snapshot). A killed daemon then differs
+/// from a clean one only in how its input ended.
+inline void installTerminationHandler() {
+  struct sigaction sa {};
+  sa.sa_handler = detail::terminationHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked syscalls must return EINTR
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
 
 }  // namespace hcp::support

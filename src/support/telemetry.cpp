@@ -49,6 +49,9 @@ const char* const kCounterNames[kNumCounters] = {
     "serve_errors",
     "serve_rejected",
     "serve_cache_hits",
+    "metrics_writes",
+    "metrics_write_error",
+    "trace_flush_error",
 };
 
 const char* const kHistogramNames[kNumHistograms] = {
@@ -61,6 +64,10 @@ const char* const kHistogramNames[kNumHistograms] = {
     "cv_fold_medae",
     "serve_batch_size",
     "serve_queue_depth",
+    "serve_request_latency_ms",
+    "serve_queue_wait_ms",
+    "serve_exec_ms",
+    "serve_serialize_ms",
 };
 
 /// Global registry: totals flushed out of thread frames. Guarded by a

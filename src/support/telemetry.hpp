@@ -81,6 +81,9 @@ enum class Counter : std::size_t {
   ServeErrors,          ///< ok:false responses written by hcp_serve
   ServeRejected,        ///< admission rejections (queue full / oversized)
   ServeCacheHits,       ///< flow requests answered from the flow cache
+  MetricsWrites,        ///< periodic metrics snapshots written successfully
+  MetricsWriteError,    ///< metrics snapshot writes that failed; degraded
+  TraceFlushError,      ///< incremental trace flushes that failed; degraded
   kCount,
 };
 
@@ -103,6 +106,10 @@ enum class Histogram : std::size_t {
   CvFoldMedae,                ///< per-fold median absolute error
   ServeBatchSize,             ///< work items per hcp_serve batch dispatch
   ServeQueueDepth,            ///< pending requests at each hcp_serve flush
+  ServeRequestLatencyMs,      ///< admission-to-serialized latency per request
+  ServeQueueWaitMs,           ///< admission-to-execution wait per request
+  ServeExecMs,                ///< batch-execution window per request
+  ServeSerializeMs,           ///< response serialization time per request
   kCount,
 };
 

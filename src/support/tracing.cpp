@@ -28,11 +28,15 @@ std::uint64_t steadyNowNs() {
           .count());
 }
 
+enum class Phase : std::uint8_t { Begin, End, Complete };
+
 struct Event {
   std::uint64_t tsNs = 0;
+  std::uint64_t durNs = 0;  ///< Complete events only
   std::int64_t task = -1;
   std::string path;
-  bool begin = true;
+  std::string corr;  ///< correlation id (args.request); "" = none
+  Phase phase = Phase::Begin;
 };
 
 /// One thread's bounded event log. Appended to only by the owning thread;
@@ -50,6 +54,8 @@ struct TraceRegistry {
   std::vector<ThreadBuffer*> buffers;  ///< owned, kept for process lifetime
   std::size_t capacity = kDefaultBufferCapacity;
   std::uint64_t epochNs = 0;
+  std::string autoFlushPath;  ///< "" = incremental flushing off
+  TraceMeta autoFlushMeta;
 };
 
 TraceRegistry& registry() {
@@ -75,7 +81,7 @@ ThreadBuffer& threadBuffer() {
   return *tlBuffer;
 }
 
-void record(std::string_view path, std::int64_t taskIndex, bool begin) {
+void record(std::string_view path, std::int64_t taskIndex, Phase phase) {
   ThreadBuffer& buf = threadBuffer();
   if (buf.events.size() >= buf.capacity) {
     buf.dropped.fetch_add(1, std::memory_order_relaxed);
@@ -85,7 +91,7 @@ void record(std::string_view path, std::int64_t taskIndex, bool begin) {
   e.tsNs = steadyNowNs();
   e.task = taskIndex;
   e.path.assign(path.data(), path.size());
-  e.begin = begin;
+  e.phase = phase;
   buf.events.push_back(std::move(e));
 }
 
@@ -131,11 +137,28 @@ void setBufferCapacity(std::size_t events) {
 }
 
 void recordBegin(std::string_view path, std::int64_t taskIndex) {
-  record(path, taskIndex, true);
+  record(path, taskIndex, Phase::Begin);
 }
 
 void recordEnd(std::string_view path, std::int64_t taskIndex) {
-  record(path, taskIndex, false);
+  record(path, taskIndex, Phase::End);
+}
+
+void recordComplete(std::string_view path, std::uint64_t startNs,
+                    std::uint64_t durNs, std::string_view correlation) {
+  ThreadBuffer& buf = threadBuffer();
+  if (buf.events.size() >= buf.capacity) {
+    buf.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Event e;
+  e.tsNs = startNs;
+  e.durNs = durNs;
+  e.task = -1;
+  e.path.assign(path.data(), path.size());
+  e.corr.assign(correlation.data(), correlation.size());
+  e.phase = Phase::Complete;
+  buf.events.push_back(std::move(e));
 }
 
 std::uint64_t droppedEvents() {
@@ -184,11 +207,26 @@ void writeChromeTrace(std::ostream& os, const TraceMeta& meta) {
     for (const Event& e : buf->events) {
       char ts[32];
       std::snprintf(ts, sizeof ts, "%.3f", relUs(e.tsNs));
+      const char ph = e.phase == Phase::Begin
+                          ? 'B'
+                          : e.phase == Phase::End ? 'E' : 'X';
       os << ",\n    {\"name\": \"";
       jsonEscape(os, e.path);
-      os << "\", \"cat\": \"span\", \"ph\": \"" << (e.begin ? 'B' : 'E')
-         << "\", \"pid\": 1, \"tid\": " << buf->tid << ", \"ts\": " << ts
-         << ", \"args\": {\"task\": " << e.task << "}}";
+      os << "\", \"cat\": \"span\", \"ph\": \"" << ph
+         << "\", \"pid\": 1, \"tid\": " << buf->tid << ", \"ts\": " << ts;
+      if (e.phase == Phase::Complete) {
+        char dur[32];
+        std::snprintf(dur, sizeof dur, "%.3f",
+                      static_cast<double>(e.durNs) / 1e3);
+        os << ", \"dur\": " << dur;
+      }
+      os << ", \"args\": {\"task\": " << e.task;
+      if (!e.corr.empty()) {
+        os << ", \"request\": \"";
+        jsonEscape(os, e.corr);
+        os << '"';
+      }
+      os << "}}";
     }
   }
   os << "\n  ],\n  \"otherData\": {\"tool\": \"";
@@ -204,6 +242,33 @@ void writeChromeTraceToFile(const std::string& path, const TraceMeta& meta) {
   txt::CheckedFileWriter writer(path, "trace");
   writeChromeTrace(writer.stream(), meta);
   writer.commit();
+}
+
+void configureAutoFlush(std::string path, TraceMeta meta) {
+  TraceRegistry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  reg.autoFlushPath = std::move(path);
+  reg.autoFlushMeta = std::move(meta);
+}
+
+bool autoFlush() {
+  std::string path;
+  TraceMeta meta;
+  {
+    TraceRegistry& reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    if (reg.autoFlushPath.empty()) return true;
+    path = reg.autoFlushPath;
+    meta = reg.autoFlushMeta;
+  }
+  if (!enabled()) return true;
+  try {
+    writeChromeTraceToFile(path, meta);
+  } catch (const hcp::Error&) {
+    telemetry::count(telemetry::Counter::TraceFlushError);
+    return false;
+  }
+  return true;
 }
 
 void arm() {

@@ -46,6 +46,17 @@ void setBufferCapacity(std::size_t events);
 void recordBegin(std::string_view path, std::int64_t taskIndex);
 void recordEnd(std::string_view path, std::int64_t taskIndex);
 
+/// Records a *complete* event ("X" phase): a span whose begin and end are
+/// known at record time, with an optional correlation id exported as
+/// `args.request`. This is how hcp_serve emits per-request span trees —
+/// queue wait and serialization phases only exist in hindsight, once the
+/// request is answered, and the correlation id is what lets a Perfetto
+/// query stitch one request's phases back together across the timeline.
+/// `startNs` is an absolute steady-clock timestamp (same clock as the
+/// begin/end events); `durNs` the span length.
+void recordComplete(std::string_view path, std::uint64_t startNs,
+                    std::uint64_t durNs, std::string_view correlation);
+
 /// Total events dropped because a thread buffer was full.
 std::uint64_t droppedEvents();
 
@@ -64,6 +75,20 @@ void writeChromeTrace(std::ostream& os, const TraceMeta& meta);
 
 /// As above, to `path`. Throws hcp::Error if the file cannot be written.
 void writeChromeTraceToFile(const std::string& path, const TraceMeta& meta);
+
+/// Arms incremental flushing: autoFlush() will rewrite `path` (atomically,
+/// via CheckedFileWriter) with everything recorded so far. Long-running
+/// daemons call autoFlush() at quiescent points so a killed process leaves
+/// a usable — merely stale — trace file instead of an absent one.
+void configureAutoFlush(std::string path, TraceMeta meta);
+
+/// Rewrites the configured auto-flush file. No-op (returns true) when
+/// configureAutoFlush has not run or tracing is off. Returns false instead
+/// of throwing on I/O failure — a failed periodic flush must not take the
+/// caller down; the final at-exit write still fails loudly. Must be called
+/// while recording threads are quiescent (between pool batches), the same
+/// contract as writeChromeTrace.
+bool autoFlush();
 
 /// Applies HCP_TRACE_BUFFER_EVENTS (exit 2 when malformed) and enables
 /// tracing plus telemetry collection — spans must be live for events to

@@ -14,28 +14,42 @@
 //      shows up in the status op.
 //   5. SIGPIPE: the default disposition kills the process mid-write;
 //      support::ignoreSigpipe() turns it into a visible EPIPE.
+//   6. Observability (the tracing/metrics PR): the metrics op, the tick
+//      clock's byte-identical-across-thread-counts contract, per-request
+//      span trees in the trace ring, failpoint-degraded metrics snapshots,
+//      and hcp_top's scrape path against a live socket daemon.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <csignal>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/registry.hpp"
 #include "core/dataset_builder.hpp"
 #include "core/flow.hpp"
 #include "core/predictor.hpp"
+#include "serve/fdio.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "serve/top.hpp"
+#include "support/error.hpp"
 #include "support/failpoint.hpp"
 #include "support/flowcache.hpp"
+#include "support/json.hpp"
 #include "support/parallel.hpp"
 #include "support/signals.hpp"
 #include "support/telemetry.hpp"
+#include "support/tracing.hpp"
 
 namespace hcp::serve {
 namespace {
@@ -99,6 +113,11 @@ TEST(ServeProtocol, ValidRequestsParse) {
 
   EXPECT_TRUE(parseRequest(R"({"op":"status"})").ok);
   EXPECT_TRUE(parseRequest(R"({"op":"shutdown"})").ok);
+
+  const auto m = parseRequest(R"({"id":"m1","op":"metrics"})");
+  ASSERT_TRUE(m.ok) << m.error;
+  EXPECT_EQ(m.request.op, Op::Metrics);
+  EXPECT_EQ(m.request.id, "m1");
 }
 
 TEST(ServeProtocol, ViolationsAreErrorsNotThrows) {
@@ -121,6 +140,8 @@ TEST(ServeProtocol, ViolationsAreErrorsNotThrows) {
       R"({"op":"flow","key":"0123456789abcde"})",    // 15 chars
       R"({"op":"flow","design":"bnn","seed":-1})",   // negative seed
       R"({"op":"status","design":"bnn"})",           // field on status
+      R"({"op":"metrics","design":"bnn"})",          // field on metrics
+      R"({"op":"metrics","top_k":3})",               // field on metrics
   };
   for (const char* line : bad) {
     const auto p = parseRequest(line);
@@ -452,6 +473,228 @@ TEST(ServeSigpipe, IgnoredDispositionSurfacesEpipe) {
   EXPECT_EQ(write(fds[1], "x", 1), -1);
   EXPECT_EQ(errno, EPIPE);
   close(fds[1]);
+}
+
+// --- 6. observability --------------------------------------------------------
+
+namespace json = support::json;
+namespace tracing = support::tracing;
+
+TEST(ServeObservability, StatusReportsUptimeAndInFlight) {
+  ServerConfig config;
+  config.tickNs = 1000;  // logical clock: uptime is exact and replayable
+  Server server(config);
+  const auto out = lines(serveAll(server, "{\"op\":\"status\"}\n"));
+  ASSERT_EQ(out.size(), 1u);
+  const json::Value v = json::parse(out[0]);
+  const json::Value* uptime = v.find("uptime_ms");
+  ASSERT_NE(uptime, nullptr);
+  EXPECT_GT(uptime->asNumber(), 0.0);
+  const json::Value* inFlight = v.find("requests_in_flight");
+  ASSERT_NE(inFlight, nullptr);
+  EXPECT_EQ(inFlight->asNumber(), 0.0);
+}
+
+TEST(ServeObservability, MetricsOpAnswersWithCountersAndPercentiles) {
+  ServerConfig config;
+  config.tickNs = 1000;
+  Server server(config);
+  const auto out = lines(serveAll(
+      server,
+      "{\"id\":\"w\",\"op\":\"flow\",\"design\":\"no_such\"}\n"
+      "\n"
+      "{\"id\":\"m\",\"op\":\"metrics\"}\n"));
+  ASSERT_EQ(out.size(), 2u);
+  const json::Value v = json::parse(out[1]);
+  EXPECT_TRUE(v.find("ok")->asBool());
+  EXPECT_EQ(v.find("op")->asString(), "metrics");
+  const json::Value* hists = v.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* lat = hists->find("serve_request_latency_ms");
+  ASSERT_NE(lat, nullptr);
+  // The flushed window's request was observed before the metrics op ran.
+  EXPECT_GE(lat->find("count")->asNumber(), 1.0);
+  for (const char* field : {"p50", "p90", "p99", "min", "max", "sum"})
+    EXPECT_NE(lat->find(field), nullptr) << field;
+  const json::Value* counters = v.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_NE(counters->find("metrics_write_error"), nullptr);
+}
+
+TEST_F(ServeDeterminism, MetricsByteIdenticalAcrossThreadCounts) {
+  // The acceptance contract: the same request stream under the logical tick
+  // clock yields byte-identical responses — metrics op included, latency
+  // percentiles and all — at 1, 2 and 4 threads.
+  const std::string window =
+      "{\"id\":\"f1\",\"op\":\"flow\",\"design\":\"spam_filter\","
+      "\"seed\":7}\n"
+      "{\"id\":\"f2\",\"op\":\"flow\",\"design\":\"spam_filter\","
+      "\"seed\":7}\n"
+      "{\"id\":\"p1\",\"op\":\"predict\",\"design\":\"spam_filter\","
+      "\"top_k\":4}\n"
+      "{\"id\":\"s\",\"op\":\"status\"}\n"
+      "\n"
+      "{\"id\":\"m\",\"op\":\"metrics\"}\n";
+
+  ServerConfig config;
+  config.modelPath = modelPath_;
+  config.tickNs = 1000;
+
+  std::string reference;
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    support::ScopedThreadLimit limit(threads);
+    TempDir runCache("serve_metrics_det_cache/");
+    fc::ScopedCacheDir runScope(runCache.dir());
+    // The telemetry registry is global and monotone: each run starts from
+    // zero so the metrics payloads compare whole.
+    telemetry::reset();
+    Server server(config);
+    const std::string out = serveAll(server, window);
+    if (reference.empty()) reference = out;
+    EXPECT_EQ(out, reference) << "at " << threads << " threads";
+  }
+  telemetry::reset();
+  EXPECT_NE(reference.find("\"op\":\"metrics\""), std::string::npos);
+  EXPECT_NE(reference.find("serve_request_latency_ms"), std::string::npos);
+}
+
+TEST(ServeObservability, RequestSpanTreeInTrace) {
+  tracing::setBufferCapacity(1 << 12);
+  tracing::setEnabled(true);
+  tracing::reset();
+
+  ServerConfig config;
+  config.tickNs = 1000;
+  Server server(config);
+  serveAll(server,
+           "{\"id\":\"r1\",\"op\":\"flow\",\"design\":\"no_such\"}\n"
+           "\n"
+           "{\"op\":\"status\"}\n");
+
+  std::ostringstream os;
+  tracing::TraceMeta meta;
+  meta.tool = "test";
+  tracing::writeChromeTrace(os, meta);
+  tracing::setEnabled(false);
+  tracing::reset();
+
+  const json::Value doc = json::parse(os.str());
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  // Collect the X (complete) events by request correlation id.
+  std::vector<std::string> r1Phases, anonPhases;
+  for (const json::Value& e : events->array) {
+    const json::Value* ph = e.find("ph");
+    if (ph == nullptr || ph->asString() != "X") continue;
+    ASSERT_NE(e.find("dur"), nullptr);
+    const json::Value* args = e.find("args");
+    ASSERT_NE(args, nullptr);
+    const json::Value* request = args->find("request");
+    ASSERT_NE(request, nullptr);
+    if (request->asString() == "r1")
+      r1Phases.push_back(e.find("name")->asString());
+    else if (request->asString() == "#2")  // the id-less status request
+      anonPhases.push_back(e.find("name")->asString());
+  }
+  // The executed flow request has the full tree; the admission-resolved
+  // status request has no batch_exec phase.
+  const std::vector<std::string> expectFull = {
+      "serve/request", "serve/request/queue_wait", "serve/request/batch_exec",
+      "serve/request/serialize"};
+  const std::vector<std::string> expectResolved = {
+      "serve/request", "serve/request/queue_wait", "serve/request/serialize"};
+  EXPECT_EQ(r1Phases, expectFull);
+  EXPECT_EQ(anonPhases, expectResolved);
+}
+
+TEST(ServeObservability, MetricsSnapshotWriteFailureDegrades) {
+  TempDir dir("serve_metrics_failpoint/");
+  fs::create_directories(dir.dir());
+  ServerConfig config;
+  config.tickNs = 1000;
+  config.metricsOutPath = dir.dir() + "/metrics.json";
+
+  telemetry::reset();
+  {
+    support::failpoint::ScopedFailpoints fp("metrics.write");
+    Server server(config);
+    const auto out = lines(serveAll(
+        server, "{\"id\":\"a\",\"op\":\"status\"}\n\n"
+                "{\"id\":\"b\",\"op\":\"status\"}\n"));
+    // Serving is unharmed by the failed snapshots...
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_NE(out[1].find("\"ok\":true"), std::string::npos);
+    // ...no snapshot landed under the final name...
+    EXPECT_FALSE(fs::exists(config.metricsOutPath));
+  }
+  // ...and the failures are visible in the counter.
+  EXPECT_GE(telemetry::snapshot().counter(
+                telemetry::Counter::MetricsWriteError),
+            1u);
+  EXPECT_EQ(
+      telemetry::snapshot().counter(telemetry::Counter::MetricsWrites), 0u);
+
+  // Without the failpoint the snapshot pair lands atomically.
+  Server server(config);
+  server.writeMetricsNow();
+  EXPECT_TRUE(fs::exists(config.metricsOutPath));
+  EXPECT_TRUE(fs::exists(dir.dir() + "/metrics.prom"));
+  std::ifstream in(config.metricsOutPath);
+  std::stringstream body;
+  body << in.rdbuf();
+  const json::Value v = json::parse(body.str());
+  EXPECT_EQ(v.find("tool")->asString(), "hcp_serve");
+  telemetry::reset();
+}
+
+TEST(ServeTop, ScrapesLiveSocketDaemon) {
+  const std::string sock =
+      std::string(::testing::TempDir()) + "hcp_top_test.sock";
+  ::unlink(sock.c_str());
+  const int listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listenFd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(sock.size(), sizeof addr.sun_path);
+  std::memcpy(addr.sun_path, sock.c_str(), sock.size() + 1);
+  ASSERT_EQ(::bind(listenFd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr),
+            0);
+  ASSERT_EQ(::listen(listenFd, 1), 0);
+
+  ServerConfig config;
+  config.tickNs = 1000;
+  Server server(config);
+  std::thread daemon([&] {
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0) return;
+    FdStream stream(fd);
+    server.serve(stream.in, stream.out);
+    ::close(fd);
+  });
+
+  const std::string line = top::scrapeOnce(sock);
+  daemon.join();
+  ::close(listenFd);
+  ::unlink(sock.c_str());
+
+  const top::Scrape s = top::parseMetricsResponse(line);
+  EXPECT_EQ(s.tool, "hcp_serve");
+  EXPECT_FALSE(s.model);
+  EXPECT_FALSE(s.counters.empty());
+  bool sawLatency = false;
+  for (const top::HistRow& h : s.histograms)
+    sawLatency = sawLatency || h.name == "serve_request_latency_ms";
+  EXPECT_TRUE(sawLatency);
+  const std::string dash = top::renderDashboard(s);
+  EXPECT_NE(dash.find("qps"), std::string::npos);
+  EXPECT_NE(dash.find("hcp_serve"), std::string::npos);
+}
+
+TEST(ServeTop, ScrapeFailsCleanlyWithoutDaemon) {
+  EXPECT_THROW(top::scrapeOnce("/nonexistent/dir/never.sock"), Error);
 }
 
 }  // namespace

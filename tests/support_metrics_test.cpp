@@ -1,0 +1,174 @@
+// Metrics exposition contract: the JSON body is strictly parseable and
+// carries every counter/histogram with deterministic percentiles; the
+// Prometheus rendering obeys the text exposition format rules (metric name
+// charset, _total counter suffix, HELP/label-value escaping, summary
+// quantile lines); promPathFor derives the snapshot sibling path.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/metrics_export.hpp"
+#include "support/telemetry.hpp"
+
+namespace hcp::support::metrics {
+namespace {
+
+namespace tel = support::telemetry;
+
+class MetricsExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tel::setEnabled(true);
+    tel::reset();
+  }
+  void TearDown() override {
+    tel::setEnabled(false);
+    tel::reset();
+  }
+};
+
+TEST_F(MetricsExportTest, EveryMetricNameIsPrometheusValid) {
+  for (std::size_t i = 0; i < tel::kNumCounters; ++i)
+    EXPECT_TRUE(validMetricName(
+        tel::counterName(static_cast<tel::Counter>(i))))
+        << tel::counterName(static_cast<tel::Counter>(i));
+  for (std::size_t i = 0; i < tel::kNumHistograms; ++i)
+    EXPECT_TRUE(validMetricName(
+        tel::histogramName(static_cast<tel::Histogram>(i))))
+        << tel::histogramName(static_cast<tel::Histogram>(i));
+}
+
+TEST_F(MetricsExportTest, ValidMetricNameRules) {
+  EXPECT_TRUE(validMetricName("hcp_served_total"));
+  EXPECT_TRUE(validMetricName("a:b_c9"));
+  EXPECT_TRUE(validMetricName("_leading_underscore"));
+  EXPECT_FALSE(validMetricName(""));
+  EXPECT_FALSE(validMetricName("9starts_with_digit"));
+  EXPECT_FALSE(validMetricName("has-dash"));
+  EXPECT_FALSE(validMetricName("has space"));
+  EXPECT_FALSE(validMetricName("unicodé"));
+}
+
+TEST_F(MetricsExportTest, EscapingRules) {
+  EXPECT_EQ(escapeHelp("back\\slash\nnewline"), "back\\\\slash\\nnewline");
+  EXPECT_EQ(escapeHelp("plain"), "plain");
+  // Label values additionally escape double quotes.
+  EXPECT_EQ(escapeLabelValue("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST_F(MetricsExportTest, PromPathDerivation) {
+  EXPECT_EQ(promPathFor("metrics.json"), "metrics.prom");
+  EXPECT_EQ(promPathFor("/a/b/snap.json"), "/a/b/snap.prom");
+  EXPECT_EQ(promPathFor("noext"), "noext.prom");
+  EXPECT_EQ(promPathFor(".json"), ".json.prom");  // bare extension: append
+}
+
+TEST_F(MetricsExportTest, JsonBodyParsesAndCarriesEverything) {
+  tel::count(tel::Counter::ServeRequests);
+  tel::observe(tel::Histogram::ServeRequestLatencyMs, 1.5);
+  tel::observe(tel::Histogram::ServeRequestLatencyMs, 3.0);
+
+  Gauges g;
+  g.tool = "hcp_serve";
+  g.uptimeMs = 12.5;
+  g.requestsInFlight = 2;
+  g.served = 7;
+  g.queuePeak = 3;
+  g.qps = 560.0;
+  g.cacheHitRate = 0.25;
+  g.model = true;
+
+  const json::Value v = json::parse("{" + jsonBody(g, tel::snapshot()) + "}");
+  EXPECT_EQ(v.find("tool")->asString(), "hcp_serve");
+  EXPECT_DOUBLE_EQ(v.find("uptime_ms")->asNumber(), 12.5);
+  EXPECT_DOUBLE_EQ(v.find("requests_in_flight")->asNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(v.find("qps")->asNumber(), 560.0);
+  EXPECT_TRUE(v.find("model")->asBool());
+
+  const json::Value* counters = v.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->object.size(), tel::kNumCounters);
+  EXPECT_DOUBLE_EQ(counters->find("serve_requests")->asNumber(), 1.0);
+
+  const json::Value* hists = v.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  EXPECT_EQ(hists->object.size(), tel::kNumHistograms);
+  const json::Value* lat = hists->find("serve_request_latency_ms");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lat->find("count")->asNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(lat->find("sum")->asNumber(), 4.5);
+  EXPECT_DOUBLE_EQ(lat->find("min")->asNumber(), 1.5);
+  EXPECT_DOUBLE_EQ(lat->find("max")->asNumber(), 3.0);
+  // Percentiles come from the deterministic bucket edges, clamped to the
+  // observed range — p99 of two samples is the max.
+  EXPECT_DOUBLE_EQ(lat->find("p99")->asNumber(), 3.0);
+  // An empty histogram renders zeros, not garbage min/max sentinels.
+  const json::Value* empty = hists->find("serve_batch_size");
+  ASSERT_NE(empty, nullptr);
+  EXPECT_DOUBLE_EQ(empty->find("count")->asNumber(), 0.0);
+  EXPECT_DOUBLE_EQ(empty->find("min")->asNumber(), 0.0);
+  EXPECT_DOUBLE_EQ(empty->find("max")->asNumber(), 0.0);
+}
+
+TEST_F(MetricsExportTest, PrometheusRenderingFollowsTheFormat) {
+  tel::count(tel::Counter::ServeRequests);
+  tel::observe(tel::Histogram::ServeRequestLatencyMs, 2.0);
+
+  Gauges g;
+  g.tool = "tool\"with\\evil";
+  g.uptimeMs = 5.0;
+  std::ostringstream os;
+  writePrometheus(os, g, tel::snapshot());
+  const std::string text = os.str();
+
+  // Label value escaped per the exposition format.
+  EXPECT_NE(text.find("hcp_uptime_ms{tool=\"tool\\\"with\\\\evil\"} 5"),
+            std::string::npos);
+  // Counters carry the _total suffix and a TYPE line.
+  EXPECT_NE(text.find("# TYPE hcp_serve_requests_total counter\n"
+                      "hcp_serve_requests_total 1\n"),
+            std::string::npos);
+  // Histograms render as summaries with quantile sample lines + _sum/_count.
+  EXPECT_NE(text.find("# TYPE hcp_serve_request_latency_ms summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("hcp_serve_request_latency_ms{quantile=\"0.99\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("hcp_serve_request_latency_ms_sum 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("hcp_serve_request_latency_ms_count 1\n"),
+            std::string::npos);
+
+  // Every sample line's metric name (with its optional {labels} stripped)
+  // is format-valid.
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t samples = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::string name = line.substr(0, line.find_first_of(" {"));
+    EXPECT_TRUE(validMetricName(name)) << line;
+    ++samples;
+  }
+  // Gauges + one line per counter + (3 quantiles + sum/count/min/max) per
+  // histogram.
+  EXPECT_EQ(samples, 8 + tel::kNumCounters + 7 * tel::kNumHistograms);
+}
+
+TEST_F(MetricsExportTest, RenderingIsDeterministic) {
+  tel::observe(tel::Histogram::ServeRequestLatencyMs, 0.25);
+  Gauges g;
+  g.tool = "hcp_serve";
+  g.uptimeMs = 1.0;
+  const auto snap = tel::snapshot();
+  EXPECT_EQ(jsonBody(g, snap), jsonBody(g, snap));
+  std::ostringstream a, b;
+  writePrometheus(a, g, snap);
+  writePrometheus(b, g, snap);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace hcp::support::metrics

@@ -1,13 +1,18 @@
 // Trace sink contract: span begin/end events land in per-thread buffers,
 // saturation drops-and-counts instead of reallocating, and the exported
 // timeline is strictly valid Chrome trace-event JSON — including span
-// names chosen to break naive escaping.
+// names chosen to break naive escaping. Complete ("X") events carry their
+// duration and request correlation id, and auto-flush rewrites a configured
+// trace file at quiescent points without throwing on I/O failure.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
 
+#include "support/failpoint.hpp"
 #include "support/json.hpp"
 #include "support/parallel.hpp"
 #include "support/telemetry.hpp"
@@ -163,6 +168,90 @@ TEST_F(TracingTest, DisabledTracingRecordsNothing) {
   const json::Value doc = exportAndParse();
   for (const json::Value& e : doc.find("traceEvents")->array)
     EXPECT_EQ(e.find("ph")->asString(), "M");
+}
+
+TEST_F(TracingTest, CompleteEventsCarryDurationAndCorrelation) {
+  const std::string evil = "r\"id\\with\nnewline";
+  recordComplete("serve/request", 1000, 2500, evil);
+  recordComplete("serve/request/queue_wait", 1000, 0, "plain");
+  recordComplete("no/correlation", 500, 100, "");
+
+  const json::Value doc = exportAndParse();
+  std::size_t complete = 0;
+  bool sawEvil = false, sawZeroDur = false, sawBare = false;
+  for (const json::Value& e : doc.find("traceEvents")->array) {
+    if (e.find("ph")->asString() != "X") continue;
+    ++complete;
+    ASSERT_NE(e.find("dur"), nullptr);
+    EXPECT_GE(e.find("dur")->asNumber(), 0.0);
+    const json::Value* request = e.find("args")->find("request");
+    const std::string& name = e.find("name")->asString();
+    if (name == "serve/request") {
+      ASSERT_NE(request, nullptr);
+      sawEvil = request->asString() == evil;
+      EXPECT_DOUBLE_EQ(e.find("dur")->asNumber(), 2.5);  // 2500 ns in µs
+    } else if (name == "serve/request/queue_wait") {
+      sawZeroDur = e.find("dur")->asNumber() == 0.0;
+    } else if (name == "no/correlation") {
+      // An empty correlation id omits args.request entirely.
+      sawBare = request == nullptr;
+    }
+  }
+  EXPECT_EQ(complete, 3u);
+  EXPECT_TRUE(sawEvil) << "correlation id did not survive JSON escaping";
+  EXPECT_TRUE(sawZeroDur);
+  EXPECT_TRUE(sawBare);
+}
+
+TEST_F(TracingTest, AutoFlushRewritesConfiguredFileAndDegradesOnFailure) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      std::string(::testing::TempDir()) + "autoflush_trace.json";
+  fs::remove(path);
+
+  // Unconfigured: a successful no-op.
+  EXPECT_TRUE(autoFlush());
+  EXPECT_FALSE(fs::exists(path));
+
+  TraceMeta meta;
+  meta.tool = "unit_test";
+  meta.command = "autoflush";
+  configureAutoFlush(path, meta);
+
+  recordComplete("first", 10, 5, "a");
+  ASSERT_TRUE(autoFlush());
+  ASSERT_TRUE(fs::exists(path));
+  auto slurp = [&] {
+    std::ifstream in(path);
+    std::stringstream body;
+    body << in.rdbuf();
+    return body.str();
+  };
+  const json::Value one = json::parse(slurp());
+  EXPECT_EQ(one.find("otherData")->find("tool")->asString(), "unit_test");
+
+  // A second flush rewrites the whole ring: both events now present.
+  recordComplete("second", 20, 5, "b");
+  ASSERT_TRUE(autoFlush());
+  const json::Value two = json::parse(slurp());
+  std::size_t complete = 0;
+  for (const json::Value& e : two.find("traceEvents")->array)
+    if (e.find("ph")->asString() == "X") ++complete;
+  EXPECT_EQ(complete, 2u);
+
+  // I/O failure degrades (returns false, counts) instead of throwing, and
+  // the previous file survives untouched under the atomic-write contract.
+  const std::string before = slurp();
+  {
+    failpoint::ScopedFailpoints fp("trace.write");
+    EXPECT_FALSE(autoFlush());
+  }
+  EXPECT_EQ(slurp(), before);
+  EXPECT_GE(
+      telemetry::snapshot().counter(telemetry::Counter::TraceFlushError), 1u);
+
+  configureAutoFlush("", TraceMeta{});  // disarm for the tests that follow
+  fs::remove(path);
 }
 
 }  // namespace

@@ -20,11 +20,25 @@
 //   --max-line-bytes N  reject request lines longer than this (default 1 MiB)
 //   --status-every N  print a status line to stderr every N batches
 //   --threads N       thread-pool size (default: HCP_THREADS or hardware)
+//   --tick-ns N       logical clock: each serving-thread clock read advances
+//                     a counter by N ns instead of reading the real clock,
+//                     making latency histograms / metrics byte-identical at
+//                     any thread count (default 0 = real steady clock)
+//   --metrics-out FILE      write a metrics snapshot (FILE as JSON plus a
+//                           .prom Prometheus sibling) atomically after flush
+//                           windows and at exit
+//   --metrics-interval N    snapshot every N flush windows (default 1)
 //   --report FILE     write a JSON run report on exit (HCP_REPORT fallback)
-//   --trace FILE      write a Chrome trace timeline (HCP_TRACE fallback)
+//   --trace FILE      write a Chrome trace timeline (HCP_TRACE fallback);
+//                     also re-written incrementally at metrics cadence so a
+//                     killed daemon leaves a stale-but-usable trace
 //   --cache DIR       flow-result cache directory (HCP_CACHE fallback)
 //   --failpoints SPEC arm fault injection, e.g. serve.request:1
 //                     (HCP_FAILPOINTS fallback)
+//
+// SIGTERM/SIGINT are routed through a flag (no SA_RESTART): the blocked
+// read/accept returns, the loop drains, and the normal at-exit artifact
+// writes (report, trace, metrics snapshot) all run.
 //
 // Per-request failures (malformed JSON, unknown design, injected serve.*
 // fault) are answered with {"ok":false,...} and never stop the daemon.
@@ -60,8 +74,10 @@ int usage() {
       stderr,
       "usage: hcp_serve [--model FILE] [--socket PATH] [--max-batch N]\n"
       "                 [--queue-depth N] [--max-line-bytes N]\n"
-      "                 [--status-every N] [--threads N] [--report FILE]\n"
-      "                 [--trace FILE] [--cache DIR] [--failpoints SPEC]\n");
+      "                 [--status-every N] [--threads N] [--tick-ns N]\n"
+      "                 [--metrics-out FILE] [--metrics-interval N]\n"
+      "                 [--report FILE] [--trace FILE] [--cache DIR]\n"
+      "                 [--failpoints SPEC]\n");
   return 2;
 }
 
@@ -126,6 +142,12 @@ Args parse(int argc, char** argv) {
       args.config.statusEveryBatches = parseCount(arg, need(), 1);
     } else if (arg == "--threads") {
       args.threads = parseCount(arg, need(), 1);
+    } else if (arg == "--tick-ns") {
+      args.config.tickNs = parseCount(arg, need(), 1);
+    } else if (arg == "--metrics-out") {
+      args.config.metricsOutPath = need();
+    } else if (arg == "--metrics-interval") {
+      args.config.metricsInterval = parseCount(arg, need(), 1);
     } else {
       usageError("unknown argument '" + arg + "'");
     }
@@ -157,13 +179,15 @@ bool serveSocket(serve::Server& server, const std::string& path) {
   std::fprintf(stderr, "[hcp_serve] listening on %s\n", path.c_str());
 
   bool clean = true;
-  while (!server.shutdownRequested()) {
+  while (!server.shutdownRequested() && !support::terminationRequested()) {
     int fd;
     do {
       fd = ::accept(listenFd, nullptr, nullptr);
-    } while (fd < 0 && errno == EINTR);
+    } while (fd < 0 && errno == EINTR && !support::terminationRequested());
     if (fd < 0) {
-      clean = false;
+      // SIGTERM/SIGINT interrupting accept() is the clean daemon-stop path;
+      // any other accept failure is not.
+      clean = support::terminationRequested();
       break;
     }
     serve::FdStream stream(fd);
@@ -179,8 +203,10 @@ bool serveSocket(serve::Server& server, const std::string& path) {
 
 int run(int argc, char** argv) {
   // SIGPIPE would otherwise kill the daemon the instant a client hangs up
-  // mid-response; ignored, the write fails visibly instead.
+  // mid-response; ignored, the write fails visibly instead. SIGTERM/SIGINT
+  // become a drain-and-flush request instead of an instant kill.
   support::ignoreSigpipe();
+  support::installTerminationHandler();
   // Validate HCP_THREADS up front (exit 2 on garbage) — a daemon must not
   // defer its misconfiguration to the first batch.
   support::threadLimit();
@@ -194,6 +220,14 @@ int run(int argc, char** argv) {
   const Args args = parse(argc, argv);
   if (args.threads > 0)
     support::setThreadLimit(static_cast<std::size_t>(args.threads));
+  if (!tracePath.empty()) {
+    // Incremental flushing: the trace file is rewritten at quiescent points
+    // while serving, so a killed daemon leaves a stale file, not none.
+    support::tracing::TraceMeta meta;
+    meta.tool = "hcp_serve";
+    meta.command = "serve";
+    support::tracing::configureAutoFlush(tracePath, meta);
+  }
 
   serve::Server server(args.config);  // model loads here, once
   std::fprintf(stderr, "[hcp_serve] ready (model: %s, %zu thread%s)\n",
@@ -235,6 +269,9 @@ int run(int argc, char** argv) {
     std::fprintf(stderr, "[hcp_serve] trace timeline written to %s\n",
                  tracePath.c_str());
   }
+  // Final snapshot: unlike the periodic ones this reflects the drained
+  // daemon (and is the only one a trafficless run ever writes).
+  server.writeMetricsNow();
 
   if (!clean)
     throw IoError("response stream failed mid-serve", "<stdout/socket>");

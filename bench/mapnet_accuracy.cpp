@@ -1,0 +1,136 @@
+// Congestion-map model accuracy — the BENCH_mapnet.json trajectory.
+//
+// Trains each map topology (tilelinear baseline, 3x3 conv, lattice
+// message-passing) on the table-3 suite's placed grid features, scores the
+// predicted V/H maps against the routed ground truth per design (per-tile
+// MAE in utilization percent, top-decile hotspot IoU), and gates the learned
+// models: the conv net must beat the tile-wise linear baseline on mean
+// hotspot IoU, or the bench exits 1. Everything runs at fixed seeds through
+// the deterministic pool, so the JSON is bit-identical at any --threads.
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/map_predictor.hpp"
+#include "ml/mapnet.hpp"
+#include "ml/metrics.hpp"
+#include "support/textio.hpp"
+
+using namespace hcp;
+
+namespace {
+
+struct DesignScore {
+  std::string design;
+  double maeV = 0.0, maeH = 0.0;
+  double iouV = 0.0, iouH = 0.0;
+  double meanIoU() const { return 0.5 * (iouV + iouH); }
+};
+
+struct TopologyResult {
+  std::string name;
+  double finalLoss = 0.0;
+  std::vector<DesignScore> scores;
+  double meanIoU() const {
+    double sum = 0.0;
+    for (const DesignScore& s : scores) sum += s.meanIoU();
+    return scores.empty() ? 0.0 : sum / static_cast<double>(scores.size());
+  }
+  double meanMae() const {
+    double sum = 0.0;
+    for (const DesignScore& s : scores) sum += 0.5 * (s.maeV + s.maeH);
+    return scores.empty() ? 0.0 : sum / static_cast<double>(scores.size());
+  }
+};
+
+void runBench(hcp::bench::BenchSession& session) {
+  const auto device = fpga::Device::xc7z020like();
+  const std::vector<core::FlowResult> flows =
+      hcp::bench::runBenchmarkSuite(device);
+  const auto samples = core::buildMapSamples(
+      flows, device, core::gridConfigFor(fpga::PlacerConfig{}));
+
+  std::vector<TopologyResult> results;
+  for (const auto topology : {ml::MapNetConfig::Topology::kTileLinear,
+                              ml::MapNetConfig::Topology::kConv,
+                              ml::MapNetConfig::Topology::kLattice}) {
+    ml::MapNetConfig config;
+    config.topology = topology;
+    config.seed = hcp::bench::kSeed;
+    std::fprintf(stderr, "[mapnet] training %s (%zu epochs)...\n",
+                 std::string(ml::topologyName(topology)).c_str(),
+                 config.epochs);
+    ml::MapNet model(config);
+    model.fit(samples);
+
+    TopologyResult result;
+    result.name = ml::topologyName(topology);
+    result.finalLoss = model.finalLoss();
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const ml::MapPrediction predicted = model.predict(samples[i].grid);
+      DesignScore score;
+      score.design = flows[i].name;
+      score.maeV = ml::meanAbsoluteError(samples[i].vTarget, predicted.vUtil);
+      score.maeH = ml::meanAbsoluteError(samples[i].hTarget, predicted.hUtil);
+      score.iouV = ml::hotspotIoU(samples[i].vTarget, predicted.vUtil);
+      score.iouH = ml::hotspotIoU(samples[i].hTarget, predicted.hUtil);
+      result.scores.push_back(score);
+    }
+    results.push_back(std::move(result));
+  }
+
+  Table table("Congestion-map model accuracy (per-tile, vs routed truth)");
+  table.setHeader({"Model", "Design", "V MAE", "H MAE", "V IoU", "H IoU"});
+  for (const TopologyResult& r : results)
+    for (const DesignScore& s : r.scores)
+      table.addRow({r.name, s.design, fmt(s.maeV), fmt(s.maeH),
+                    fmt(s.iouV, 3), fmt(s.iouH, 3)});
+  hcp::bench::emit(table, "mapnet_accuracy.csv");
+  for (const TopologyResult& r : results)
+    std::printf("%-10s mean MAE %6.2f%%  mean hotspot IoU %.3f\n",
+                r.name.c_str(), r.meanMae(), r.meanIoU());
+
+  support::txt::CheckedFileWriter writer("BENCH_mapnet.json", "benchout");
+  auto& json = writer.stream();
+  support::txt::preparePrecision(json);
+  json << "{\n  \"threads\": " << session.threads()
+       << ",\n  \"seed\": " << hcp::bench::kSeed << ",\n  \"models\": [\n";
+  for (std::size_t m = 0; m < results.size(); ++m) {
+    const TopologyResult& r = results[m];
+    json << "    {\"topology\": \"" << r.name << "\""
+         << ", \"final_loss\": " << r.finalLoss
+         << ", \"mean_mae\": " << r.meanMae()
+         << ", \"mean_hotspot_iou\": " << r.meanIoU()
+         << ", \"designs\": [\n";
+    for (std::size_t i = 0; i < r.scores.size(); ++i) {
+      const DesignScore& s = r.scores[i];
+      json << "      {\"design\": \"" << s.design << "\""
+           << ", \"mae_v\": " << s.maeV << ", \"mae_h\": " << s.maeH
+           << ", \"hotspot_iou_v\": " << s.iouV
+           << ", \"hotspot_iou_h\": " << s.iouH << "}"
+           << (i + 1 < r.scores.size() ? "," : "") << "\n";
+    }
+    json << "    ]}" << (m + 1 < results.size() ? "," : "") << "\n";
+  }
+  const double linearIoU = results[0].meanIoU();
+  const double convIoU = results[1].meanIoU();
+  json << "  ],\n  \"conv_minus_tilelinear_iou\": " << (convIoU - linearIoU)
+       << "\n}\n";
+  writer.commit();
+  std::fprintf(stderr, "[mapnet] report written to BENCH_mapnet.json\n");
+
+  // The accuracy gate: a conv net that cannot beat a per-tile linear map on
+  // hotspot overlap has stopped learning spatial structure.
+  HCP_CHECK_MSG(convIoU > linearIoU,
+                "conv mean hotspot IoU " << convIoU
+                                         << " does not beat the tilelinear "
+                                            "baseline "
+                                         << linearIoU);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return hcp::bench::runBenchMain("mapnet_accuracy", argc, argv, runBench);
+}

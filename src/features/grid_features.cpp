@@ -1,0 +1,150 @@
+#include "features/grid_features.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "support/telemetry.hpp"
+
+namespace hcp::features {
+
+namespace {
+
+/// Per-net placed bounding box plus its bit width, precomputed serially so
+/// the parallel per-row sweep only reads.
+struct NetBox {
+  std::uint32_t x0 = 0, x1 = 0, y0 = 0, y1 = 0;
+  double width = 1.0;
+};
+
+std::vector<NetBox> netBoxes(const fpga::Packing& packing,
+                             const fpga::Placement& placement) {
+  std::vector<NetBox> boxes;
+  boxes.reserve(packing.nets.size());
+  for (const fpga::ClusterNet& net : packing.nets) {
+    const fpga::TileXY d = placement.tileOfCluster[net.driver];
+    NetBox box;
+    box.x0 = box.x1 = d.x;
+    box.y0 = box.y1 = d.y;
+    box.width = static_cast<double>(net.width);
+    for (const fpga::ClusterId sink : net.sinks) {
+      const fpga::TileXY t = placement.tileOfCluster[sink];
+      box.x0 = std::min(box.x0, t.x);
+      box.x1 = std::max(box.x1, t.x);
+      box.y0 = std::min(box.y0, t.y);
+      box.y1 = std::max(box.y1, t.y);
+    }
+    boxes.push_back(box);
+  }
+  return boxes;
+}
+
+}  // namespace
+
+GridGeometry GridGeometry::forDevice(const fpga::Device& device) {
+  GridGeometry g;
+  g.width = device.width();
+  g.height = device.height();
+  g.vTracks = device.vTracks();
+  g.hTracks = device.hTracks();
+  g.vTracksAt.resize(g.numTiles());
+  g.hTracksAt.resize(g.numTiles());
+  for (std::uint32_t y = 0; y < g.height; ++y) {
+    for (std::uint32_t x = 0; x < g.width; ++x) {
+      const std::size_t i = static_cast<std::size_t>(y) * g.width + x;
+      g.vTracksAt[i] = device.vTracksAt(x, y);
+      g.hTracksAt[i] = device.hTracksAt(x, y);
+    }
+  }
+  return g;
+}
+
+GridFeatures extractGridFeatures(const fpga::Packing& packing,
+                                 const fpga::Placement& placement,
+                                 const GridGeometry& geometry,
+                                 const GridFeatureConfig& config) {
+  HCP_SPAN("grid_features");
+  GridFeatures out;
+  out.width = geometry.width;
+  out.height = geometry.height;
+  const std::size_t tiles = geometry.numTiles();
+  if (tiles == 0) return out;  // empty-map contract: all channels empty
+
+  out.pinDensity.assign(tiles, 0.0);
+  out.netCrossings.assign(tiles, 0.0);
+  out.rudyV.assign(tiles, 0.0);
+  out.rudyH.assign(tiles, 0.0);
+  out.capV.assign(tiles, 0.0);
+  out.capH.assign(tiles, 0.0);
+  out.regionDist.assign(tiles, 0.0);
+
+  // Serial prep: validate tiles and scatter bit-weighted pins. O(pins) —
+  // cheap next to the per-row net sweep below.
+  HCP_CHECK_MSG(placement.tileOfCluster.size() >= packing.clusters.size(),
+                "placement does not cover the packing ("
+                    << placement.tileOfCluster.size() << " tiles for "
+                    << packing.clusters.size() << " clusters)");
+  auto tileIndex = [&](fpga::ClusterId c) {
+    const fpga::TileXY t = placement.tileOfCluster[c];
+    HCP_CHECK_MSG(t.x < geometry.width && t.y < geometry.height,
+                  "cluster " << c << " placed at (" << t.x << "," << t.y
+                             << ") outside the " << geometry.width << "x"
+                             << geometry.height << " grid");
+    return static_cast<std::size_t>(t.y) * geometry.width + t.x;
+  };
+  for (const fpga::ClusterNet& net : packing.nets) {
+    const double w = static_cast<double>(net.width);
+    out.pinDensity[tileIndex(net.driver)] += w;
+    for (const fpga::ClusterId sink : net.sinks)
+      out.pinDensity[tileIndex(sink)] += w;
+  }
+
+  const std::vector<NetBox> boxes = netBoxes(packing, placement);
+  const std::uint32_t regionSize = std::max(1u, config.regionSize);
+
+  // Parallel per-row sweep: each row owns its slice of every channel, so
+  // the merge is trivially bit-identical at any thread count.
+  support::parallelFor(0, geometry.height, 4, [&](std::size_t y) {
+    const std::size_t row = y * geometry.width;
+    for (std::uint32_t x = 0; x < geometry.width; ++x) {
+      const std::size_t i = row + x;
+      out.capV[i] = geometry.vCapAt(i);
+      out.capH[i] = geometry.hCapAt(i);
+      // Distance to the nearest region boundary in either axis. Tiles on a
+      // seam (offset 0) score 0; single-tile regions make every tile a seam.
+      const std::uint32_t rx = x % regionSize;
+      const std::uint32_t ry = static_cast<std::uint32_t>(y) % regionSize;
+      const std::uint32_t dx = std::min(rx, regionSize - 1 - rx);
+      const std::uint32_t dy = std::min(ry, regionSize - 1 - ry);
+      out.regionDist[i] = static_cast<double>(std::min(dx, dy));
+    }
+    for (const NetBox& box : boxes) {
+      if (y < box.y0 || y > box.y1) continue;
+      // RUDY (Spindler/Johannes): wire demand of a net is spread uniformly
+      // over its bounding box; the horizontal share per tile is
+      // w*(dx+1)/area = w/(dy+1) and symmetrically for vertical.
+      const double spanX = static_cast<double>(box.x1 - box.x0 + 1);
+      const double spanY = static_cast<double>(box.y1 - box.y0 + 1);
+      const double h = box.width / spanY;
+      const double v = box.width / spanX;
+      for (std::uint32_t x = box.x0; x <= box.x1; ++x) {
+        const std::size_t i = row + x;
+        out.netCrossings[i] += 1.0;
+        out.rudyH[i] += h;
+        out.rudyV[i] += v;
+      }
+    }
+  });
+  return out;
+}
+
+GridFeatures extractGridFeatures(const fpga::Packing& packing,
+                                 const fpga::Placement& placement,
+                                 const fpga::Device& device,
+                                 const GridFeatureConfig& config) {
+  return extractGridFeatures(packing, placement,
+                             GridGeometry::forDevice(device), config);
+}
+
+}  // namespace hcp::features

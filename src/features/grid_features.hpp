@@ -1,0 +1,106 @@
+// Per-tile grid features for congestion-*map* prediction (Painting-on-
+// Placement / LHNN style, PAPERS.md): where extractor.hpp describes one IR
+// operation, this module describes one device tile. The channels are
+// everything a placement (no routing!) reveals about where wiring pressure
+// will land:
+//
+//   pin_density    bit-weighted cluster pins scattered onto their tiles
+//   net_crossings  number of placed nets whose bounding box covers the tile
+//   rudy_v/rudy_h  RUDY-style probabilistic channel demand (net width
+//                  smeared over its bounding box, split V/H by box aspect)
+//   cap_v/cap_h    channel capacity (tracks), per tile — hard-column boosts
+//                  included, so the model can learn demand *relative* to
+//                  supply
+//   region_dist    distance in tiles to the nearest placer-region boundary
+//                  (PlacerConfig::regionSize grid) — congestion piles up at
+//                  region seams where the spreading penalty stops helping
+//
+// Layout is structure-of-arrays: one flat row-major vector per channel, all
+// of size width*height. The net-dependent channels are extracted in
+// parallel over tile rows through the PR-1 pool; every row owns its output
+// slice, so results are bit-identical at any thread count.
+//
+// Empty-map contract: a 0-tile geometry yields empty channel vectors; a
+// packing with zero nets yields all-zero crossing/RUDY channels; both are
+// valid inputs, not errors (exercised by tests/fuzz_pipeline_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fpga/device.hpp"
+#include "fpga/packer.hpp"
+#include "fpga/placer.hpp"
+
+namespace hcp::features {
+
+struct GridFeatureConfig {
+  /// Placer spreading-region edge length; region_dist is measured against
+  /// this grid. 0 is treated as 1 (every tile is its own region, dist 0).
+  std::uint32_t regionSize = 6;
+};
+
+/// The tile grid to extract over. Decoupled from fpga::Device (which
+/// enforces a minimum 8x8 fabric) so degenerate grids — 1x1, even 0x0 — are
+/// testable; forDevice() is the production path.
+struct GridGeometry {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  double vTracks = 1.0;  ///< uniform channel capacity fallback
+  double hTracks = 1.0;
+  /// Optional per-tile capacities (row-major, width*height); empty = uniform.
+  std::vector<double> vTracksAt;
+  std::vector<double> hTracksAt;
+
+  static GridGeometry forDevice(const fpga::Device& device);
+
+  std::size_t numTiles() const {
+    return static_cast<std::size_t>(width) * height;
+  }
+  double vCapAt(std::size_t tile) const {
+    return vTracksAt.empty() ? vTracks : vTracksAt[tile];
+  }
+  double hCapAt(std::size_t tile) const {
+    return hTracksAt.empty() ? hTracks : hTracksAt[tile];
+  }
+};
+
+/// Structure-of-arrays per-tile feature channels (see file comment).
+struct GridFeatures {
+  static constexpr std::size_t kNumChannels = 7;
+
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::vector<double> pinDensity;
+  std::vector<double> netCrossings;
+  std::vector<double> rudyV;
+  std::vector<double> rudyH;
+  std::vector<double> capV;
+  std::vector<double> capH;
+  std::vector<double> regionDist;
+
+  std::size_t numTiles() const {
+    return static_cast<std::size_t>(width) * height;
+  }
+  /// Channels in a fixed order (the map-model input contract).
+  std::vector<const std::vector<double>*> channels() const {
+    return {&pinDensity, &netCrossings, &rudyV, &rudyH,
+            &capV,       &capH,         &regionDist};
+  }
+};
+
+/// Extracts all channels for `packing` placed by `placement` on `geometry`.
+/// Every cluster's tile must lie inside the grid (HCP_CHECK). Deterministic
+/// and bit-identical at any thread count.
+GridFeatures extractGridFeatures(const fpga::Packing& packing,
+                                 const fpga::Placement& placement,
+                                 const GridGeometry& geometry,
+                                 const GridFeatureConfig& config = {});
+
+/// Production overload: geometry from the device's fabric and track counts.
+GridFeatures extractGridFeatures(const fpga::Packing& packing,
+                                 const fpga::Placement& placement,
+                                 const fpga::Device& device,
+                                 const GridFeatureConfig& config = {});
+
+}  // namespace hcp::features

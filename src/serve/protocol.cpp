@@ -14,6 +14,7 @@ std::string_view opName(Op op) {
   switch (op) {
     case Op::Predict: return "predict";
     case Op::Flow: return "flow";
+    case Op::PredictMap: return "predict_map";
     case Op::Status: return "status";
     case Op::Metrics: return "metrics";
     case Op::Shutdown: return "shutdown";
@@ -75,16 +76,18 @@ ParseOutcome parseRequest(std::string_view line) {
   Request& req = outcome.request;
   if (op->str == "predict") req.op = Op::Predict;
   else if (op->str == "flow") req.op = Op::Flow;
+  else if (op->str == "predict_map") req.op = Op::PredictMap;
   else if (op->str == "status") req.op = Op::Status;
   else if (op->str == "metrics") req.op = Op::Metrics;
   else if (op->str == "shutdown") req.op = Op::Shutdown;
   else
     return failWith(std::move(outcome),
                     "unknown op '" + op->str +
-                        "' (valid: predict, flow, status, metrics, "
-                        "shutdown)");
+                        "' (valid: predict, flow, predict_map, status, "
+                        "metrics, shutdown)");
 
-  const bool isWork = req.op == Op::Predict || req.op == Op::Flow;
+  const bool isWork = req.op == Op::Predict || req.op == Op::Flow ||
+                      req.op == Op::PredictMap;
   for (const auto& [name, value] : root.object) {
     if (name == "id" || name == "op") continue;
     if (name == "design" && isWork) {
@@ -96,7 +99,8 @@ ParseOutcome parseRequest(std::string_view line) {
         return failWith(std::move(outcome),
                         "'key' must be a 16-char lowercase hex string");
       req.cacheKey = value.str;
-    } else if (name == "seed" && req.op == Op::Flow) {
+    } else if (name == "seed" &&
+               (req.op == Op::Flow || req.op == Op::PredictMap)) {
       if (!asU64(value, req.seed))
         return failWith(std::move(outcome),
                         "'seed' must be a non-negative integer");
@@ -117,6 +121,8 @@ ParseOutcome parseRequest(std::string_view line) {
 
   if (req.op == Op::Predict && req.design.empty())
     return failWith(std::move(outcome), "predict requires 'design'");
+  if (req.op == Op::PredictMap && req.design.empty())
+    return failWith(std::move(outcome), "predict_map requires 'design'");
   if (req.op == Op::Flow) {
     if (req.design.empty() == req.cacheKey.empty())
       return failWith(std::move(outcome),

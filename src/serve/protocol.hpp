@@ -7,6 +7,7 @@
 //   {"id":"r1","op":"predict","design":"spam_filter","top_k":5}
 //   {"id":"r2","op":"flow","design":"face_detection","seed":7}
 //   {"id":"r3","op":"flow","key":"8d2fe64a0c1b9e77"}
+//   {"id":"r4","op":"predict_map","design":"spam_filter"}
 //   {"op":"status"}
 //   {"op":"metrics"}
 //   {"op":"shutdown"}
@@ -15,15 +16,20 @@
 // request order, one JSON object per line. EOF and "shutdown" flush too.
 //
 // Fields:
-//   op         required: "predict" | "flow" | "status" | "metrics" |
-//              "shutdown"
+//   op         required: "predict" | "flow" | "predict_map" | "status" |
+//              "metrics" | "shutdown"
 //   id         optional string, echoed verbatim in the response
-//   design     bundled design name (predict, flow)
+//   design     bundled design name (predict, flow, predict_map)
 //   key        16-hex flow-cache key (flow only; exclusive with design) —
 //              answers straight from the cache, never computes
-//   seed       optional non-negative integer, default 42 (flow)
+//   seed       optional non-negative integer, default 42 (flow, predict_map)
 //   top_k      optional positive integer, default 10 (predict)
-//   directives optional bool, default true (predict, flow)
+//   directives optional bool, default true (predict, flow, predict_map)
+//
+// predict_map requires the daemon to have been started with --map-model;
+// without one, every predict_map request is answered with ok:false. The
+// response carries the full per-tile grid: "v_util"/"h_util" arrays of
+// width*height doubles (row-major, %.17g — byte-identical across runs).
 //
 // Unknown members and wrong types are rejected per-request with an
 // {"ok":false,"error":...} response — a malformed request can never take
@@ -40,14 +46,14 @@
 
 namespace hcp::serve {
 
-enum class Op { Predict, Flow, Status, Metrics, Shutdown };
+enum class Op { Predict, Flow, PredictMap, Status, Metrics, Shutdown };
 
 std::string_view opName(Op op);
 
 struct Request {
   Op op = Op::Predict;
   std::string id;        ///< echoed verbatim; empty = absent
-  std::string design;    ///< bundled design name (predict / flow)
+  std::string design;    ///< bundled design name (predict / flow / map)
   std::string cacheKey;  ///< 16-hex flow-cache key (flow-by-key)
   std::uint64_t seed = 42;
   std::uint64_t topK = 10;

@@ -10,7 +10,9 @@
 #include "apps/registry.hpp"
 #include "core/flow.hpp"
 #include "core/flow_serialize.hpp"
+#include "core/map_predictor.hpp"
 #include "core/predictor.hpp"
+#include "ml/mapnet.hpp"
 #include "hls/design.hpp"
 #include "support/error.hpp"
 #include "support/failpoint.hpp"
@@ -82,6 +84,9 @@ Server::Server(ServerConfig config)
   if (!config_.modelPath.empty())
     predictor_ = std::make_unique<core::CongestionPredictor>(
         core::CongestionPredictor::load(config_.modelPath));
+  if (!config_.mapModelPath.empty())
+    mapModel_ = std::make_unique<ml::MapNet>(
+        ml::loadMapModelFromFile(config_.mapModelPath));
 }
 
 Server::~Server() = default;
@@ -147,6 +152,7 @@ void Server::admit(std::string_view line) {
       break;
     case Op::Predict:
     case Op::Flow:
+    case Op::PredictMap:
       if (pendingWork_ >= config_.queueDepth) {
         ++stats_.rejected;
         tel::count(tel::Counter::ServeRejected);
@@ -156,6 +162,8 @@ void Server::admit(std::string_view line) {
       } else {
         ++stats_.admitted;
         tel::count(tel::Counter::ServeRequests);
+        if (p.request.op == Op::PredictMap)
+          tel::count(tel::Counter::ServeMapRequests);
         ++pendingWork_;
       }
       break;
@@ -264,7 +272,9 @@ Server::WorkResult Server::executeWork(const Request& r) const {
   try {
     if (support::failpoint::shouldFail("serve.request"))
       throw Error("injected serve.request failure");
-    return r.op == Op::Predict ? executePredict(r) : executeFlow(r);
+    if (r.op == Op::Predict) return executePredict(r);
+    if (r.op == Op::PredictMap) return executePredictMap(r);
+    return executeFlow(r);
   } catch (const Error& e) {
     out.body = errorBody(e.what());
   } catch (const std::exception& e) {
@@ -333,9 +343,50 @@ Server::WorkResult Server::executeFlow(const Request& r) const {
   return out;
 }
 
+Server::WorkResult Server::executePredictMap(const Request& r) const {
+  if (!mapModel_)
+    throw Error("no map model loaded (start hcp_serve with --map-model FILE)");
+  core::FlowConfig cfg;
+  cfg.seed = r.seed;
+  const ml::GridSample grid = core::placeAndExtract(
+      apps::makeDesign(r.design, r.directives), device_, cfg);
+  const ml::MapPrediction map = mapModel_->predict(grid);
+
+  WorkResult out;
+  std::string& b = out.body;
+  b = "\"ok\":true,\"op\":\"predict_map\",\"design\":\"";
+  b += json::escape(r.design);
+  b += "\",\"topology\":\"";
+  b += topologyName(mapModel_->config().topology);
+  b += "\",\"width\":";
+  appendU64(b, map.width);
+  b += ",\"height\":";
+  appendU64(b, map.height);
+  b += ",\"max_v_util\":";
+  appendDouble(b, map.maxVUtil());
+  b += ",\"max_h_util\":";
+  appendDouble(b, map.maxHUtil());
+  b += ",\"tiles_over_100\":";
+  appendU64(b, map.tilesOver(100.0));
+  b += ",\"v_util\":[";
+  for (std::size_t i = 0; i < map.vUtil.size(); ++i) {
+    if (i != 0) b += ',';
+    appendDouble(b, map.vUtil[i]);
+  }
+  b += "],\"h_util\":[";
+  for (std::size_t i = 0; i < map.hUtil.size(); ++i) {
+    if (i != 0) b += ',';
+    appendDouble(b, map.hUtil[i]);
+  }
+  b += "]}";
+  return out;
+}
+
 std::string Server::statusBody() const {
   std::string b = "\"ok\":true,\"op\":\"status\",\"model\":";
   b += predictor_ ? "true" : "false";
+  b += ",\"map_model\":";
+  b += mapModel_ ? "true" : "false";
   b += ",\"uptime_ms\":";
   appendDouble(b, uptimeMs());
   b += ",\"requests_in_flight\":";

@@ -52,6 +52,7 @@ const char* const kCounterNames[kNumCounters] = {
     "metrics_writes",
     "metrics_write_error",
     "trace_flush_error",
+    "serve_map_requests",
 };
 
 const char* const kHistogramNames[kNumHistograms] = {

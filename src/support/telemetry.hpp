@@ -84,6 +84,7 @@ enum class Counter : std::size_t {
   MetricsWrites,        ///< periodic metrics snapshots written successfully
   MetricsWriteError,    ///< metrics snapshot writes that failed; degraded
   TraceFlushError,      ///< incremental trace flushes that failed; degraded
+  ServeMapRequests,     ///< predict_map requests admitted by hcp_serve
   kCount,
 };
 

@@ -13,21 +13,12 @@
 #include "core/predictor.hpp"
 #include "ml/serialize.hpp"
 #include "support/error.hpp"
+#include "test_util.hpp"
 
 namespace hcp::core {
 namespace {
 
-/// A unique scratch path per test, removed on destruction.
-class TempFile {
- public:
-  explicit TempFile(const std::string& stem)
-      : path_(std::string(::testing::TempDir()) + stem) {}
-  ~TempFile() { std::remove(path_.c_str()); }
-  const std::string& path() const { return path_; }
-
- private:
-  std::string path_;
-};
+using hcp::test::TempFile;
 
 /// A small deterministic regression problem (same rows for V/H/avg).
 LabeledDataset makeDataset() {

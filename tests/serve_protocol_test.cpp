@@ -50,6 +50,7 @@
 #include "support/signals.hpp"
 #include "support/telemetry.hpp"
 #include "support/tracing.hpp"
+#include "test_util.hpp"
 
 namespace hcp::serve {
 namespace {
@@ -58,19 +59,7 @@ namespace fc = support::flowcache;
 namespace fs = std::filesystem;
 namespace telemetry = support::telemetry;
 
-/// Fresh scratch directory under the gtest temp dir, removed on destruction.
-class TempDir {
- public:
-  explicit TempDir(const std::string& stem)
-      : dir_(std::string(::testing::TempDir()) + stem) {
-    fs::remove_all(dir_);
-  }
-  ~TempDir() { fs::remove_all(dir_); }
-  const std::string& dir() const { return dir_; }
-
- private:
-  std::string dir_;
-};
+using hcp::test::TempDir;
 
 /// Feeds `input` through a fresh serve loop and returns the response bytes.
 std::string serveAll(Server& server, const std::string& input) {
@@ -321,8 +310,13 @@ TEST(ServeServer, ShutdownAnswersThenStopsReading) {
 class ServeDeterminism : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    cacheDir_ = new TempDir("serve_determinism_cache/");
-    modelPath_ = std::string(::testing::TempDir()) + "serve_test_model.hcp";
+    // Each discovered ctest entry runs this suite in its own process, and
+    // `ctest -L serve -j N` runs them concurrently — the fixture paths must
+    // be per-process or one teardown deletes another process's model/cache.
+    const std::string tag = std::to_string(::getpid());
+    cacheDir_ = new TempDir("serve_determinism_cache_" + tag + "/");
+    modelPath_ = std::string(::testing::TempDir()) + "serve_test_model_" +
+                 tag + ".hcp";
     const auto device = fpga::Device::xc7z020like();
     core::FlowConfig cfg;
     cfg.seed = 42;

@@ -25,6 +25,7 @@
 #include "support/failpoint.hpp"
 #include "support/telemetry.hpp"
 #include "support/textio.hpp"
+#include "test_util.hpp"
 
 namespace hcp::support {
 namespace {
@@ -220,13 +221,6 @@ class CheckedWriterTest : public FailpointTest {
     return names;
   }
 
-  static std::string slurp(const std::string& p) {
-    std::ifstream is(p, std::ios::binary);
-    std::ostringstream os;
-    os << is.rdbuf();
-    return os.str();
-  }
-
   std::string dir_;
 };
 
@@ -237,7 +231,7 @@ TEST_F(CheckedWriterTest, CommitWritesExactlyTheDestinationFile) {
     writer.commit();
   }
   EXPECT_EQ(filesInDir(), std::vector<std::string>{"out.txt"});
-  EXPECT_EQ(slurp(path("out.txt")), "hello 42\n");
+  EXPECT_EQ(hcp::test::slurpFile(path("out.txt")), "hello 42\n");
 }
 
 TEST_F(CheckedWriterTest, AbandonedWriterLeavesNothing) {
@@ -297,14 +291,14 @@ TEST_F(CheckedWriterTest, FailedOverwriteKeepsTheOldFileIntact) {
     EXPECT_THROW(writer.commit(), hcp::IoError);
   }
   EXPECT_EQ(filesInDir(), std::vector<std::string>{"out.txt"});
-  EXPECT_EQ(slurp(path("out.txt")), "version 1");
+  EXPECT_EQ(hcp::test::slurpFile(path("out.txt")), "version 1");
   // And with the budget exhausted, the next overwrite succeeds.
   {
     txt::CheckedFileWriter writer(path("out.txt"), "test");
     writer.stream() << "version 3";
     writer.commit();
   }
-  EXPECT_EQ(slurp(path("out.txt")), "version 3");
+  EXPECT_EQ(hcp::test::slurpFile(path("out.txt")), "version 3");
 }
 
 TEST_F(CheckedWriterTest, RealOpenFailureReportsPathAndErrno) {
@@ -326,7 +320,7 @@ TEST_F(CheckedWriterTest, SiteIsolationOnlyTheNamedWriterFails) {
     writer.stream() << "unaffected";
     EXPECT_NO_THROW(writer.commit());
   }
-  EXPECT_EQ(slurp(path("ok.txt")), "unaffected");
+  EXPECT_EQ(hcp::test::slurpFile(path("ok.txt")), "unaffected");
 }
 
 }  // namespace

@@ -38,6 +38,7 @@
 #include "support/failpoint.hpp"
 #include "support/flowcache.hpp"
 #include "support/telemetry.hpp"
+#include "test_util.hpp"
 
 namespace hcp::core {
 namespace {
@@ -117,31 +118,9 @@ class FlowCacheRoundTrip : public ::testing::Test {
 
 std::vector<FlowResult>* FlowCacheRoundTrip::flows_ = nullptr;
 
-/// Fresh scratch directory under the gtest temp dir, removed on destruction.
-class TempCacheDir {
- public:
-  explicit TempCacheDir(const std::string& stem)
-      : dir_(std::string(::testing::TempDir()) + stem) {
-    fs::remove_all(dir_);
-  }
-  ~TempCacheDir() { fs::remove_all(dir_); }
-  const std::string& dir() const { return dir_; }
-
- private:
-  std::string dir_;
-};
-
-std::string slurpFile(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  std::ostringstream os;
-  os << is.rdbuf();
-  return os.str();
-}
-
-void writeRaw(const std::string& path, const std::string& bytes) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  os << bytes;
-}
+using TempCacheDir = hcp::test::TempDir;
+using hcp::test::slurpFile;
+using hcp::test::writeRaw;
 
 // --- 1. round-trip properties ----------------------------------------------
 

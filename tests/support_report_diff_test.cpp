@@ -12,26 +12,18 @@
 #include "support/json.hpp"
 #include "support/report_diff.hpp"
 #include "support/telemetry.hpp"
+#include "test_util.hpp"
 
 namespace hcp::support::report_diff {
 namespace {
 
 /// Writes `content` to a temp file unique to (test, tag) — ctest runs the
 /// tests of this suite as concurrent processes — removed on destruction.
-class TempFile {
+class TempFile : public hcp::test::TempFile {
  public:
   TempFile(const std::string& tag, const std::string& content)
-      : path_(std::string(::testing::TempDir()) + "hcp_report_diff_" +
-              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
-              "_" + tag + ".json") {
-    std::ofstream os(path_);
-    os << content;
-  }
-  ~TempFile() { std::remove(path_.c_str()); }
-  const std::string& path() const { return path_; }
-
- private:
-  std::string path_;
+      : hcp::test::TempFile(
+            hcp::test::uniqueStem("hcp_report_diff", tag) + ".json", content) {}
 };
 
 /// A minimal schema-valid report. `wallMs` and one counter are the knobs

@@ -8,6 +8,13 @@
 //       HLS-synthesize the design (no PAR) and print predicted hotspots
 //   hcp_cli advise <model.hcp> <design>
 //       predict + print congestion-resolution hints
+//   hcp_cli train-map <map.hcp> <design> [<design> ...]
+//           [--topology tilelinear|conv|lattice] [--epochs N]
+//       run flows, extract per-tile grid features and train a congestion-
+//       *map* model (full V/H heat map, not per-op scalars)
+//   hcp_cli predict-map <map.hcp> <design> [--map-out FILE]
+//       synthesize + pack + place (no routing), predict the V/H congestion
+//       maps and print them; --map-out writes the map artifact
 //   hcp_cli dump-ir <design>
 //       print the post-directive IR of the design's top module
 //   hcp_cli dump-verilog <design>
@@ -38,6 +45,10 @@
 //                     injection"); HCP_FAILPOINTS is the fallback
 //   --no-directives   synthesize without the paper's pragma set
 //   --model KIND      predictor kind for `train`: gbrt (default), ann, linear
+//   --topology KIND   map-model topology for `train-map`: conv (default),
+//                     tilelinear, lattice
+//   --epochs N        SGD epochs for `train-map` (default 40)
+//   --map-out FILE    where `predict-map` writes the map artifact
 //
 // Exit codes: 0 success, 1 flow/model error (hcp::Error) or compare-reports
 // regression, 2 usage error, 3 unexpected internal error (any other
@@ -60,6 +71,7 @@
 #include "apps/registry.hpp"
 #include "core/dataset_builder.hpp"
 #include "core/flow.hpp"
+#include "core/map_predictor.hpp"
 #include "core/predictor.hpp"
 #include "core/resolver.hpp"
 #include "ir/printer.hpp"
@@ -89,9 +101,9 @@ apps::AppDesign makeDesign(const std::string& name, bool withDirectives) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: hcp_cli <flow|train|predict|advise|dump-ir|"
-               "dump-verilog|list|compare-reports> ...\n(see the header of "
-               "tools/hcp_cli.cpp for details)\n");
+               "usage: hcp_cli <flow|train|predict|advise|train-map|"
+               "predict-map|dump-ir|dump-verilog|list|compare-reports> ..."
+               "\n(see the header of tools/hcp_cli.cpp for details)\n");
   return 2;
 }
 
@@ -130,6 +142,9 @@ struct Args {
   std::uint64_t seed = 42;
   bool directives = true;
   std::string model = "gbrt";
+  std::string topology = "conv";
+  std::uint64_t epochs = 40;
+  std::string mapOut;       ///< empty = predict-map prints only
   std::size_t threads = 0;  ///< 0 = leave the default limit in place
   std::string report;       ///< empty = no run report
   std::string trace;        ///< empty = no trace timeline
@@ -181,6 +196,13 @@ Args parse(int argc, char** argv, int first) {
       args.directives = false;
     } else if (a == "--model") {
       args.model = value(i, "--model");
+    } else if (a == "--topology") {
+      args.topology = value(i, "--topology");
+    } else if (a == "--epochs") {
+      args.epochs = parseUint("--epochs", value(i, "--epochs"));
+      if (args.epochs == 0) usageError("--epochs expects N >= 1");
+    } else if (a == "--map-out") {
+      args.mapOut = nonEmpty(i, "--map-out");
     } else if (a.rfind("--", 0) == 0) {
       usageError("unknown option '" + a + "' (see hcp_cli usage)");
     } else {
@@ -346,6 +368,61 @@ int run(int argc, char** argv) {
         std::printf("  [%s] %s\n",
                     std::string(core::resolutionKindName(hint.kind)).c_str(),
                     hint.message.c_str());
+    }
+    code = 0;
+  } else if (cmd == "train-map") {
+    if (args.positional.size() < 2) return usage();
+    const std::string modelPath = args.positional[0];
+    ml::MapNetConfig mapCfg;
+    mapCfg.topology = ml::topologyFromName(args.topology);
+    mapCfg.epochs = args.epochs;
+    mapCfg.seed = args.seed;
+
+    std::vector<apps::AppDesign> designs;
+    for (std::size_t i = 1; i < args.positional.size(); ++i) {
+      reportDesigns.push_back(args.positional[i]);
+      designs.push_back(makeDesign(args.positional[i], args.directives));
+    }
+    core::FlowConfig cfg;
+    cfg.seed = args.seed;
+    std::fprintf(stderr, "[hcp] running %zu flow%s (%zu thread%s)...\n",
+                 designs.size(), designs.size() == 1 ? "" : "s",
+                 support::threadLimit(),
+                 support::threadLimit() == 1 ? "" : "s");
+    const auto flows = core::runFlows(designs, device, cfg);
+    const auto samples = core::buildMapSamples(
+        flows, device, core::gridConfigFor(cfg.par.placer));
+    std::fprintf(stderr, "[hcp] training %s map model on %zu map%s...\n",
+                 args.topology.c_str(), samples.size(),
+                 samples.size() == 1 ? "" : "s");
+    ml::MapNet model(mapCfg);
+    model.fit(samples);
+    ml::saveMapModelToFile(model, modelPath);
+    std::printf("saved %s map model to %s (%zu maps, final loss %.6f)\n",
+                args.topology.c_str(), modelPath.c_str(), samples.size(),
+                model.finalLoss());
+    code = 0;
+  } else if (cmd == "predict-map") {
+    if (args.positional.size() != 2) return usage();
+    reportDesigns = {args.positional[1]};
+    const ml::MapNet model = ml::loadMapModelFromFile(args.positional[0]);
+    core::FlowConfig cfg;
+    cfg.seed = args.seed;
+    const ml::GridSample grid = core::placeAndExtract(
+        makeDesign(args.positional[1], args.directives), device, cfg);
+    const ml::MapPrediction map = model.predict(grid);
+    std::printf("predicted congestion map for %s (no routing was run):\n",
+                args.positional[1].c_str());
+    std::printf("grid            : %ux%u\n", map.width, map.height);
+    std::printf("max congestion  : V %.1f%%  H %.1f%%\n", map.maxVUtil(),
+                map.maxHUtil());
+    std::printf("tiles over 100%% : %zu\n", map.tilesOver(100.0));
+    std::printf("\nvertical:\n%s", map.toAscii(true).c_str());
+    std::printf("\nhorizontal:\n%s", map.toAscii(false).c_str());
+    if (!args.mapOut.empty()) {
+      ml::saveMapPredictionToFile(map, args.mapOut);
+      std::fprintf(stderr, "[hcp] map artifact written to %s\n",
+                   args.mapOut.c_str());
     }
     code = 0;
   } else if (cmd == "dump-ir") {

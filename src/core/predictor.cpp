@@ -47,6 +47,31 @@ void CongestionPredictor::train(const LabeledDataset& data) {
   trained_ = true;
 }
 
+void CongestionPredictor::trainFromShards(const ml::shards::ShardSet& set,
+                                          bool streaming) {
+  HCP_SPAN("train_from_shards");
+  HCP_CHECK_MSG(set.totalSamples() > 0,
+                "empty shard set: no training samples under " << set.dir());
+  vertical_ = makeModel();
+  horizontal_ = makeModel();
+  average_ = makeModel();
+  const auto fitOne = [&](ml::Regressor& model, ml::shards::Label label) {
+    const ml::shards::ShardRowSource source(set, label);
+    if (streaming) {
+      model.fitStreaming(source);
+    } else {
+      // Cross-check path: materialize the whole set, then take the
+      // ordinary in-memory fit. Exists so tests and the bench can prove
+      // the streamed model is byte-identical to this one.
+      model.fit(ml::materialize(source));
+    }
+  };
+  fitOne(*vertical_, ml::shards::Label::Vertical);
+  fitOne(*horizontal_, ml::shards::Label::Horizontal);
+  fitOne(*average_, ml::shards::Label::Average);
+  trained_ = true;
+}
+
 OpPrediction CongestionPredictor::predictOp(
     const features::FeatureExtractor& extractor, std::uint32_t functionIndex,
     ir::OpId op) const {

@@ -14,6 +14,7 @@
 #include "ml/gbrt.hpp"
 #include "ml/linear.hpp"
 #include "ml/mlp.hpp"
+#include "ml/shards.hpp"
 
 namespace hcp::core {
 
@@ -51,6 +52,15 @@ class CongestionPredictor {
 
   /// Trains the three regressors (V, H, avg) on the dataset.
   void train(const LabeledDataset& data);
+
+  /// Trains the three regressors out-of-core from a shard set. With
+  /// `streaming` (the default) each model fits via its streaming path over
+  /// a ShardRowSource — byte-identical model to train() on the
+  /// materialized dataset, with one shard resident at a time. With
+  /// `streaming = false` the set is materialized first (a debugging /
+  /// cross-check path). Fails loudly on an empty set.
+  void trainFromShards(const ml::shards::ShardSet& set, bool streaming = true);
+
   bool trained() const { return trained_; }
 
   /// Predicts one op of a synthesized (but not implemented!) design.

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ml/sample_source.hpp"
+
 namespace hcp::ml {
 
 Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
@@ -11,8 +13,10 @@ Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
 }
 
 Dataset Dataset::subsetView(const std::vector<std::size_t>& indices) const {
+  if (!liveToken_) liveToken_ = std::make_shared<const char>('\0');
   Dataset out(numFeatures_);
   out.base_ = this;
+  out.baseLive_ = liveToken_;
   out.index_ = indices;
   out.targets_.reserve(indices.size());
   for (std::size_t i : indices) out.targets_.push_back(target(i));
@@ -86,6 +90,28 @@ void StandardScaler::fit(const std::vector<std::vector<double>>& rows) {
       std_[j] += (r[j] - mean_[j]) * (r[j] - mean_[j]);
   for (double& s : std_) {
     s = std::sqrt(s / static_cast<double>(rows.size()));
+    if (s < 1e-12) s = 1.0;  // constant column
+  }
+}
+
+void StandardScaler::fit(const RowSource& source) {
+  const std::size_t n = source.size();
+  HCP_CHECK(n > 0);
+  const std::size_t d = source.numFeatures();
+  mean_.assign(d, 0.0);
+  std_.assign(d, 0.0);
+  source.forEach(
+      [&](std::size_t, const std::vector<double>& r, double) {
+        for (std::size_t j = 0; j < d; ++j) mean_[j] += r[j];
+      });
+  for (double& m : mean_) m /= static_cast<double>(n);
+  source.forEach(
+      [&](std::size_t, const std::vector<double>& r, double) {
+        for (std::size_t j = 0; j < d; ++j)
+          std_[j] += (r[j] - mean_[j]) * (r[j] - mean_[j]);
+      });
+  for (double& s : std_) {
+    s = std::sqrt(s / static_cast<double>(n));
     if (s < 1e-12) s = 1.0;  // constant column
   }
 }

@@ -7,7 +7,9 @@
 
 #include <cstddef>
 #include <istream>
+#include <memory>
 #include <ostream>
+#include <utility>
 #include <vector>
 
 #include "support/error.hpp"
@@ -15,10 +17,57 @@
 
 namespace hcp::ml {
 
+class RowSource;
+
 class Dataset {
  public:
   Dataset() = default;
   explicit Dataset(std::size_t numFeatures) : numFeatures_(numFeatures) {}
+
+  // Moving a dataset relocates (or, for assignment, destroys) its row
+  // storage, so any subset view holding a pointer to it would dangle.
+  // Both operations expire the liveness token views watch: a stale view
+  // then fails loudly on first row access instead of reading freed memory.
+  Dataset(const Dataset& other)
+      : numFeatures_(other.numFeatures_),
+        rows_(other.rows_),
+        targets_(other.targets_),
+        base_(other.base_),
+        index_(other.index_),
+        baseLive_(other.baseLive_) {}
+  Dataset& operator=(const Dataset& other) {
+    if (this == &other) return *this;
+    liveToken_.reset();  // this object's old rows go away
+    numFeatures_ = other.numFeatures_;
+    rows_ = other.rows_;
+    targets_ = other.targets_;
+    base_ = other.base_;
+    index_ = other.index_;
+    baseLive_ = other.baseLive_;
+    return *this;
+  }
+  Dataset(Dataset&& other) noexcept
+      : numFeatures_(other.numFeatures_),
+        rows_(std::move(other.rows_)),
+        targets_(std::move(other.targets_)),
+        base_(other.base_),
+        index_(std::move(other.index_)),
+        baseLive_(std::move(other.baseLive_)) {
+    other.liveToken_.reset();  // views of `other` must not follow the move
+  }
+  Dataset& operator=(Dataset&& other) noexcept {
+    if (this == &other) return *this;
+    liveToken_.reset();
+    other.liveToken_.reset();
+    numFeatures_ = other.numFeatures_;
+    rows_ = std::move(other.rows_);
+    targets_ = std::move(other.targets_);
+    base_ = other.base_;
+    index_ = std::move(other.index_);
+    baseLive_ = std::move(other.baseLive_);
+    return *this;
+  }
+  ~Dataset() = default;
 
   void add(std::vector<double> row, double target) {
     HCP_CHECK_MSG(!isView(), "cannot add rows to a subset view");
@@ -31,6 +80,12 @@ class Dataset {
   }
 
   void merge(const Dataset& other) {
+    HCP_CHECK_MSG(!isView(), "cannot merge into a subset view");
+    HCP_CHECK_MSG(numFeatures_ == 0 || other.size() == 0 ||
+                      other.numFeatures() == numFeatures_,
+                  "merge feature-count mismatch: dataset has "
+                      << numFeatures_ << " features, other has "
+                      << other.numFeatures());
     for (std::size_t i = 0; i < other.size(); ++i)
       add(other.row(i), other.target(i));
   }
@@ -39,6 +94,9 @@ class Dataset {
   std::size_t numFeatures() const { return numFeatures_; }
   const std::vector<double>& row(std::size_t i) const {
     if (base_ != nullptr) {
+      HCP_CHECK_MSG(!baseLive_.expired(),
+                    "subset view used after its base dataset was destroyed, "
+                    "moved or reassigned");
       HCP_CHECK(i < index_.size());
       return base_->row(index_[i]);
     }
@@ -64,6 +122,9 @@ class Dataset {
   /// of copying them (targets are materialized — they are cheap and keep
   /// targets() usable). The view is valid only while the base dataset (and,
   /// transitively, its base) outlives it; k-fold CV is the intended use.
+  /// Row access through a view whose base was destroyed, moved from or
+  /// reassigned fails loudly (hcp::Error) instead of dereferencing freed
+  /// storage.
   Dataset subsetView(const std::vector<std::size_t>& indices) const;
 
   bool isView() const { return base_ != nullptr; }
@@ -76,6 +137,12 @@ class Dataset {
   // base_->row(index_[i]).
   const Dataset* base_ = nullptr;
   std::vector<std::size_t> index_;
+  // Liveness handshake between a base and its views. The base lazily
+  // creates liveToken_ on first subsetView(); each view holds a weak_ptr
+  // copy in baseLive_. Destruction, move or reassignment of the base drops
+  // the token, so every stale view's row() check trips.
+  mutable std::shared_ptr<const char> liveToken_;
+  std::weak_ptr<const char> baseLive_;
 };
 
 struct Split {
@@ -95,6 +162,10 @@ class StandardScaler {
  public:
   void fit(const Dataset& data);
   void fit(const std::vector<std::vector<double>>& rows);
+  /// Streaming fit: two ordered passes over the source, summing in the same
+  /// order as the in-memory overloads — identical moments to fit(Dataset)
+  /// on the materialized equivalent.
+  void fit(const RowSource& source);
   std::vector<double> transform(const std::vector<double>& row) const;
   bool fitted() const { return !mean_.empty(); }
   const std::vector<double>& mean() const { return mean_; }

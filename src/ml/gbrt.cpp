@@ -9,29 +9,46 @@
 namespace hcp::ml {
 
 void Gbrt::fit(const Dataset& data) {
+  const DatasetSource source(data);
+  fitFromSource(source);
+}
+
+void Gbrt::fitStreaming(const RowSource& source) { fitFromSource(source); }
+
+void Gbrt::fitFromSource(const RowSource& source) {
   HCP_SPAN("gbrt_fit");
-  HCP_CHECK(data.size() >= 4);
-  numFeatures_ = data.numFeatures();
+  const std::size_t n = source.size();
+  HCP_CHECK(n >= 4);
+  numFeatures_ = source.numFeatures();
   Rng rng(config_.seed);
 
-  binner_.fit(data, config_.numBins);
-  std::vector<std::vector<std::uint8_t>> binned(data.size());
-  support::parallelFor(0, data.size(), 64, [&](std::size_t i) {
-    binned[i] = binner_.binRow(data.row(i));
-  });
+  // Quantile edges stream through feature blocks; the raw doubles of a
+  // block are dropped before the next is gathered. One more parallel pass
+  // bins every row (a pure per-row transform — safe to run concurrently)
+  // and captures the targets, after which the source is not touched again:
+  // the boosting stages below run on the resident uint8 matrix exactly as
+  // the former in-memory implementation did, byte for byte.
+  binner_.fitStreamed(source, config_.numBins);
+  std::vector<std::vector<std::uint8_t>> binned(n);
+  std::vector<double> targets(n, 0.0);
+  source.visitParallel(
+      [&](std::size_t i, const std::vector<double>& row, double y) {
+        binned[i] = binner_.binRow(row);
+        targets[i] = y;
+      });
 
   // F0 = mean target.
   baseline_ = 0.0;
-  for (double y : data.targets()) baseline_ += y;
-  baseline_ /= static_cast<double>(data.size());
+  for (double y : targets) baseline_ += y;
+  baseline_ /= static_cast<double>(n);
 
-  std::vector<double> prediction(data.size(), baseline_);
-  std::vector<double> residual(data.size());
+  std::vector<double> prediction(n, baseline_);
+  std::vector<double> residual(n);
   trees_.clear();
   trees_.reserve(config_.numEstimators);
 
-  const auto rowsPerStage = static_cast<std::size_t>(std::max(
-      2.0, config_.subsample * static_cast<double>(data.size())));
+  const auto rowsPerStage = static_cast<std::size_t>(
+      std::max(2.0, config_.subsample * static_cast<double>(n)));
   const auto featsPerStage = static_cast<std::size_t>(std::max(
       1.0, config_.featureFraction * static_cast<double>(numFeatures_)));
 
@@ -39,14 +56,14 @@ void Gbrt::fit(const Dataset& data) {
   treeConfig.maxDepth = config_.maxDepth;
   treeConfig.minSamplesLeaf = config_.minSamplesLeaf;
 
-  std::vector<std::size_t> allRows(data.size());
+  std::vector<std::size_t> allRows(n);
   for (std::size_t i = 0; i < allRows.size(); ++i) allRows[i] = i;
   std::vector<std::size_t> allFeatures(numFeatures_);
   for (std::size_t f = 0; f < numFeatures_; ++f) allFeatures[f] = f;
 
   for (std::size_t stage = 0; stage < config_.numEstimators; ++stage) {
-    for (std::size_t i = 0; i < data.size(); ++i)
-      residual[i] = data.target(i) - prediction[i];
+    for (std::size_t i = 0; i < n; ++i)
+      residual[i] = targets[i] - prediction[i];
 
     // Row / feature subsampling for this stage.
     rng.shuffle(allRows);
@@ -64,7 +81,7 @@ void Gbrt::fit(const Dataset& data) {
                    treeConfig);
 
     // Per-row updates are independent and write disjoint slots.
-    support::parallelFor(0, data.size(), 256, [&](std::size_t i) {
+    support::parallelFor(0, n, 256, [&](std::size_t i) {
       prediction[i] += config_.learningRate * tree.predictBinned(binned[i]);
     });
     trees_.push_back(std::move(tree));
@@ -73,11 +90,11 @@ void Gbrt::fit(const Dataset& data) {
                             config_.numEstimators);
 
   trainLoss_ = 0.0;
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    const double d = data.target(i) - prediction[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = targets[i] - prediction[i];
     trainLoss_ += d * d;
   }
-  trainLoss_ /= static_cast<double>(data.size());
+  trainLoss_ /= static_cast<double>(n);
 }
 
 double Gbrt::predict(const std::vector<double>& row) const {

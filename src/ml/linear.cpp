@@ -13,27 +13,63 @@ double softThreshold(double x, double lambda) {
 }  // namespace
 
 void LassoRegression::fit(const Dataset& data) {
-  HCP_CHECK(data.size() > 0);
-  const std::size_t n = data.size();
-  const std::size_t d = data.numFeatures();
+  const DatasetSource source(data);
+  fitFromSource(source);
+}
 
-  scaler_.fit(data);
-  // Standardized design matrix, column-major for coordinate descent.
-  std::vector<std::vector<double>> cols(d, std::vector<double>(n));
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto z = scaler_.transform(data.row(i));
-    for (std::size_t j = 0; j < d; ++j) cols[j][i] = z[j];
-  }
+void LassoRegression::fitStreaming(const RowSource& source) {
+  fitFromSource(source);
+}
+
+// Gram-form cyclic coordinate descent. The former implementation kept the
+// full standardized design matrix resident (O(n*d) doubles) to update a
+// residual vector per weight change; here the same normal-equation
+// quantities are accumulated in one streaming pass —
+//
+//   G[j][k] = sum_i z_ij * z_ik      (d x d Gram matrix)
+//   c[j]    = sum_i z_ij * (y_i - yMean)
+//
+// after which each descent sweep needs only G and c:
+//   rho_j = c[j] - sum_k G[j][k] w_k + G[j][j] w_j
+// which equals the former x_j . (residual + x_j w_j) exactly (same
+// optimization problem, same update rule, same tolerance loop), while the
+// working set is O(d^2) regardless of the sample count.
+void LassoRegression::fitFromSource(const RowSource& source) {
+  const std::size_t n = source.size();
+  HCP_CHECK(n > 0);
+  const std::size_t d = source.numFeatures();
+  HCP_CHECK(d > 0);
+
+  scaler_.fit(source);
+
   // Centre the target; intercept absorbs its mean.
   double yMean = 0.0;
-  for (std::size_t i = 0; i < n; ++i) yMean += data.target(i);
+  source.forEach([&](std::size_t, const std::vector<double>&, double y) {
+    yMean += y;
+  });
   yMean /= static_cast<double>(n);
+
+  // One serial pass accumulates Gram + correlation in sample order: the
+  // summation order is fixed by the source's canonical order, never by
+  // thread count, so the result (and everything downstream) is
+  // bit-reproducible.
+  std::vector<double> gram(d * d, 0.0);
+  std::vector<double> corr(d, 0.0);
+  source.forEach([&](std::size_t, const std::vector<double>& row, double y) {
+    const auto z = scaler_.transform(row);
+    const double yc = y - yMean;
+    for (std::size_t j = 0; j < d; ++j) {
+      corr[j] += z[j] * yc;
+      double* gj = gram.data() + j * d;
+      const double zj = z[j];
+      for (std::size_t k = j; k < d; ++k) gj[k] += zj * z[k];
+    }
+  });
+  for (std::size_t j = 0; j < d; ++j)  // mirror the upper triangle
+    for (std::size_t k = j + 1; k < d; ++k) gram[k * d + j] = gram[j * d + k];
 
   weights_.assign(d, 0.0);
   intercept_ = yMean;
-
-  std::vector<double> residual(n);
-  for (std::size_t i = 0; i < n; ++i) residual[i] = data.target(i) - yMean;
 
   // Columns are standardized, so sum(x_j^2) == n for every j.
   const double colNorm = static_cast<double>(n);
@@ -44,17 +80,14 @@ void LassoRegression::fit(const Dataset& data) {
     double maxChange = 0.0;
     for (std::size_t j = 0; j < d; ++j) {
       const double old = weights_[j];
-      // rho = x_j . (residual + x_j * w_j)
-      double rho = 0.0;
-      const auto& xj = cols[j];
-      for (std::size_t i = 0; i < n; ++i) rho += xj[i] * residual[i];
-      rho += old * colNorm;
+      const double* gj = gram.data() + j * d;
+      double dot = 0.0;
+      for (std::size_t k = 0; k < d; ++k) dot += gj[k] * weights_[k];
+      const double rho = corr[j] - dot + gj[j] * old;
       const double next = softThreshold(rho, lambda) / colNorm;
       if (next != old) {
-        const double delta = next - old;
-        for (std::size_t i = 0; i < n; ++i) residual[i] -= delta * xj[i];
         weights_[j] = next;
-        maxChange = std::max(maxChange, std::fabs(delta));
+        maxChange = std::max(maxChange, std::fabs(next - old));
       }
     }
     ++iterationsRun_;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ml/dataset.hpp"
+#include "ml/sample_source.hpp"
 #include "support/parallel.hpp"
 
 namespace hcp::ml {
@@ -16,6 +17,14 @@ class Regressor {
 
   /// Trains on the dataset (models standardize internally as needed).
   virtual void fit(const Dataset& data) = 0;
+
+  /// Trains from a streaming RowSource. Lasso and GBRT override this with
+  /// bounded-memory paths whose trained state is byte-identical to fit()
+  /// on the materialized source (DESIGN.md §19); the default materializes
+  /// the source and delegates (models without a native streaming fit).
+  virtual void fitStreaming(const RowSource& source) {
+    fit(materialize(source));
+  }
 
   virtual double predict(const std::vector<double>& row) const = 0;
 

@@ -1,0 +1,25 @@
+#include "ml/sample_source.hpp"
+
+#include "support/parallel.hpp"
+
+namespace hcp::ml {
+
+void DatasetSource::forEach(const RowFn& fn) const {
+  const std::size_t n = data_->size();
+  for (std::size_t i = 0; i < n; ++i) fn(i, data_->row(i), data_->target(i));
+}
+
+void DatasetSource::visitParallel(const RowFn& fn) const {
+  support::parallelFor(0, data_->size(), 64, [&](std::size_t i) {
+    fn(i, data_->row(i), data_->target(i));
+  });
+}
+
+Dataset materialize(const RowSource& source) {
+  Dataset out(source.numFeatures());
+  source.forEach([&](std::size_t, const std::vector<double>& row,
+                     double target) { out.add(row, target); });
+  return out;
+}
+
+}  // namespace hcp::ml

@@ -8,6 +8,37 @@
 
 namespace hcp::ml {
 
+namespace {
+
+/// Quantile edges of one feature column (mutates the buffer). Per quantile
+/// edge an incremental nth_element over the not-yet-partitioned suffix
+/// replaces a full sort: the value at sorted position idx is unique as a
+/// value, so the edges are bit-identical to the sorted version — and,
+/// because they depend only on the column's value multiset, identical no
+/// matter how the callers chunk rows or features.
+std::vector<double> quantileEdges(std::vector<double>& column,
+                                  std::uint32_t numBins) {
+  const std::size_t n = column.size();
+  std::vector<double> edges;
+  auto partitioned = column.begin();  // [begin, partitioned) is ordered
+  for (std::uint32_t b = 1; b < numBins; ++b) {
+    const std::size_t idx = std::min(n - 1, b * n / numBins);
+    const auto nth = column.begin() + static_cast<std::ptrdiff_t>(idx);
+    if (nth >= partitioned) {
+      std::nth_element(partitioned, nth, column.end());
+      partitioned = nth;
+    }
+    const double edge = *nth;
+    if (edges.empty() || edge > edges.back()) edges.push_back(edge);
+  }
+  // Last bin is open-ended; ensure at least one edge so binOf works.
+  if (edges.empty())
+    edges.push_back(*std::max_element(column.begin(), column.end()));
+  return edges;
+}
+
+}  // namespace
+
 void Binner::fit(const std::vector<std::vector<double>>& rows,
                  std::uint32_t numBins) {
   HCP_CHECK(!rows.empty());
@@ -32,11 +63,9 @@ void Binner::fitImpl(
   numBins_ = numBins;
   edges_.assign(d, {});
 
-  // Features are independent, so they fit in parallel; each chunk reuses one
-  // column buffer across its features. Per quantile edge an incremental
-  // nth_element over the not-yet-partitioned suffix replaces the former full
-  // sort: the value at sorted position idx is unique as a value, so the
-  // edges are bit-identical to the sorted version at any thread count.
+  // Features are independent, so they fit in parallel; each chunk reuses
+  // one column buffer across its features (see quantileEdges for why the
+  // result is bit-identical at any thread count).
   const std::size_t numChunks =
       std::min(d, std::max<std::size_t>(1, 4 * support::threadLimit()));
   const std::size_t grain = (d + numChunks - 1) / numChunks;
@@ -46,23 +75,37 @@ void Binner::fitImpl(
     const std::size_t fHi = std::min(d, fLo + grain);
     for (std::size_t f = fLo; f < fHi; ++f) {
       for (std::size_t i = 0; i < n; ++i) column[i] = at(i, f);
-      auto& edges = edges_[f];
-      auto partitioned = column.begin();  // [begin, partitioned) is ordered
-      for (std::uint32_t b = 1; b < numBins; ++b) {
-        const std::size_t idx = std::min(n - 1, b * n / numBins);
-        const auto nth = column.begin() + static_cast<std::ptrdiff_t>(idx);
-        if (nth >= partitioned) {
-          std::nth_element(partitioned, nth, column.end());
-          partitioned = nth;
-        }
-        const double edge = *nth;
-        if (edges.empty() || edge > edges.back()) edges.push_back(edge);
-      }
-      // Last bin is open-ended; ensure at least one edge so binOf works.
-      if (edges.empty())
-        edges.push_back(*std::max_element(column.begin(), column.end()));
+      edges_[f] = quantileEdges(column, numBins);
     }
   });
+}
+
+void Binner::fitStreamed(const RowSource& source, std::uint32_t numBins,
+                         std::size_t columnBudgetBytes) {
+  const std::size_t n = source.size();
+  const std::size_t d = source.numFeatures();
+  HCP_CHECK(n > 0 && d > 0);
+  HCP_CHECK(numBins >= 2 && numBins <= 256);
+  numBins_ = numBins;
+  edges_.assign(d, {});
+
+  // Feature-block transposition under a fixed memory budget: only
+  // `block` columns of doubles are resident at a time, so binning a corpus
+  // far larger than RAM costs ceil(d / block) sequential source passes.
+  const std::size_t block = std::clamp<std::size_t>(
+      columnBudgetBytes / (n * sizeof(double)), 1, d);
+  std::vector<std::vector<double>> cols(block);
+  for (std::size_t fLo = 0; fLo < d; fLo += block) {
+    const std::size_t fHi = std::min(d, fLo + block);
+    for (std::size_t j = 0; j < fHi - fLo; ++j) cols[j].assign(n, 0.0);
+    source.visitParallel(
+        [&](std::size_t i, const std::vector<double>& row, double) {
+          for (std::size_t f = fLo; f < fHi; ++f) cols[f - fLo][i] = row[f];
+        });
+    support::parallelFor(0, fHi - fLo, 1, [&](std::size_t j) {
+      edges_[fLo + j] = quantileEdges(cols[j], numBins);
+    });
+  }
 }
 
 std::uint8_t Binner::binOf(std::size_t feature, double value) const {

@@ -27,6 +27,14 @@ class Binner {
   /// Same, reading rows through the dataset (works on subset views too).
   void fit(const Dataset& data, std::uint32_t numBins);
 
+  /// Streaming fit: gathers features in column blocks sized to
+  /// `columnBudgetBytes` of resident doubles, one sequential source pass
+  /// per block. Per-feature quantile edges depend only on each column's
+  /// value multiset, so the edges are bit-identical to fit() on the
+  /// materialized source at any block size and thread count.
+  void fitStreamed(const RowSource& source, std::uint32_t numBins,
+                   std::size_t columnBudgetBytes = std::size_t{64} << 20);
+
   /// Bin index of a raw value for a feature.
   std::uint8_t binOf(std::size_t feature, double value) const;
 

@@ -22,6 +22,7 @@
 
 #include "ml/metrics.hpp"
 #include "ml/model.hpp"
+#include "ml/shards.hpp"
 #include "support/parallel.hpp"
 #include "support/telemetry.hpp"
 
@@ -56,6 +57,24 @@ CvResult assemble(const std::vector<FoldScore>& scores);
 CvResult crossValidate(
     const std::function<std::unique_ptr<Regressor>()>& factory,
     const Dataset& data, std::size_t k, std::uint64_t seed);
+
+/// Fold of a stable shard sample id (splitmix64 finalizer over id ^ seed):
+/// a pure function of the id, so fold membership survives re-sharding,
+/// process restarts and corpus growth — unlike the in-memory index
+/// permutation of kFoldSplits.
+std::size_t foldOfSampleId(std::uint64_t id, std::uint64_t seed,
+                           std::size_t k);
+
+/// Out-of-core k-fold CV over a shard set: fold membership comes from
+/// foldOfSampleId, each fold trains via the model's streaming fit on a
+/// filtered ShardRowSource, and only the test slice's predictions are ever
+/// resident. Folds run serially on purpose — peak memory stays that of a
+/// single streaming fit. Fails loudly when a fold's train or test
+/// partition is empty. Deterministic at any thread count.
+CvResult crossValidateStreaming(
+    const std::function<std::unique_ptr<Regressor>()>& factory,
+    const shards::ShardSet& set, shards::Label label, std::size_t k,
+    std::uint64_t seed);
 
 template <typename Config>
 struct GridSearchResult {

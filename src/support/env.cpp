@@ -1,8 +1,11 @@
 #include "support/env.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <string>
 
 namespace hcp::support::env {
 
@@ -16,6 +19,47 @@ std::optional<std::uint64_t> parseU64(std::string_view text) {
     if (value > (kMax - digit) / 10) return std::nullopt;  // would overflow
     value = value * 10 + digit;
   }
+  return value;
+}
+
+std::optional<double> parseF64(std::string_view text) {
+  // Shape check first: strtod accepts far more than a decimal literal
+  // (hex floats, "inf", "nan", leading whitespace), so the grammar is
+  // enforced by hand and strtod only does the digits-to-double conversion.
+  std::size_t i = 0;
+  if (i < text.size() && text[i] == '-') ++i;
+  std::size_t mantissaDigits = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    ++i;
+    ++mantissaDigits;
+  }
+  if (i < text.size() && text[i] == '.') {
+    ++i;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+      ++i;
+      ++mantissaDigits;
+    }
+  }
+  if (mantissaDigits == 0) return std::nullopt;
+  if (i < text.size() && (text[i] == 'e' || text[i] == 'E')) {
+    ++i;
+    if (i < text.size() && (text[i] == '+' || text[i] == '-')) ++i;
+    std::size_t expDigits = 0;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+      ++i;
+      ++expDigits;
+    }
+    if (expDigits == 0) return std::nullopt;
+  }
+  if (i != text.size()) return std::nullopt;
+
+  const std::string token(text);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) return std::nullopt;
+  if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL))
+    return std::nullopt;  // overflow; gradual underflow is fine
   return value;
 }
 

@@ -24,6 +24,14 @@ namespace hcp::support::env {
 /// overflow. No locale, no base prefixes.
 std::optional<std::uint64_t> parseU64(std::string_view text);
 
+/// Strict full-token decimal floating-point parse: an optional leading '-',
+/// a digit sequence with at most one '.', and an optional e/E exponent with
+/// its own optional sign. Rejects "", trailing garbage ("1.5x"), hex floats
+/// ("0x.8p1"), "nan"/"inf" spellings, a bare "." and values that overflow
+/// to infinity — the same fail-loudly contract as parseU64, for the flag
+/// parsers that used to accept whatever strtod truncated.
+std::optional<double> parseF64(std::string_view text);
+
 /// Reads the integral environment variable `var`. Unset or empty returns
 /// `fallback`. A value that does not parse completely or lies outside
 /// [minValue, maxValue] prints a message naming the variable to stderr and

@@ -1,11 +1,12 @@
 #include "support/failpoint.hpp"
 
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <optional>
 
+#include "support/env.hpp"
 #include "support/error.hpp"
 #include "support/telemetry.hpp"
 
@@ -76,24 +77,27 @@ Entry parseEntry(const std::string& text) {
   const std::string arg = text.substr(colon + 1);
   HCP_CHECK_MSG(!arg.empty(), "failpoint spec: entry '"
                                   << text << "' has ':' but no count/prob");
-  errno = 0;
-  char* end = nullptr;
-  if (arg.find('.') == std::string::npos) {
-    const unsigned long long n = std::strtoull(arg.c_str(), &end, 10);
-    HCP_CHECK_MSG(end != arg.c_str() && *end == '\0' && errno != ERANGE,
+  if (arg.find_first_of(".eE") == std::string::npos) {
+    // All-digit argument: a hit count. env::parseU64 rejects signs,
+    // whitespace and overflow (the old strtoull path accepted "+3", " 3"
+    // and silently clamped huge counts).
+    const std::optional<std::uint64_t> n = env::parseU64(arg);
+    HCP_CHECK_MSG(n.has_value(),
                   "failpoint spec: '" << arg << "' is not a count (entry '"
                                       << text << "')");
     e.counted = true;
-    e.remaining = static_cast<std::uint64_t>(n);
+    e.remaining = *n;
   } else {
-    const double p = std::strtod(arg.c_str(), &end);
-    HCP_CHECK_MSG(end != arg.c_str() && *end == '\0' && errno != ERANGE &&
-                      p >= 0.0 && p <= 1.0,
+    // Argument with '.'/'e': a firing probability. env::parseF64 rejects
+    // trailing garbage, hex floats ("0x.8p1"), "nan"/"inf" and overflow —
+    // strtod accepted all of those.
+    const std::optional<double> p = env::parseF64(arg);
+    HCP_CHECK_MSG(p.has_value() && *p >= 0.0 && *p <= 1.0,
                   "failpoint spec: '" << arg
                                       << "' is not a probability in [0,1] "
                                          "(entry '"
                                       << text << "')");
-    e.probability = p;
+    e.probability = *p;
     e.rngState = seedFor(e.site);
   }
   return e;

@@ -53,6 +53,8 @@ const char* const kCounterNames[kNumCounters] = {
     "metrics_write_error",
     "trace_flush_error",
     "serve_map_requests",
+    "shard_writes",
+    "shard_reads",
 };
 
 const char* const kHistogramNames[kNumHistograms] = {

@@ -85,6 +85,8 @@ enum class Counter : std::size_t {
   MetricsWriteError,    ///< metrics snapshot writes that failed; degraded
   TraceFlushError,      ///< incremental trace flushes that failed; degraded
   ServeMapRequests,     ///< predict_map requests admitted by hcp_serve
+  ShardWrites,          ///< dataset shards written (ml/shards)
+  ShardReads,           ///< dataset shards read and fully validated
   kCount,
 };
 

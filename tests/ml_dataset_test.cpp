@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <utility>
 
 #include "ml/dataset.hpp"
 #include "ml/metrics.hpp"
@@ -32,6 +33,77 @@ TEST(Dataset, MergeAppends) {
   b.add({2}, 2);
   a.merge(b);
   EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(Dataset, MergeRejectsFeatureCountMismatch) {
+  // Before the check, merging a 3-feature dataset into a 2-feature one
+  // produced rows whose length disagreed with numFeatures() — every later
+  // row() consumer indexed out of step.
+  Dataset a(2), b(3);
+  a.add({1, 2}, 1);
+  b.add({1, 2, 3}, 2);
+  try {
+    a.merge(b);
+    FAIL() << "mismatched merge not rejected";
+  } catch (const hcp::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("feature-count mismatch"),
+              std::string::npos);
+  }
+  EXPECT_EQ(a.size(), 1u);  // the failed merge appended nothing
+}
+
+TEST(Dataset, MergeIntoViewRejected) {
+  Dataset base(1);
+  base.add({1}, 1);
+  base.add({2}, 2);
+  Dataset view = base.subsetView({0});
+  Dataset other(1);
+  other.add({3}, 3);
+  EXPECT_THROW(view.merge(other), hcp::Error);
+}
+
+TEST(Dataset, ViewUseAfterBaseDestroyedThrows) {
+  Dataset view(1);
+  {
+    Dataset base(1);
+    base.add({1}, 10);
+    base.add({2}, 20);
+    view = base.subsetView({1, 0});
+    EXPECT_DOUBLE_EQ(view.row(0)[0], 2);  // fine while the base lives
+  }
+  try {
+    (void)view.row(0);
+    FAIL() << "dangling view read not rejected";
+  } catch (const hcp::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("subset view used after"),
+              std::string::npos);
+  }
+}
+
+TEST(Dataset, ViewUseAfterBaseMovedThrows) {
+  Dataset base(1);
+  base.add({1}, 10);
+  const Dataset view = base.subsetView({0});
+  const Dataset stolen = std::move(base);
+  EXPECT_DOUBLE_EQ(stolen.row(0)[0], 1);
+  EXPECT_THROW((void)view.row(0), hcp::Error);
+}
+
+TEST(Dataset, ViewUseAfterBaseReassignedThrows) {
+  Dataset base(1);
+  base.add({1}, 10);
+  const Dataset view = base.subsetView({0});
+  base = Dataset(1);  // the rows the view pointed into are gone
+  EXPECT_THROW((void)view.row(0), hcp::Error);
+}
+
+TEST(Dataset, CopiedBaseKeepsItsOwnViewsAlive) {
+  Dataset base(1);
+  base.add({1}, 10);
+  const Dataset view = base.subsetView({0});
+  const Dataset copy = base;  // deep copy; does not disturb `view`
+  EXPECT_DOUBLE_EQ(copy.row(0)[0], 1);
+  EXPECT_DOUBLE_EQ(view.row(0)[0], 1);
 }
 
 TEST(TrainTestSplit, DisjointAndComplete) {

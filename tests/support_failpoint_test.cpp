@@ -119,6 +119,27 @@ TEST_F(FailpointTest, MalformedSpecsThrow) {
   EXPECT_THROW(fp::configure("ok:1,broken:"), hcp::Error);
 }
 
+TEST_F(FailpointTest, MalformedNumericArgumentsThrow) {
+  // The raw strtoull/strtod parse accepted all of these: hex floats, inf
+  // and nan spellings, signs, whitespace, and trailing exponent junk.
+  for (const char* bad :
+       {"site:0x.8p1", "site:0x8", "site:inf", "site:nan", "site:0.5 ",
+        "site: 0.5", "site:+0.5", "site:+1", "site:-1", "site:1.0e",
+        "site:1.0e+", "site:0.5.5", "site:1e999"}) {
+    SCOPED_TRACE(bad);
+    EXPECT_THROW(fp::configure(bad), hcp::Error);
+  }
+}
+
+TEST_F(FailpointTest, ExponentProbabilitiesParse) {
+  // '.'-less but exponent-bearing args are probabilities, not counts.
+  fp::configure("always:1e0,never:0E2");
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(fp::shouldFail("always"));
+    EXPECT_FALSE(fp::shouldFail("never"));
+  }
+}
+
 TEST_F(FailpointTest, EmptyEntriesInListAreIgnored) {
   fp::configure(",a:1,,b,");
   EXPECT_EQ(fp::sites(), (std::vector<std::string>{"a", "b"}));

@@ -249,5 +249,37 @@ TEST(EnvParse, RejectsEverythingElse) {
     EXPECT_FALSE(support::env::parseU64(text).has_value()) << text;
 }
 
+// --- env::parseF64 -----------------------------------------------------
+
+TEST(EnvParse, F64AcceptsDecimalLiterals) {
+  EXPECT_EQ(support::env::parseF64("0"), 0.0);
+  EXPECT_EQ(support::env::parseF64("400"), 400.0);
+  EXPECT_EQ(support::env::parseF64("0.5"), 0.5);
+  EXPECT_EQ(support::env::parseF64("-2.25"), -2.25);
+  EXPECT_EQ(support::env::parseF64("1."), 1.0);
+  EXPECT_EQ(support::env::parseF64(".5"), 0.5);
+  EXPECT_EQ(support::env::parseF64("1e3"), 1000.0);
+  EXPECT_EQ(support::env::parseF64("2.5E-2"), 0.025);
+  EXPECT_EQ(support::env::parseF64("-1e+2"), -100.0);
+}
+
+TEST(EnvParse, F64RejectsEverythingElse) {
+  // The strtod failure modes this replaced: "nan" made threshold
+  // comparisons vacuously false, "inf" disabled gates, hex floats and
+  // trailing junk parsed as something other than what was written.
+  const char* bad[] = {"",      ".",      "-",      "1.5x",  "400%",
+                       " 1",    "1 ",     "nan",    "NaN",   "inf",
+                       "-inf",  "INF",    "0x10",   "0x.8p1", "1e",
+                       "1e+",   "1.2.3",  "+1",     "--1",   "1e999"};
+  for (const char* text : bad)
+    EXPECT_FALSE(support::env::parseF64(text).has_value()) << text;
+}
+
+TEST(EnvParse, F64GradualUnderflowIsNotAnError) {
+  const auto tiny = support::env::parseF64("1e-320");  // subnormal
+  ASSERT_TRUE(tiny.has_value());
+  EXPECT_GT(*tiny, 0.0);
+}
+
 }  // namespace
 }  // namespace hcp

@@ -4,6 +4,14 @@
 //       run the full C-to-FPGA flow and print the implementation summary
 //   hcp_cli train <model.hcp> <design> [<design> ...] [--model gbrt|ann|linear]
 //       run flows (concurrently), build the dataset and save a predictor
+//   hcp_cli shard <design> [<design> ...] --shard-dir DIR
+//       run flows one design at a time and write each design's labeled
+//       samples as a content-addressed dataset shard (see README "Dataset
+//       sharding"); peak memory is one design's flow
+//   hcp_cli train --from-shards <model.hcp> --shard-dir DIR [--in-memory]
+//       train a predictor by streaming the shards (bounded memory,
+//       byte-identical model to the in-memory path); --in-memory
+//       materializes the shards first (cross-check/debugging)
 //   hcp_cli predict <model.hcp> <design>
 //       HLS-synthesize the design (no PAR) and print predicted hotspots
 //   hcp_cli advise <model.hcp> <design>
@@ -45,6 +53,8 @@
 //                     injection"); HCP_FAILPOINTS is the fallback
 //   --no-directives   synthesize without the paper's pragma set
 //   --model KIND      predictor kind for `train`: gbrt (default), ann, linear
+//   --shard-dir DIR   dataset shard directory for `shard` and
+//                     `train --from-shards`; HCP_SHARDS is the fallback
 //   --topology KIND   map-model topology for `train-map`: conv (default),
 //                     tilelinear, lattice
 //   --epochs N        SGD epochs for `train-map` (default 40)
@@ -65,17 +75,20 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "apps/registry.hpp"
 #include "core/dataset_builder.hpp"
 #include "core/flow.hpp"
+#include "core/shard_builder.hpp"
 #include "core/map_predictor.hpp"
 #include "core/predictor.hpp"
 #include "core/resolver.hpp"
 #include "ir/printer.hpp"
 #include "rtl/verilog.hpp"
+#include "support/env.hpp"
 #include "support/failpoint.hpp"
 #include "support/flowcache.hpp"
 #include "support/parallel.hpp"
@@ -101,7 +114,7 @@ apps::AppDesign makeDesign(const std::string& name, bool withDirectives) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: hcp_cli <flow|train|predict|advise|train-map|"
+               "usage: hcp_cli <flow|train|shard|predict|advise|train-map|"
                "predict-map|dump-ir|dump-verilog|list|compare-reports> ..."
                "\n(see the header of tools/hcp_cli.cpp for details)\n");
   return 2;
@@ -149,6 +162,9 @@ struct Args {
   std::string report;       ///< empty = no run report
   std::string trace;        ///< empty = no trace timeline
   std::string cache;        ///< empty = flow caching off
+  std::string shardDir;     ///< dataset shard directory (HCP_SHARDS fallback)
+  bool fromShards = false;  ///< `train --from-shards`
+  bool inMemory = false;    ///< materialize shards instead of streaming
 };
 
 Args parse(int argc, char** argv, int first) {
@@ -186,6 +202,16 @@ Args parse(int argc, char** argv, int first) {
     } else if (a.rfind("--cache=", 0) == 0) {
       args.cache = a.substr(8);
       if (args.cache.empty()) usageError("--cache expects a non-empty value");
+    } else if (a == "--shard-dir") {
+      args.shardDir = nonEmpty(i, "--shard-dir");
+    } else if (a.rfind("--shard-dir=", 0) == 0) {
+      args.shardDir = a.substr(12);
+      if (args.shardDir.empty())
+        usageError("--shard-dir expects a non-empty value");
+    } else if (a == "--from-shards") {
+      args.fromShards = true;
+    } else if (a == "--in-memory") {
+      args.inMemory = true;
     } else if (a == "--failpoints") {
       // Already applied by failpoint::initFromArgs at the top of run();
       // consume the value so it is not mistaken for a positional.
@@ -218,6 +244,9 @@ Args parse(int argc, char** argv, int first) {
   if (args.cache.empty()) {
     if (const char* env = std::getenv("HCP_CACHE")) args.cache = env;
   }
+  if (args.shardDir.empty()) {
+    if (const char* env = std::getenv("HCP_SHARDS")) args.shardDir = env;
+  }
   return args;
 }
 
@@ -233,15 +262,16 @@ int runCompareReports(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--max-wall-regress") {
+      // Strict parse: the old raw strtod accepted "nan" (which made the
+      // regression gate vacuously pass — NaN compares false), "inf", hex
+      // floats and trailing garbage like "400%".
       const char* text = value(i, "--max-wall-regress");
-      errno = 0;
-      char* end = nullptr;
-      const double pct = std::strtod(text, &end);
-      if (end == text || *end != '\0' || errno == ERANGE || pct < 0.0)
+      const std::optional<double> pct = support::env::parseF64(text);
+      if (!pct || *pct < 0.0)
         usageError(
             "--max-wall-regress expects a non-negative percentage, got '" +
             std::string(text) + "'");
-      opts.maxWallRegressPct = pct;
+      opts.maxWallRegressPct = *pct;
     } else if (a == "--require-counters-equal") {
       opts.requireCountersEqual = true;
     } else if (a == "--bench-out") {
@@ -304,6 +334,8 @@ int run(int argc, char** argv) {
 
   const auto device = fpga::Device::xc7z020like();
   const Args args = parse(argc, argv, 2);
+  if (args.fromShards && cmd != "train")
+    usageError("--from-shards only applies to train");
   if (args.threads > 0) support::setThreadLimit(args.threads);
   if (!args.report.empty()) support::telemetry::setEnabled(true);
   if (!args.trace.empty()) support::tracing::arm();
@@ -318,37 +350,97 @@ int run(int argc, char** argv) {
     reportDesigns = {args.positional[0]};
     printSummary(runNamedFlow(args.positional[0], args, device));
     code = 0;
+  } else if (cmd == "shard") {
+    if (args.positional.empty()) return usage();
+    if (args.shardDir.empty())
+      usageError("shard needs --shard-dir DIR (or HCP_SHARDS)");
+    core::FlowConfig cfg;
+    cfg.seed = args.seed;
+    // Designs run serially on purpose: sharding exists so that peak memory
+    // is one design's flow, never the corpus.
+    std::size_t total = 0;
+    for (const auto& name : args.positional) {
+      reportDesigns.push_back(name);
+      std::fprintf(stderr, "[hcp] sharding %s...\n", name.c_str());
+      const ml::shards::ShardInfo info = core::buildShard(
+          makeDesign(name, args.directives), device, cfg, {}, args.shardDir);
+      std::printf("%s  %-28s %6zu samples x %zu features\n", info.key.c_str(),
+                  name.c_str(), info.numSamples, info.numFeatures);
+      total += info.numSamples;
+    }
+    std::printf("wrote %zu shard%s (%zu samples) to %s\n",
+                args.positional.size(),
+                args.positional.size() == 1 ? "" : "s", total,
+                args.shardDir.c_str());
+    code = 0;
   } else if (cmd == "train") {
-    if (args.positional.size() < 2) return usage();
-    const std::string modelPath = args.positional[0];
     core::PredictorOptions opts;
     if (args.model == "linear") opts.kind = core::ModelKind::Linear;
     else if (args.model == "ann") opts.kind = core::ModelKind::Ann;
     else if (args.model == "gbrt") opts.kind = core::ModelKind::Gbrt;
     else return usage();
 
-    std::vector<apps::AppDesign> designs;
-    for (std::size_t i = 1; i < args.positional.size(); ++i) {
-      reportDesigns.push_back(args.positional[i]);
-      designs.push_back(makeDesign(args.positional[i], args.directives));
+    if (args.fromShards) {
+      if (args.positional.size() != 1)
+        usageError(
+            "train --from-shards takes exactly one positional argument "
+            "(the model path) — designs come from the shard directory");
+      if (args.shardDir.empty())
+        usageError("train --from-shards needs --shard-dir DIR (or HCP_SHARDS)");
+      const std::string modelPath = args.positional[0];
+      const ml::shards::ShardSet set(args.shardDir);
+      if (set.totalSamples() == 0)
+        usageError("training dataset is empty: " + args.shardDir + " holds " +
+                   std::to_string(set.numShards()) +
+                   " shard(s) with 0 samples total (run `hcp_cli shard "
+                   "<design>... --shard-dir " +
+                   args.shardDir + "` first)");
+      std::fprintf(stderr,
+                   "[hcp] training %s on %zu samples streamed from %zu "
+                   "shard%s%s...\n",
+                   args.model.c_str(), set.totalSamples(), set.numShards(),
+                   set.numShards() == 1 ? "" : "s",
+                   args.inMemory ? " (materialized in memory)" : "");
+      core::CongestionPredictor predictor(opts);
+      predictor.trainFromShards(set, /*streaming=*/!args.inMemory);
+      predictor.save(modelPath);
+      std::printf("saved %s predictor to %s (%zu samples from %zu shards)\n",
+                  args.model.c_str(), modelPath.c_str(), set.totalSamples(),
+                  set.numShards());
+      code = 0;
+    } else {
+      if (args.positional.size() < 2) return usage();
+      if (args.inMemory)
+        usageError("--in-memory only applies to train --from-shards");
+      const std::string modelPath = args.positional[0];
+      std::vector<apps::AppDesign> designs;
+      for (std::size_t i = 1; i < args.positional.size(); ++i) {
+        reportDesigns.push_back(args.positional[i]);
+        designs.push_back(makeDesign(args.positional[i], args.directives));
+      }
+      core::FlowConfig cfg;
+      cfg.seed = args.seed;
+      std::fprintf(stderr, "[hcp] running %zu flow%s (%zu thread%s)...\n",
+                   designs.size(), designs.size() == 1 ? "" : "s",
+                   support::threadLimit(),
+                   support::threadLimit() == 1 ? "" : "s");
+      const auto flows = core::runFlows(designs, device, cfg);
+      const auto dataset = core::buildDataset(flows, {});
+      if (dataset.vertical.size() == 0)
+        usageError("training dataset is empty: 0 samples survived the "
+                   "back-trace filter across " +
+                   std::to_string(flows.size()) +
+                   " design(s) — train() would have nothing to fit");
+      core::CongestionPredictor predictor(opts);
+      std::fprintf(stderr, "[hcp] training %s on %zu samples...\n",
+                   args.model.c_str(), dataset.vertical.size());
+      predictor.train(dataset);
+      predictor.save(modelPath);
+      std::printf("saved %s predictor to %s (%zu samples)\n",
+                  args.model.c_str(), modelPath.c_str(),
+                  dataset.vertical.size());
+      code = 0;
     }
-    core::FlowConfig cfg;
-    cfg.seed = args.seed;
-    std::fprintf(stderr, "[hcp] running %zu flow%s (%zu thread%s)...\n",
-                 designs.size(), designs.size() == 1 ? "" : "s",
-                 support::threadLimit(),
-                 support::threadLimit() == 1 ? "" : "s");
-    const auto flows = core::runFlows(designs, device, cfg);
-    const auto dataset = core::buildDataset(flows, {});
-    core::CongestionPredictor predictor(opts);
-    std::fprintf(stderr, "[hcp] training %s on %zu samples...\n",
-                 args.model.c_str(), dataset.vertical.size());
-    predictor.train(dataset);
-    predictor.save(modelPath);
-    std::printf("saved %s predictor to %s (%zu samples)\n",
-                args.model.c_str(), modelPath.c_str(),
-                dataset.vertical.size());
-    code = 0;
   } else if (cmd == "predict" || cmd == "advise") {
     if (args.positional.size() != 2) return usage();
     reportDesigns = {args.positional[1]};
@@ -392,6 +484,10 @@ int run(int argc, char** argv) {
     const auto flows = core::runFlows(designs, device, cfg);
     const auto samples = core::buildMapSamples(
         flows, device, core::gridConfigFor(cfg.par.placer));
+    if (samples.empty())
+      usageError("training dataset is empty: " + std::to_string(flows.size()) +
+                 " flow(s) produced no congestion maps — the map model "
+                 "would have nothing to fit");
     std::fprintf(stderr, "[hcp] training %s map model on %zu map%s...\n",
                  args.topology.c_str(), samples.size(),
                  samples.size() == 1 ? "" : "s");
